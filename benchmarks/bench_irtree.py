@@ -1,0 +1,108 @@
+"""Experiment E1 — the §2 framing: empirical indexes vs worst-case indexes.
+
+"The past investigation has produced numerous indexes that perform well on
+real data.  Nonetheless, surprisingly little progress has been achieved in
+theory" (§1).  This benchmark makes that sentence quantitative with an
+IR-tree [42] (the canonical system-community index) against the Theorem-1
+index:
+
+* on clustered, keyword-correlated data (the "real data" regime) the
+  IR-tree's summary pruning is extremely effective — often beating the
+  theoretical index's constants;
+* on the adversarial disjoint-keyword instance the IR-tree's pruning never
+  fires and its cost grows as Θ(N), while Theorem 1 stays at O(√N).
+"""
+
+from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
+from repro.geometry.rectangles import Rect
+from repro.irtree import IrTree
+from repro.workloads.generators import WorkloadConfig, zipf_dataset
+
+from common import SWEEP_OBJECTS, disjoint_pair_dataset, slope, summarize_sweep
+
+
+def _adversarial_rows():
+    rows = []
+    for num in SWEEP_OBJECTS:
+        ds = disjoint_pair_dataset(num)
+        irtree = IrTree(ds)
+        theorem1 = OrpKwIndex(ds, k=2)
+        n = theorem1.input_size
+        c_ir, c_t1 = CostCounter(), CostCounter()
+        out_ir = irtree.query(Rect.full(2), [1, 2], counter=c_ir)
+        out_t1 = theorem1.query(Rect.full(2), [1, 2], counter=c_t1)
+        assert out_ir == [] and out_t1 == []
+        rows.append(
+            {
+                "N": n,
+                "irtree_cost": c_ir.total,
+                "theorem1_cost": c_t1.total,
+                "sqrtN": round(n**0.5, 1),
+            }
+        )
+    return rows
+
+
+def _clustered_rows():
+    rows = []
+    for num in (2000, 4000, 8000):
+        config = WorkloadConfig(num_objects=num, vocabulary=48, zipf_s=1.2, seed=13)
+        ds = zipf_dataset(config, clustered=True)
+        irtree = IrTree(ds)
+        theorem1 = OrpKwIndex(ds, k=2)
+        n = theorem1.input_size
+        rect = Rect((0.35, 0.35), (0.65, 0.65))
+        c_ir, c_t1 = CostCounter(), CostCounter()
+        out_ir = irtree.query(rect, [2, 3], counter=c_ir)
+        out_t1 = theorem1.query(rect, [2, 3], counter=c_t1)
+        assert sorted(o.oid for o in out_ir) == sorted(o.oid for o in out_t1)
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(out_ir),
+                "irtree_cost": c_ir.total,
+                "theorem1_cost": c_t1.total,
+            }
+        )
+    return rows
+
+
+def test_e1_adversarial_regime(benchmark):
+    rows = _adversarial_rows()
+    summarize_sweep(
+        "e1_adversarial",
+        rows,
+        ["N", "irtree_cost", "theorem1_cost", "sqrtN"],
+        "E1 adversarial data: IR-tree degrades to Θ(N), Theorem 1 stays flat",
+    )
+    ns = [r["N"] for r in rows]
+    ir_slope = slope(ns, [r["irtree_cost"] for r in rows])
+    t1_slope = slope(ns, [max(r["theorem1_cost"], 1) for r in rows])
+    assert ir_slope > 0.8, ir_slope
+    assert t1_slope < 0.6, t1_slope
+    assert rows[-1]["theorem1_cost"] < rows[-1]["irtree_cost"] / 100
+
+    ds = disjoint_pair_dataset(SWEEP_OBJECTS[-1])
+    irtree = IrTree(ds)
+    benchmark(lambda: irtree.query(Rect.full(2), [1, 2]))
+
+
+def test_e1_clustered_regime(benchmark):
+    rows = _clustered_rows()
+    summarize_sweep(
+        "e1_clustered",
+        rows,
+        ["N", "OUT", "irtree_cost", "theorem1_cost"],
+        "E1 clustered correlated data: the IR-tree's home turf",
+    )
+    # Both must beat a full scan by a wide margin on friendly data.
+    for row in rows:
+        assert row["irtree_cost"] < row["N"] / 2
+        assert row["theorem1_cost"] < row["N"] / 2
+
+    config = WorkloadConfig(num_objects=4000, vocabulary=48, zipf_s=1.2, seed=13)
+    ds = zipf_dataset(config, clustered=True)
+    irtree = IrTree(ds)
+    rect = Rect((0.35, 0.35), (0.65, 0.65))
+    benchmark(lambda: irtree.query(rect, [2, 3]))

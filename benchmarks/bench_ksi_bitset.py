@@ -1,0 +1,115 @@
+"""Experiment H2 — the word-parallel k-SI line (§2: [11, 27, 33]).
+
+§2 splits prior k-SI work into two lines: word-parallel ``o(N)+O(OUT)``
+indexes (Bille et al., Eppstein et al., Goodrich) and small-OUT-optimal
+``O(N^(1-1/k)(1+OUT^(1/k)))`` indexes (Cohen-Porat and this paper).  The two
+are incomparable: the bitset index always pays ``Θ(k N / wlen)`` word
+operations, the tree index pays ``~N^(1-1/k)`` — so the bitset wins when OUT
+is large relative to N, the tree wins when OUT is small.
+
+Measured here: the crossover between the two on a planted-OUT sweep, plus
+Goodrich's d = 1 interval variant against the Theorem-1 index.
+"""
+
+import math
+import random
+
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.geometry.rectangles import Rect
+from repro.ksi.bitset import BitsetIntervalIndex, BitsetKSI
+from repro.ksi.cohen_porat import KSetIndex
+from repro.workloads.generators import adversarial_ksi_sets
+
+from common import summarize_sweep
+
+
+def _crossover_rows():
+    rows = []
+    set_size = 2000
+    for planted in (0, 16, 128, 1024, 1900):
+        sets = adversarial_ksi_sets(12, set_size, planted=planted, seed=4)
+        tree = KSetIndex(sets, k=2)
+        bits = BitsetKSI(sets)
+        n = tree.input_size
+        c_tree, c_bits = CostCounter(), CostCounter()
+        out_tree = tree.report([0, 1], c_tree)
+        out_bits = bits.report([0, 1], c_bits)
+        assert out_tree == out_bits
+        rows.append(
+            {
+                "N": n,
+                "OUT": planted,
+                "tree_cost": c_tree.total,
+                "bitset_cost": c_bits.total,
+                "tree_bound": round(math.sqrt(n) * (1 + math.sqrt(planted)), 1),
+                "bitset_bound": c_bits["structure_probes"] + planted,
+            }
+        )
+    return rows
+
+
+def _interval_rows():
+    rows = []
+    rng = random.Random(6)
+    for num in (2000, 4000, 8000):
+        points = [(rng.uniform(0, 10),) for _ in range(num)]
+        docs = [[1] if i % 2 == 0 else [2] for i in range(num)]
+        ds = Dataset.from_points(points, docs)
+        from repro.core.orp_kw import OrpKwIndex
+
+        goodrich = BitsetIntervalIndex(ds)
+        theorem1 = OrpKwIndex(ds, k=2)
+        c_bits, c_tree = CostCounter(), CostCounter()
+        out_bits = goodrich.query(0.0, 10.0, [1, 2], counter=c_bits)
+        out_tree = theorem1.query(Rect((0.0,), (10.0,)), [1, 2], counter=c_tree)
+        assert len(out_bits) == len(out_tree) == 0
+        rows.append(
+            {
+                "N": ds.total_doc_size,
+                "goodrich_cost": c_bits.total,
+                "theorem1_cost": c_tree.total,
+                "goodrich_words": c_bits["structure_probes"],
+            }
+        )
+    return rows
+
+
+def test_h2_bitset_vs_tree_crossover(benchmark):
+    rows = _crossover_rows()
+    summarize_sweep(
+        "h2_crossover",
+        rows,
+        ["N", "OUT", "tree_cost", "bitset_cost", "tree_bound", "bitset_bound"],
+        "H2 k-SI: small-OUT tree index vs word-parallel bitset index",
+    )
+    # Tree wins at OUT=0, bitset wins (or ties) at near-total overlap.
+    assert rows[0]["tree_cost"] < rows[0]["bitset_cost"]
+    dense = rows[-1]
+    assert dense["bitset_cost"] <= dense["tree_cost"] * 4
+
+    sets = adversarial_ksi_sets(12, 2000, planted=1024, seed=4)
+    bits = BitsetKSI(sets)
+    benchmark(lambda: bits.report([0, 1]))
+
+
+def test_h2_goodrich_intervals(benchmark):
+    rows = _interval_rows()
+    summarize_sweep(
+        "h2_goodrich",
+        rows,
+        ["N", "goodrich_cost", "theorem1_cost", "goodrich_words"],
+        "H2 ORP-KW d=1: Goodrich word-RAM variant vs Theorem 1 (OUT=0)",
+    )
+    # Both must be strongly sublinear; the tree index is asymptotically
+    # better at OUT=0 (constant vs N/wlen).
+    for row in rows:
+        assert row["goodrich_cost"] < row["N"] / 8
+        assert row["theorem1_cost"] <= row["goodrich_cost"] + 8
+
+    rng = random.Random(6)
+    points = [(rng.uniform(0, 10),) for _ in range(4000)]
+    docs = [[1] if i % 2 == 0 else [2] for i in range(4000)]
+    ds = Dataset.from_points(points, docs)
+    goodrich = BitsetIntervalIndex(ds)
+    benchmark(lambda: goodrich.query(0.0, 10.0, [1, 2]))

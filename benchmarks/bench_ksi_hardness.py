@@ -1,0 +1,146 @@
+"""Experiment H1 — the k-SI hardness frame (§1.2, Lemma 8).
+
+§1.2 argues that keyword search *is* k-set intersection, that
+O(N^(1-1/k)(1+OUT^(1/k))) is the right target, and that the naive hashing
+index (O(N) query) is what everything improves on.  Appendix G's doubling
+reduction turns a reporting index into the L∞NN tightness argument.
+
+Measured here, on adversarial set families (§ workloads):
+
+* the naive index pays Θ(set size) even when the intersection is empty;
+* the direct KSetIndex (Cohen-Porat-style, §3.5) and the ORP-KW-backed
+  reduction both hit the N^(1-1/k) shape;
+* with planted intersections, cost grows like OUT^(1/k), not OUT.
+"""
+
+import math
+
+from repro.costmodel import CostCounter
+from repro.ksi.cohen_porat import KSetIndex
+from repro.ksi.ksi_index import OrpBackedKsi
+from repro.ksi.naive import NaiveKSI
+from repro.workloads.generators import adversarial_ksi_sets
+
+from common import slope, summarize_sweep
+
+
+def _empty_rows():
+    rows = []
+    for set_size in (250, 500, 1000, 2000):
+        sets = adversarial_ksi_sets(20, set_size, planted=0, seed=1)
+        naive = NaiveKSI(sets)
+        direct = KSetIndex(sets, k=2)
+        backed = OrpBackedKsi(sets, k=2)
+        n = naive.input_size
+        c_naive, c_direct, c_backed = CostCounter(), CostCounter(), CostCounter()
+        assert naive.report([0, 1], c_naive) == []
+        assert direct.report([0, 1], c_direct) == []
+        assert backed.report([0, 1], c_backed) == []
+        rows.append(
+            {
+                "N": n,
+                "naive_cost": c_naive.total,
+                "kset_cost": c_direct.total,
+                "orp_backed_cost": c_backed.total,
+                "sqrtN": round(math.sqrt(n), 1),
+            }
+        )
+    return rows
+
+
+def _planted_rows():
+    rows = []
+    for planted in (0, 8, 32, 128, 512):
+        sets = adversarial_ksi_sets(20, 1000, planted=planted, seed=2)
+        direct = KSetIndex(sets, k=2)
+        n = direct.input_size
+        counter = CostCounter()
+        out = direct.report([0, 1], counter)
+        assert len(out) == planted
+        bound = math.sqrt(n) * (1 + math.sqrt(planted))
+        rows.append(
+            {
+                "N": n,
+                "OUT": planted,
+                "kset_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def _k_rows():
+    rows = []
+    for k in (2, 3, 4):
+        sets = adversarial_ksi_sets(max(8, k + 2), 800, planted=16, seed=3)
+        direct = KSetIndex(sets, k=k)
+        n = direct.input_size
+        counter = CostCounter()
+        out = direct.report(list(range(k)), counter)
+        bound = n ** (1 - 1 / k) * (1 + 16 ** (1 / k))
+        rows.append(
+            {
+                "k": k,
+                "N": n,
+                "OUT": len(out),
+                "kset_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def test_h1_empty_intersections(benchmark):
+    rows = _empty_rows()
+    summarize_sweep(
+        "h1_empty",
+        rows,
+        ["N", "naive_cost", "kset_cost", "orp_backed_cost", "sqrtN"],
+        "H1 k-SI k=2: empty intersections (naive Θ(N) vs both indexes)",
+    )
+    ns = [r["N"] for r in rows]
+    naive_slope = slope(ns, [r["naive_cost"] for r in rows])
+    kset_slope = slope(ns, [max(r["kset_cost"], 1) for r in rows])
+    assert naive_slope > 0.8, naive_slope
+    assert kset_slope < 0.6, kset_slope
+    last = rows[-1]
+    assert last["kset_cost"] < last["naive_cost"]
+    assert last["orp_backed_cost"] < last["naive_cost"]
+
+    sets = adversarial_ksi_sets(20, 2000, planted=0, seed=1)
+    direct = KSetIndex(sets, k=2)
+    benchmark(lambda: direct.report([0, 1]))
+
+
+def test_h1_planted_intersections(benchmark):
+    rows = _planted_rows()
+    summarize_sweep(
+        "h1_planted",
+        rows,
+        ["N", "OUT", "kset_cost", "bound", "cost/bound"],
+        "H1 k-SI k=2: OUT sweep (cost tracks sqrt(N)(1+sqrt(OUT)))",
+    )
+    ratios = [r["cost/bound"] for r in rows]
+    assert max(ratios) < 30, ratios
+
+    sets = adversarial_ksi_sets(20, 1000, planted=128, seed=2)
+    direct = KSetIndex(sets, k=2)
+    benchmark(lambda: direct.report([0, 1]))
+
+
+def test_h1_k_sweep(benchmark):
+    rows = _k_rows()
+    summarize_sweep(
+        "h1_k_sweep",
+        rows,
+        ["k", "N", "OUT", "kset_cost", "bound", "cost/bound"],
+        "H1 k-SI: k sweep (bound approaches Θ(N) as k grows, §1.2)",
+    )
+    for row in rows:
+        assert row["cost/bound"] < 30, row
+
+    sets = adversarial_ksi_sets(8, 800, planted=16, seed=3)
+    direct = KSetIndex(sets, k=3)
+    benchmark(lambda: direct.report([0, 1, 2]))

@@ -1,0 +1,204 @@
+"""Experiments T1.3 and T1.6 — LC-KW / SP-KW (Theorems 5 and 12).
+
+Paper claims:
+
+* d <= k: O(N) space, O(N^(1-1/k)(log N + OUT^(1/k))) query time (this
+  also covers T1.3: ORP-KW through LC-KW with the rectangle expressed as
+  2d linear constraints);
+* d > k: O(N^(1-1/d) + N^(1-1/k) OUT^(1/k)) — the geometric crossing term
+  takes over.
+
+Measured here: both regimes against the naive solutions, the rectangle-as-
+constraints route (T1.3), and the partition-scheme ablation (box vs
+Willard).
+"""
+
+import math
+
+from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from repro.core.lc_kw import LcKwIndex
+from repro.costmodel import CostCounter
+from repro.geometry.halfspaces import HalfSpace, rect_to_halfspaces
+from repro.geometry.rectangles import Rect
+from repro.partitiontree import WillardScheme
+
+from common import (
+    SMALL_SWEEP_OBJECTS,
+    disjoint_pair_dataset,
+    slope,
+    standard_dataset,
+    summarize_sweep,
+    theory_bound,
+)
+
+
+def _diagonal_constraint(dim: int) -> HalfSpace:
+    return HalfSpace((1.0,) * dim, 0.8 * dim / 2.0)
+
+
+def _regime_rows(dim: int, k: int):
+    rows = []
+    for num in SMALL_SWEEP_OBJECTS:
+        ds = disjoint_pair_dataset(num, dim=dim)
+        index = LcKwIndex(ds, k=k)
+        structured = StructuredOnlyIndex(ds)
+        keywords = KeywordsOnlyIndex(ds)
+        n = index.input_size
+        constraint = _diagonal_constraint(dim)
+        c_idx, c_st, c_kw = CostCounter(), CostCounter(), CostCounter()
+        out = index.query([constraint], [1, 2][:k] if k == 2 else [1, 2, 3], counter=c_idx)
+        words = [1, 2] if k == 2 else [1, 2, 3]
+        structured.query_constraints([constraint], words, c_st)
+        keywords.query_constraints([constraint], words, c_kw)
+        bound_kw = theory_bound(n, k, len(out), log_factor=True)
+        bound_geo = n ** (1.0 - 1.0 / dim)
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(out),
+                "index_cost": c_idx.total,
+                "structured_cost": c_st.total,
+                "keywords_cost": c_kw.total,
+                "kw_bound": round(bound_kw, 1),
+                "geo_bound": round(bound_geo, 1),
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def _rect_route_rows():
+    """T1.3: ORP-KW answered through LC-KW (rectangle = 2d constraints)."""
+    rows = []
+    ds = standard_dataset(4000)
+    index = LcKwIndex(ds, k=2)
+    n = index.input_size
+    for side in (0.2, 0.5, 0.9):
+        rect = Rect((0.5 - side / 2,) * 2, (0.5 + side / 2,) * 2)
+        constraints = list(rect_to_halfspaces(rect.lo, rect.hi))
+        counter = CostCounter()
+        out = index.query(constraints, [1, 2], counter=counter)
+        bound = theory_bound(n, 2, len(out), log_factor=True)
+        rows.append(
+            {
+                "side": side,
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def _scheme_ablation_rows():
+    rows = []
+    ds = disjoint_pair_dataset(4000, dim=2)
+    for name, scheme in (("kd-box", None), ("willard", WillardScheme())):
+        index = LcKwIndex(ds, k=2, scheme=scheme)
+        n = index.input_size
+        counter = CostCounter()
+        out = index.query([_diagonal_constraint(2)], [1, 2], counter=counter)
+        rows.append(
+            {
+                "scheme": name,
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def test_t1_6_regime_d_le_k(benchmark):
+    rows = _regime_rows(dim=2, k=2)
+    summarize_sweep(
+        "t1_6_d_le_k",
+        rows,
+        [
+            "N",
+            "OUT",
+            "index_cost",
+            "structured_cost",
+            "keywords_cost",
+            "kw_bound",
+            "geo_bound",
+            "space/N",
+        ],
+        "T1.6 LC-KW d=2 k=2 (d<=k regime): OUT=0, one oblique constraint",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    keyword_slope = slope(ns, [r["keywords_cost"] for r in rows])
+    assert index_slope < keyword_slope, (index_slope, keyword_slope)
+    last = rows[-1]
+    assert last["index_cost"] < last["keywords_cost"]
+
+    ds = disjoint_pair_dataset(SMALL_SWEEP_OBJECTS[-1])
+    index = LcKwIndex(ds, k=2)
+    constraint = _diagonal_constraint(2)
+    benchmark(lambda: index.query([constraint], [1, 2]))
+
+
+def test_t1_6_regime_d_gt_k(benchmark):
+    rows = _regime_rows(dim=3, k=2)
+    summarize_sweep(
+        "t1_6_d_gt_k",
+        rows,
+        [
+            "N",
+            "OUT",
+            "index_cost",
+            "structured_cost",
+            "keywords_cost",
+            "kw_bound",
+            "geo_bound",
+            "space/N",
+        ],
+        "T1.6 LC-KW d=3 k=2 (d>k regime): the geometric term takes over",
+    )
+    # Still sublinear, but allowed to exceed the pure keyword bound:
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    assert index_slope < 0.95, index_slope
+
+    ds = disjoint_pair_dataset(SMALL_SWEEP_OBJECTS[-2], dim=3)
+    index = LcKwIndex(ds, k=2)
+    constraint = _diagonal_constraint(3)
+    benchmark(lambda: index.query([constraint], [1, 2]))
+
+
+def test_t1_3_rectangles_through_lc(benchmark):
+    rows = _rect_route_rows()
+    summarize_sweep(
+        "t1_3_rect_route",
+        rows,
+        ["side", "N", "OUT", "index_cost", "bound", "cost/bound"],
+        "T1.3 ORP-KW answered by LC-KW (rectangle = 4 linear constraints)",
+    )
+    for row in rows:
+        assert row["cost/bound"] < 30, row
+
+    ds = standard_dataset(2000)
+    index = LcKwIndex(ds, k=2)
+    constraints = list(rect_to_halfspaces((0.3, 0.3), (0.7, 0.7)))
+    benchmark(lambda: index.query(constraints, [1, 2]))
+
+
+def test_partition_scheme_ablation(benchmark):
+    rows = _scheme_ablation_rows()
+    summarize_sweep(
+        "t1_6_scheme_ablation",
+        rows,
+        ["scheme", "N", "OUT", "index_cost", "space/N"],
+        "LC-KW partition-scheme ablation (kd-box vs Willard, DESIGN.md §1)",
+    )
+    for row in rows:
+        assert row["index_cost"] < row["N"], row
+
+    ds = disjoint_pair_dataset(2000)
+    index = LcKwIndex(ds, k=2, scheme=WillardScheme())
+    constraint = _diagonal_constraint(2)
+    benchmark(lambda: index.query([constraint], [1, 2]))

@@ -1,0 +1,121 @@
+"""Experiment T1.8 — L2NN-KW (Corollary 7).
+
+Paper claim: O(N) space (d <= k-1) and
+O(log N * N^(1-1/k) * (log N + t^(1/k))) query time, via integer binary
+search over squared radii with budgeted SRP-KW probes.
+
+Measured here: cost vs bound as N and t grow, on the paper's integer-grid
+domain, against the linear-scan baseline.
+"""
+
+import math
+import random
+
+from repro.core.baselines import ScanAllNn, l2_distance_squared
+from repro.core.nn_l2 import L2NnIndex
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+
+from common import slope, summarize_sweep
+
+_K = 2
+
+
+def _grid_dataset(num: int, seed: int = 0) -> Dataset:
+    rng = random.Random(seed)
+    side = 512
+    points = [
+        (float(rng.randint(0, side)), float(rng.randint(0, side)))
+        for _ in range(num)
+    ]
+    docs = [
+        rng.sample(range(1, 9), rng.randint(1, 4)) for _ in range(num)
+    ]
+    return Dataset.from_points(points, docs)
+
+
+def _bound(n: int, t: int) -> float:
+    log_n = math.log(max(n, 2))
+    return log_n * n ** (1.0 - 1.0 / _K) * (log_n + t ** (1.0 / _K))
+
+
+def _n_sweep_rows():
+    rows = []
+    for num in (500, 1000, 2000, 4000):
+        ds = _grid_dataset(num)
+        index = L2NnIndex(ds, k=_K)
+        scan = ScanAllNn(ds)
+        n = index.input_size
+        q = (256.0, 256.0)
+        c_idx, c_scan = CostCounter(), CostCounter()
+        index.query(q, 4, [1, 2], counter=c_idx)
+        scan.nearest(q, 4, [1, 2], l2_distance_squared, counter=c_scan)
+        bound = _bound(n, 4)
+        rows.append(
+            {
+                "N": n,
+                "t": 4,
+                "index_cost": c_idx.total,
+                "scan_cost": c_scan.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(c_idx.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def _t_sweep_rows():
+    rows = []
+    ds = _grid_dataset(3000)
+    index = L2NnIndex(ds, k=_K)
+    n = index.input_size
+    q = (256.0, 256.0)
+    for t in (1, 4, 16, 64):
+        counter = CostCounter()
+        found = index.query(q, t, [1, 2], counter=counter)
+        bound = _bound(n, t)
+        rows.append(
+            {
+                "N": n,
+                "t": t,
+                "found": len(found),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def test_t1_8_n_sweep(benchmark):
+    rows = _n_sweep_rows()
+    summarize_sweep(
+        "t1_8_n_sweep",
+        rows,
+        ["N", "t", "index_cost", "scan_cost", "bound", "cost/bound"],
+        "T1.8 L2NN-KW k=2 (integer grid): N sweep at t=4",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    scan_slope = slope(ns, [r["scan_cost"] for r in rows])
+    assert index_slope < scan_slope + 0.15, (index_slope, scan_slope)
+
+    ds = _grid_dataset(2000)
+    index = L2NnIndex(ds, k=_K)
+    benchmark(lambda: index.query((256.0, 256.0), 4, [1, 2]))
+
+
+def test_t1_8_t_sweep(benchmark):
+    rows = _t_sweep_rows()
+    summarize_sweep(
+        "t1_8_t_sweep",
+        rows,
+        ["N", "t", "found", "index_cost", "bound", "cost/bound"],
+        "T1.8 L2NN-KW k=2: t sweep at fixed N",
+    )
+    ratios = [r["cost/bound"] for r in rows]
+    assert max(ratios) < 60, ratios
+
+    ds = _grid_dataset(1500)
+    index = L2NnIndex(ds, k=_K)
+    benchmark(lambda: index.query((256.0, 256.0), 8, [1, 2]))

@@ -1,0 +1,105 @@
+"""Experiment T1.5 — L∞NN-KW (Corollary 4).
+
+Paper claim: O(N (loglog N)^(d-2)) space and
+O(N^(1-1/k) * t^(1/k) * log N) query time via binary search over candidate
+radii with budgeted ORP-KW probes.
+
+Measured here: cost vs the bound as N and t grow, against the linear-scan
+baseline.
+"""
+
+import math
+
+from repro.core.baselines import ScanAllNn, linf_distance
+from repro.core.nn_linf import LinfNnIndex
+from repro.costmodel import CostCounter
+
+from common import SMALL_SWEEP_OBJECTS, slope, standard_dataset, summarize_sweep
+
+_K = 2
+
+
+def _bound(n: int, t: int) -> float:
+    return n ** (1.0 - 1.0 / _K) * t ** (1.0 / _K) * math.log(max(n, 2))
+
+
+def _n_sweep_rows():
+    rows = []
+    for num in SMALL_SWEEP_OBJECTS:
+        ds = standard_dataset(num)
+        index = LinfNnIndex(ds, k=_K)
+        scan = ScanAllNn(ds)
+        n = index.input_size
+        q = (0.5, 0.5)
+        c_idx, c_scan = CostCounter(), CostCounter()
+        index.query(q, 4, [1, 2], counter=c_idx)
+        scan.nearest(q, 4, [1, 2], linf_distance, counter=c_scan)
+        bound = _bound(n, 4)
+        rows.append(
+            {
+                "N": n,
+                "t": 4,
+                "index_cost": c_idx.total,
+                "scan_cost": c_scan.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(c_idx.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def _t_sweep_rows():
+    rows = []
+    ds = standard_dataset(8000)
+    index = LinfNnIndex(ds, k=_K)
+    n = index.input_size
+    q = (0.5, 0.5)
+    for t in (1, 4, 16, 64):
+        counter = CostCounter()
+        found = index.query(q, t, [1, 2], counter=counter)
+        bound = _bound(n, t)
+        rows.append(
+            {
+                "N": n,
+                "t": t,
+                "found": len(found),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def test_t1_5_n_sweep(benchmark):
+    rows = _n_sweep_rows()
+    summarize_sweep(
+        "t1_5_n_sweep",
+        rows,
+        ["N", "t", "index_cost", "scan_cost", "bound", "cost/bound"],
+        "T1.5 L∞NN-KW k=2: N sweep at t=4 (index vs full scan)",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    scan_slope = slope(ns, [r["scan_cost"] for r in rows])
+    assert index_slope < scan_slope, (index_slope, scan_slope)
+
+    ds = standard_dataset(SMALL_SWEEP_OBJECTS[-1])
+    index = LinfNnIndex(ds, k=_K)
+    benchmark(lambda: index.query((0.5, 0.5), 4, [1, 2]))
+
+
+def test_t1_5_t_sweep(benchmark):
+    rows = _t_sweep_rows()
+    summarize_sweep(
+        "t1_5_t_sweep",
+        rows,
+        ["N", "t", "found", "index_cost", "bound", "cost/bound"],
+        "T1.5 L∞NN-KW k=2: t sweep at fixed N (cost tracks t^(1/k))",
+    )
+    ratios = [r["cost/bound"] for r in rows]
+    assert max(ratios) < 60, ratios
+
+    ds = standard_dataset(4000)
+    index = LinfNnIndex(ds, k=_K)
+    benchmark(lambda: index.query((0.5, 0.5), 8, [1, 2]))

@@ -1,0 +1,166 @@
+"""Experiment T1.1 — ORP-KW, d <= 2 (Theorem 1).
+
+Paper claim: O(N) space and O(N^(1-1/k) * (1 + OUT^(1/k))) query time; the
+two naive solutions pay Θ(candidates) instead.
+
+Measured here:
+
+* empty-output queries over a disjoint-keyword instance — cost must scale
+  like N^(1-1/k) (log-log slope ~0.5 for k = 2) while both naives stay ~N;
+* planted-output queries — the ratio cost / bound must stay ~constant as
+  OUT grows;
+* k ∈ {2, 3} — larger k flattens the advantage, as §1.2 predicts;
+* space per input unit — must stay ~constant across N.
+"""
+
+import math
+
+from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
+from repro.geometry.rectangles import Rect
+
+from common import (
+    SWEEP_OBJECTS,
+    disjoint_pair_dataset,
+    planted_out_dataset,
+    slope,
+    summarize_sweep,
+    theory_bound,
+)
+
+_K = 2
+
+
+def _empty_out_rows():
+    rows = []
+    for num in SWEEP_OBJECTS:
+        ds = disjoint_pair_dataset(num)
+        index = OrpKwIndex(ds, k=_K)
+        structured = StructuredOnlyIndex(ds)
+        keywords = KeywordsOnlyIndex(ds)
+        n = index.input_size
+        rect = Rect.full(2)
+        c_idx, c_st, c_kw = CostCounter(), CostCounter(), CostCounter()
+        index.query(rect, [1, 2], counter=c_idx)
+        structured.query_rect(rect, [1, 2], c_st)
+        keywords.query_rect(rect, [1, 2], c_kw)
+        rows.append(
+            {
+                "N": n,
+                "index_cost": c_idx.total,
+                "structured_cost": c_st.total,
+                "keywords_cost": c_kw.total,
+                "bound": round(theory_bound(n, _K, 0), 1),
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def _planted_out_rows():
+    rows = []
+    num = 8000
+    for out in (0, 16, 64, 256, 1024):
+        ds = planted_out_dataset(num, out)
+        index = OrpKwIndex(ds, k=_K)
+        n = index.input_size
+        counter = CostCounter()
+        found = index.query(Rect.full(2), [1, 2], counter=counter)
+        bound = theory_bound(n, _K, len(found))
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(found),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def _k_sweep_rows():
+    rows = []
+    num = 8000
+    ds = disjoint_pair_dataset(num)
+    for k in (2, 3, 4):
+        # Give each object k-1 of the first k keywords so no object has all.
+        docs = [
+            [w for w in range(1, k + 1) if w != 1 + (i % k)]
+            for i in range(num)
+        ]
+        from repro.dataset import Dataset
+
+        ds_k = Dataset.from_points([o.point for o in ds.objects], docs)
+        index = OrpKwIndex(ds_k, k=k)
+        n = index.input_size
+        counter = CostCounter()
+        out = index.query(Rect.full(2), list(range(1, k + 1)), counter=counter)
+        bound = theory_bound(n, k, len(out))
+        rows.append(
+            {
+                "k": k,
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def test_t1_1_empty_output_scaling(benchmark):
+    rows = _empty_out_rows()
+    summarize_sweep(
+        "t1_1_empty_out",
+        rows,
+        ["N", "index_cost", "structured_cost", "keywords_cost", "bound", "space/N"],
+        "T1.1 ORP-KW d=2 k=2: OUT=0 adversarial sweep (index vs naives)",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    naive_slope = slope(ns, [r["keywords_cost"] for r in rows])
+    assert index_slope < 0.80, index_slope  # theory: 0.5
+    assert naive_slope > 0.85, naive_slope  # theory: 1.0
+    # The index must beat both naives at the largest size.
+    last = rows[-1]
+    assert last["index_cost"] < last["structured_cost"]
+    assert last["index_cost"] < last["keywords_cost"]
+
+    ds = disjoint_pair_dataset(SWEEP_OBJECTS[-1])
+    index = OrpKwIndex(ds, k=_K)
+    benchmark(lambda: index.query(Rect.full(2), [1, 2]))
+
+
+def test_t1_1_output_sensitivity(benchmark):
+    rows = _planted_out_rows()
+    summarize_sweep(
+        "t1_1_planted_out",
+        rows,
+        ["N", "OUT", "index_cost", "bound", "cost/bound"],
+        "T1.1 ORP-KW d=2 k=2: OUT sweep at fixed N (cost tracks the bound)",
+    )
+    ratios = [r["cost/bound"] for r in rows]
+    assert max(ratios) / max(min(ratios), 1e-9) < 40, ratios
+
+    ds = planted_out_dataset(8000, 256)
+    index = OrpKwIndex(ds, k=_K)
+    benchmark(lambda: index.query(Rect.full(2), [1, 2]))
+
+
+def test_t1_1_k_sweep(benchmark):
+    rows = _k_sweep_rows()
+    summarize_sweep(
+        "t1_1_k_sweep",
+        rows,
+        ["k", "N", "OUT", "index_cost", "bound", "cost/bound"],
+        "T1.1 ORP-KW d=2: k sweep (advantage shrinks as k grows, §1.2)",
+    )
+    for row in rows:
+        assert row["cost/bound"] < 30, row
+
+    ds = disjoint_pair_dataset(4000)
+    index = OrpKwIndex(ds, k=2)
+    benchmark(lambda: index.query(Rect((0.2, 0.2), (0.8, 0.8)), [1, 2]))

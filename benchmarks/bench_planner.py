@@ -1,0 +1,120 @@
+"""Experiment P1 — the hybrid planner's regret across query regimes.
+
+The planner races the fused index under a budget set by the cheapest naive
+estimate (see :mod:`repro.core.planner`).  Measured here: planned cost vs
+the per-query optimum on three regimes — naive-friendly (tiny posting
+lists), structure-friendly (sliver rectangles), and fused-friendly
+(adversarial disjoint keywords) — plus a mixed workload's aggregate regret.
+"""
+
+import random
+
+from repro.core.planner import STRATEGIES, HybridPlanner
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.geometry.rectangles import Rect
+from repro.workloads.generators import WorkloadConfig, zipf_dataset
+
+from common import summarize_sweep
+
+
+def _strategy_cost(planner, strategy, rect, words):
+    counter = CostCounter()
+    planner.query_with(strategy, rect, words, counter=counter)
+    return counter.total
+
+
+def _regime_rows():
+    rng = random.Random(31)
+    rows = []
+
+    # fused-friendly: adversarial disjoint keywords.
+    points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(3000)]
+    docs = [[1] if i % 2 == 0 else [2] for i in range(3000)]
+    adversarial = HybridPlanner(Dataset.from_points(points, docs), k=2)
+    # naive-friendly: one singleton keyword.
+    docs2 = [[1, 2] for _ in range(2999)] + [[1, 9]]
+    singleton = HybridPlanner(Dataset.from_points(points, docs2), k=2)
+    # structure-friendly: sliver rectangle on uniform tags.
+    docs3 = [[1, 2] for _ in range(3000)]
+    sliver = HybridPlanner(Dataset.from_points(points, docs3), k=2)
+
+    cases = [
+        ("fused-friendly", adversarial, Rect.full(2), [1, 2]),
+        ("posting-friendly", singleton, Rect.full(2), [1, 9]),
+        ("rect-friendly", sliver, Rect((5.0, 5.0), (5.01, 5.01)), [1, 2]),
+    ]
+    for name, planner, rect, words in cases:
+        counter = CostCounter()
+        planner.query(rect, words, counter=counter)
+        best = min(_strategy_cost(planner, s, rect, words) for s in STRATEGIES)
+        rows.append(
+            {
+                "regime": name,
+                "choice": planner.last_plan["choice"],
+                "planned_cost": counter.total,
+                "best_cost": best,
+                "regret": round(counter.total / max(best, 1), 2),
+            }
+        )
+    return rows
+
+
+def _mixed_rows():
+    rng = random.Random(77)
+    config = WorkloadConfig(num_objects=3000, vocabulary=24, seed=7)
+    planner = HybridPlanner(zipf_dataset(config), k=2)
+    total_planned, total_best, fused_picks = 0, 0, 0
+    queries = 25
+    for _ in range(queries):
+        side = rng.choice([0.05, 0.3, 0.8])
+        a = rng.uniform(0, 1 - side)
+        c = rng.uniform(0, 1 - side)
+        rect = Rect((a, c), (a + side, c + side))
+        words = rng.sample(range(1, 25), 2)
+        counter = CostCounter()
+        planner.query(rect, words, counter=counter)
+        total_planned += counter.total
+        if planner.last_plan["choice"] == "fused":
+            fused_picks += 1
+        total_best += min(
+            _strategy_cost(planner, s, rect, words) for s in STRATEGIES
+        )
+    return [
+        {
+            "queries": queries,
+            "planned_total": total_planned,
+            "optimal_total": total_best,
+            "aggregate_regret": round(total_planned / max(total_best, 1), 2),
+            "fused_picks": fused_picks,
+        }
+    ]
+
+
+def test_p1_planner_regret(benchmark):
+    regime_rows = _regime_rows()
+    summarize_sweep(
+        "p1_regimes",
+        regime_rows,
+        ["regime", "choice", "planned_cost", "best_cost", "regret"],
+        "P1 planner choice per regime (race: fused under a naive budget)",
+    )
+    by_regime = {r["regime"]: r for r in regime_rows}
+    assert by_regime["fused-friendly"]["choice"] == "fused"
+    for row in regime_rows:
+        assert row["regret"] <= 4.0, row
+
+    mixed_rows = _mixed_rows()
+    summarize_sweep(
+        "p1_mixed",
+        mixed_rows,
+        ["queries", "planned_total", "optimal_total", "aggregate_regret", "fused_picks"],
+        "P1 mixed workload: aggregate regret vs the per-query optimum",
+    )
+    assert mixed_rows[0]["aggregate_regret"] <= 3.0
+
+    rng = random.Random(1)
+    config = WorkloadConfig(num_objects=2000, vocabulary=24, seed=7)
+    planner = HybridPlanner(zipf_dataset(config), k=2)
+    rect = Rect((0.2, 0.2), (0.8, 0.8))
+    benchmark(lambda: planner.query(rect, [1, 2]))

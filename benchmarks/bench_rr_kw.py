@@ -1,0 +1,143 @@
+"""Experiment T1.4 — RR-KW (Corollary 3).
+
+Paper claim: O(N (loglog N)^(2d-2)) space, O(N^(1-1/k)(1+OUT^(1/k))) query
+time, via the rectangle -> 2d-dimensional-point reduction.
+
+Measured here: d = 1 (temporal documents) with the 2-D kd-tree index under
+the hood, and d = 2 (geographic MBRs) with the 4-D dimension-reduction
+index; both against the scan baselines.
+"""
+
+import random
+
+from repro.core.baselines import NaiveRectangleIndex
+from repro.core.rr_kw import RrKwIndex
+from repro.costmodel import CostCounter
+from repro.dataset import RectangleObject
+from repro.intervaltree import IntervalTree
+
+from common import SMALL_SWEEP_OBJECTS, slope, summarize_sweep, theory_bound
+
+_K = 2
+
+
+def _interval_instance(num: int, seed: int = 0):
+    """Disjoint keyword populations of random lifespan intervals."""
+    rng = random.Random(seed)
+    rects = []
+    for i in range(num):
+        a = rng.uniform(0.0, 10.0)
+        b = a + rng.uniform(0.0, 1.0)
+        rects.append(
+            RectangleObject(
+                oid=i, lo=(a,), hi=(b,), doc=frozenset({1 if i % 2 == 0 else 2})
+            )
+        )
+    return rects
+
+
+def _box_instance(num: int, seed: int = 0):
+    rng = random.Random(seed)
+    rects = []
+    for i in range(num):
+        lo = (rng.uniform(0, 10), rng.uniform(0, 10))
+        hi = (lo[0] + rng.uniform(0, 1), lo[1] + rng.uniform(0, 1))
+        rects.append(
+            RectangleObject(
+                oid=i, lo=lo, hi=hi, doc=frozenset({1 if i % 2 == 0 else 2})
+            )
+        )
+    return rects
+
+
+def _interval_rows():
+    rows = []
+    for num in SMALL_SWEEP_OBJECTS:
+        rects = _interval_instance(num)
+        index = RrKwIndex(rects, k=_K)
+        naive = NaiveRectangleIndex(rects)
+        # The *fair* structured-only baseline: a classical interval tree
+        # (O(log n + candidates)) followed by the keyword filter.
+        itree = IntervalTree([(r.lo[0], r.hi[0]) for r in rects])
+        n = index.input_size
+        c_idx, c_it, c_kw = CostCounter(), CostCounter(), CostCounter()
+        out = index.query((0.0,), (10.0,), [1, 2], counter=c_idx)
+        hits = itree.overlap_query(0.0, 10.0, c_it)
+        for i in hits:
+            c_it.charge("structure_probes", 2)  # keyword filter per candidate
+        naive.query_keywords((0.0,), (10.0,), [1, 2], c_kw)
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(out),
+                "index_cost": c_idx.total,
+                "structured_cost": c_it.total,
+                "keywords_cost": c_kw.total,
+                "bound": round(theory_bound(n, _K, len(out)), 1),
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def _box_rows():
+    rows = []
+    for num in (500, 1000, 2000):
+        rects = _box_instance(num)
+        index = RrKwIndex(rects, k=_K)
+        n = index.input_size
+        counter = CostCounter()
+        out = index.query((2.0, 2.0), (8.0, 8.0), [1, 2], counter=counter)
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "bound": round(theory_bound(n, _K, len(out)), 1),
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def test_t1_4_intervals(benchmark):
+    rows = _interval_rows()
+    summarize_sweep(
+        "t1_4_intervals",
+        rows,
+        [
+            "N",
+            "OUT",
+            "index_cost",
+            "structured_cost",
+            "keywords_cost",
+            "bound",
+            "space/N",
+        ],
+        "T1.4 RR-KW d=1 k=2 (temporal documents): OUT=0 full-range sweep",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    naive_slope = slope(ns, [r["structured_cost"] for r in rows])
+    assert index_slope < naive_slope
+    assert rows[-1]["index_cost"] < rows[-1]["structured_cost"]
+
+    rects = _interval_instance(SMALL_SWEEP_OBJECTS[-1])
+    index = RrKwIndex(rects, k=_K)
+    benchmark(lambda: index.query((0.0,), (10.0,), [1, 2]))
+
+
+def test_t1_4_boxes(benchmark):
+    rows = _box_rows()
+    summarize_sweep(
+        "t1_4_boxes",
+        rows,
+        ["N", "OUT", "index_cost", "bound", "space/N"],
+        "T1.4 RR-KW d=2 k=2 (geographic MBRs via 4-D dimension reduction)",
+    )
+    for row in rows:
+        assert row["index_cost"] <= 40 * row["bound"] + 40, row
+
+    rects = _box_instance(1000)
+    index = RrKwIndex(rects, k=_K)
+    benchmark(lambda: index.query((2.0, 2.0), (8.0, 8.0), [1, 2]))

@@ -1,0 +1,128 @@
+"""Experiment T1.7 — SRP-KW (Corollary 6).
+
+Paper claim: for d <= k-1 (covered here with d=1, k=2), O(N) space and
+O(N^(1-1/k)(log N + OUT^(1/k))) query time; for d > k-1 (d=2, k=2) an extra
+O(N^(1-1/(d+1))) geometric term.  Reduction: lift to d+1 dimensions where
+the ball becomes a halfspace.
+
+Measured here: both regimes, radius sweeps (OUT control), and the naive
+baselines.
+"""
+
+from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from repro.core.srp_kw import SrpKwIndex
+from repro.costmodel import CostCounter
+
+from common import (
+    SMALL_SWEEP_OBJECTS,
+    disjoint_pair_dataset,
+    slope,
+    standard_dataset,
+    summarize_sweep,
+    theory_bound,
+)
+
+_K = 2
+
+
+def _sweep_rows(dim: int):
+    rows = []
+    for num in SMALL_SWEEP_OBJECTS:
+        ds = disjoint_pair_dataset(num, dim=dim)
+        index = SrpKwIndex(ds, k=_K)
+        keywords = KeywordsOnlyIndex(ds)
+        n = index.input_size
+        center = (0.5,) * dim
+        radius = 0.4
+        c_idx, c_kw = CostCounter(), CostCounter()
+        out = index.query(center, radius, [1, 2], counter=c_idx)
+        keywords.query_predicate(
+            lambda p: sum((a - b) ** 2 for a, b in zip(p, center)) <= radius**2,
+            [1, 2],
+            c_kw,
+        )
+        rows.append(
+            {
+                "N": n,
+                "OUT": len(out),
+                "index_cost": c_idx.total,
+                "keywords_cost": c_kw.total,
+                "kw_bound": round(theory_bound(n, _K, len(out), log_factor=True), 1),
+                "geo_bound": round(n ** (1.0 - 1.0 / (dim + 1)), 1),
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def _radius_sweep_rows():
+    rows = []
+    ds = standard_dataset(4000)
+    index = SrpKwIndex(ds, k=_K)
+    n = index.input_size
+    for radius in (0.05, 0.15, 0.3, 0.6):
+        counter = CostCounter()
+        out = index.query((0.5, 0.5), radius, [1, 2], counter=counter)
+        bound = theory_bound(n, _K, len(out), log_factor=True)
+        rows.append(
+            {
+                "radius": radius,
+                "N": n,
+                "OUT": len(out),
+                "index_cost": counter.total,
+                "bound": round(bound, 1),
+                "cost/bound": round(counter.total / bound, 3),
+            }
+        )
+    return rows
+
+
+def test_t1_7_regime_d1(benchmark):
+    rows = _sweep_rows(dim=1)
+    summarize_sweep(
+        "t1_7_d1",
+        rows,
+        ["N", "OUT", "index_cost", "keywords_cost", "kw_bound", "geo_bound", "space/N"],
+        "T1.7 SRP-KW d=1 k=2 (d<=k-1 regime): OUT=0 sweep",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    naive_slope = slope(ns, [r["keywords_cost"] for r in rows])
+    assert index_slope < naive_slope
+
+    ds = disjoint_pair_dataset(SMALL_SWEEP_OBJECTS[-1], dim=1)
+    index = SrpKwIndex(ds, k=_K)
+    benchmark(lambda: index.query((0.5,), 0.4, [1, 2]))
+
+
+def test_t1_7_regime_d2(benchmark):
+    rows = _sweep_rows(dim=2)
+    summarize_sweep(
+        "t1_7_d2",
+        rows,
+        ["N", "OUT", "index_cost", "keywords_cost", "kw_bound", "geo_bound", "space/N"],
+        "T1.7 SRP-KW d=2 k=2 (d>k-1 regime): the geometric term appears",
+    )
+    ns = [r["N"] for r in rows]
+    index_slope = slope(ns, [max(r["index_cost"], 1) for r in rows])
+    assert index_slope < 0.95, index_slope
+
+    ds = disjoint_pair_dataset(SMALL_SWEEP_OBJECTS[-2], dim=2)
+    index = SrpKwIndex(ds, k=_K)
+    benchmark(lambda: index.query((0.5, 0.5), 0.4, [1, 2]))
+
+
+def test_t1_7_radius_sweep(benchmark):
+    rows = _radius_sweep_rows()
+    summarize_sweep(
+        "t1_7_radius",
+        rows,
+        ["radius", "N", "OUT", "index_cost", "bound", "cost/bound"],
+        "T1.7 SRP-KW d=2 k=2: radius sweep (cost tracks the bound)",
+    )
+    for row in rows:
+        assert row["cost/bound"] < 30, row
+
+    ds = standard_dataset(2000)
+    index = SrpKwIndex(ds, k=_K)
+    benchmark(lambda: index.query((0.5, 0.5), 0.3, [1, 2]))

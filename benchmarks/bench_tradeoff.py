@@ -1,0 +1,62 @@
+"""Experiment H3 — the smooth space/query trade-off (§2, [38]).
+
+§2: "Kopelowitz et al. explained how to achieve a smooth tradeoff between
+space and query time, which captured the result of [23] as a special case."
+The trade-off knob in the large/small recursion is the threshold exponent
+``α``: large keywords are those with count ``>= N_u^α``.
+
+Measured here: sweeping ``α`` on an adversarial 2-SI instance traces the
+curve — query cost rises with ``α`` (empty intersections cost ``~N^α``)
+while space falls.  The paper's ``α = 1 - 1/k`` is the point where query
+time meets the output-sensitive optimum.
+"""
+
+from repro.costmodel import CostCounter
+from repro.ksi.cohen_porat import KSetIndex
+from repro.workloads.generators import adversarial_ksi_sets
+
+from common import summarize_sweep
+
+
+def _rows():
+    rows = []
+    sets = adversarial_ksi_sets(20, 1000, planted=0, seed=8)
+    planted_sets = adversarial_ksi_sets(20, 1000, planted=64, seed=8)
+    for alpha in (0.25, 0.4, 0.5, 0.65, 0.8):
+        empty_index = KSetIndex(sets, k=2, threshold_exponent=alpha)
+        planted_index = KSetIndex(planted_sets, k=2, threshold_exponent=alpha)
+        n = empty_index.input_size
+        c_empty, c_planted = CostCounter(), CostCounter()
+        assert empty_index.report([0, 1], c_empty) == []
+        out = planted_index.report([0, 1], c_planted)
+        assert len(out) == 64
+        rows.append(
+            {
+                "alpha": alpha,
+                "N": n,
+                "empty_cost": c_empty.total,
+                "planted_cost": c_planted.total,
+                "space/N": round(empty_index.space_units / n, 2),
+                "N^alpha": round(n**alpha, 1),
+            }
+        )
+    return rows
+
+
+def test_h3_space_query_tradeoff(benchmark):
+    rows = _rows()
+    summarize_sweep(
+        "h3_tradeoff",
+        rows,
+        ["alpha", "N", "empty_cost", "planted_cost", "space/N", "N^alpha"],
+        "H3 threshold-exponent trade-off (paper's point: alpha = 1 - 1/k = 0.5)",
+    )
+    # Space decreases (weakly) as alpha grows; query cost tracks N^alpha.
+    spaces = [r["space/N"] for r in rows]
+    assert all(a >= b - 0.05 for a, b in zip(spaces, spaces[1:])), spaces
+    for row in rows:
+        assert row["empty_cost"] <= 16 * row["N^alpha"] + 16, row
+
+    sets = adversarial_ksi_sets(20, 1000, planted=64, seed=8)
+    index = KSetIndex(sets, k=2, threshold_exponent=0.5)
+    benchmark(lambda: index.report([0, 1]))

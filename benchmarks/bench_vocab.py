@@ -1,0 +1,71 @@
+"""Experiment W1 — query cost is governed by N, not by the vocabulary W.
+
+The Table-1 bounds mention only ``N``, ``k`` and ``OUT`` — never ``W``,
+the number of distinct keywords.  Sweep W at fixed N on the Theorem-1
+index: query cost for a fixed-frequency keyword pair must stay flat while
+the keywords-only baseline tracks the (shrinking) posting lists.
+"""
+
+from repro.core.baselines import KeywordsOnlyIndex
+from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
+from repro.geometry.rectangles import Rect
+from repro.workloads.generators import WorkloadConfig, zipf_dataset
+from repro.workloads.queries import frequent_keywords
+
+from common import summarize_sweep
+
+
+def _rows():
+    rows = []
+    for vocab in (8, 32, 128, 512):
+        config = WorkloadConfig(
+            num_objects=6000,
+            vocabulary=vocab,
+            doc_min=1,
+            doc_max=4,
+            zipf_s=0.5,
+            seed=5,
+        )
+        ds = zipf_dataset(config)
+        index = OrpKwIndex(ds, k=2)
+        keywords_only = KeywordsOnlyIndex(ds)
+        words = frequent_keywords(ds, 2)
+        n = index.input_size
+        rect = Rect((0.3, 0.3), (0.7, 0.7))
+        c_idx, c_kw = CostCounter(), CostCounter()
+        out = index.query(rect, words, counter=c_idx)
+        keywords_only.query_rect(rect, words, c_kw)
+        rows.append(
+            {
+                "W": vocab,
+                "N": n,
+                "OUT": len(out),
+                "index_cost": c_idx.total,
+                "keywords_cost": c_kw.total,
+                "space/N": round(index.space_units / n, 2),
+            }
+        )
+    return rows
+
+
+def test_w1_vocabulary_independence(benchmark):
+    rows = _rows()
+    summarize_sweep(
+        "w1_vocab",
+        rows,
+        ["W", "N", "OUT", "index_cost", "keywords_cost", "space/N"],
+        "W1 vocabulary sweep at fixed N (Table-1 bounds do not mention W)",
+    )
+    # Cost per reported object must not grow with W.
+    unit_costs = [r["index_cost"] / max(r["OUT"], 1) for r in rows]
+    assert max(unit_costs) / max(min(unit_costs), 1e-9) < 64, unit_costs
+    spaces = [r["space/N"] for r in rows]
+    assert max(spaces) / min(spaces) < 3.0
+
+    config = WorkloadConfig(num_objects=4000, vocabulary=128, seed=5)
+    ds = zipf_dataset(config)
+    index = OrpKwIndex(ds, k=2)
+    words = frequent_keywords(ds, 2)
+    rect = Rect((0.3, 0.3), (0.7, 0.7))
+    benchmark(lambda: index.query(rect, words))

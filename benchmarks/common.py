@@ -1,0 +1,104 @@
+"""Shared machinery for the benchmark suite.
+
+Every benchmark measures RAM-model *cost units* (see DESIGN.md) against the
+paper's predicted bound, prints an ASCII table, and appends the table to
+``benchmarks/results/`` so the numbers recorded in EXPERIMENTS.md can be
+regenerated.  A representative query additionally runs under
+``pytest-benchmark`` for a wall-clock sanity check.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import random
+from typing import Dict, List, Sequence
+
+from repro.bench.reporting import format_table
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.workloads.generators import WorkloadConfig, planted_dataset, zipf_dataset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Object counts for the main N sweeps (input size N is ~2.5x this).
+SWEEP_OBJECTS = (2000, 4000, 8000, 16000)
+#: Smaller sweep for the expensive builds (dimension reduction, partition trees).
+SMALL_SWEEP_OBJECTS = (1000, 2000, 4000, 8000)
+
+
+def record(name: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table + "\n")
+
+
+def standard_dataset(num_objects: int, dim: int = 2, seed: int = 7) -> Dataset:
+    """Zipf-keyword dataset used across the sweeps."""
+    config = WorkloadConfig(
+        num_objects=num_objects,
+        dim=dim,
+        vocabulary=48,
+        doc_min=1,
+        doc_max=4,
+        zipf_s=1.0,
+        seed=seed,
+    )
+    return zipf_dataset(config)
+
+
+def disjoint_pair_dataset(num_objects: int, dim: int = 2, seed: int = 3) -> Dataset:
+    """Worst case for the naives: two large, disjoint keyword populations.
+
+    Keywords 1 and 2 each cover half the objects but never co-occur, so every
+    query for {1, 2} has OUT = 0 while both naive solutions scan Θ(N).
+    """
+    rng = random.Random(seed)
+    points = [tuple(rng.random() for _ in range(dim)) for _ in range(num_objects)]
+    docs = [[1] if i % 2 == 0 else [2] for i in range(num_objects)]
+    return Dataset.from_points(points, docs)
+
+
+def planted_out_dataset(
+    num_objects: int, out: int, dim: int = 2, seed: int = 5
+) -> Dataset:
+    """Dataset where exactly ``out`` objects match keywords {1, 2}."""
+    return planted_dataset(
+        num_objects,
+        dim,
+        keywords=[1, 2],
+        planted_fraction=out / num_objects,
+        seed=seed,
+        vocabulary=48,
+    )
+
+
+def measure_query(fn) -> Dict[str, float]:
+    """Run ``fn(counter)`` and return {'cost': units, 'out': len(result)}."""
+    counter = CostCounter()
+    result = fn(counter)
+    return {"cost": float(counter.total), "out": float(len(result))}
+
+
+def theory_bound(n: int, k: int, out: int, log_factor: bool = False) -> float:
+    """``N^(1-1/k) * (c + OUT^(1/k))`` with c = log N when requested."""
+    base = math.log(max(n, 2)) if log_factor else 1.0
+    return n ** (1.0 - 1.0 / k) * (base + out ** (1.0 / k))
+
+
+def slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    from repro.bench.harness import fit_loglog_slope
+
+    return fit_loglog_slope(xs, ys)
+
+
+def summarize_sweep(
+    name: str,
+    rows: List[Dict[str, float]],
+    columns: Sequence[str],
+    title: str,
+) -> None:
+    record(name, format_table(rows, columns=columns, title=title))

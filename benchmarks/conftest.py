@@ -1,0 +1,7 @@
+"""Benchmark suite configuration."""
+
+import pathlib
+import sys
+
+# Make benchmarks/common.py importable regardless of invocation directory.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

@@ -1,0 +1,176 @@
+"""Standalone experiment driver: regenerate every EXPERIMENTS.md table.
+
+``pytest benchmarks/ --benchmark-only`` runs the same experiments with
+assertions and wall-clock measurements; this script is the assertion-free
+variant for quickly regenerating the tables (printed and written to
+``benchmarks/results/``).
+
+Run with:  python benchmarks/run_all.py [experiment ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import bench_ablation_kd3d
+import bench_ablation_threshold
+import bench_ablation_verbose
+import bench_build
+import bench_dim_reduction
+import bench_dynamic
+import bench_fig1_crossing
+import bench_fig2_dimred
+import bench_irtree
+import bench_ksi_bitset
+import bench_ksi_hardness
+import bench_lc_kw
+import bench_nn_l2
+import bench_nn_linf
+import bench_orp_kw
+import bench_planner
+import bench_rr_kw
+import bench_srp_kw
+import bench_tradeoff
+import bench_vocab
+from common import summarize_sweep
+
+#: experiment id -> (row producer, result name, columns, title)
+EXPERIMENTS = {
+    "t1.1": [
+        (bench_orp_kw._empty_out_rows, "t1_1_empty_out", None,
+         "T1.1 ORP-KW d=2 k=2: OUT=0 adversarial sweep (index vs naives)"),
+        (bench_orp_kw._planted_out_rows, "t1_1_planted_out", None,
+         "T1.1 ORP-KW d=2 k=2: OUT sweep at fixed N"),
+        (bench_orp_kw._k_sweep_rows, "t1_1_k_sweep", None,
+         "T1.1 ORP-KW d=2: k sweep"),
+    ],
+    "t1.2": [
+        (bench_dim_reduction._sweep_rows, "t1_2_dim_reduction", None,
+         "T1.2 ORP-KW d=3 k=2 (dimension reduction): OUT=0 sweep"),
+        (bench_dim_reduction._selective_rows, "t1_2_selective", None,
+         "T1.2 ORP-KW d=3 k=2: shrinking query boxes"),
+    ],
+    "t1.3": [
+        (bench_lc_kw._rect_route_rows, "t1_3_rect_route", None,
+         "T1.3 ORP-KW answered by LC-KW"),
+    ],
+    "t1.4": [
+        (bench_rr_kw._interval_rows, "t1_4_intervals", None,
+         "T1.4 RR-KW d=1 k=2 (temporal documents)"),
+        (bench_rr_kw._box_rows, "t1_4_boxes", None,
+         "T1.4 RR-KW d=2 k=2 (geographic MBRs)"),
+    ],
+    "t1.5": [
+        (bench_nn_linf._n_sweep_rows, "t1_5_n_sweep", None,
+         "T1.5 L∞NN-KW k=2: N sweep at t=4"),
+        (bench_nn_linf._t_sweep_rows, "t1_5_t_sweep", None,
+         "T1.5 L∞NN-KW k=2: t sweep at fixed N"),
+    ],
+    "t1.6": [
+        (lambda: bench_lc_kw._regime_rows(dim=2, k=2), "t1_6_d_le_k", None,
+         "T1.6 LC-KW d=2 k=2 (d<=k regime)"),
+        (lambda: bench_lc_kw._regime_rows(dim=3, k=2), "t1_6_d_gt_k", None,
+         "T1.6 LC-KW d=3 k=2 (d>k regime)"),
+        (bench_lc_kw._scheme_ablation_rows, "t1_6_scheme_ablation", None,
+         "LC-KW partition-scheme ablation"),
+    ],
+    "t1.7": [
+        (lambda: bench_srp_kw._sweep_rows(dim=1), "t1_7_d1", None,
+         "T1.7 SRP-KW d=1 k=2"),
+        (lambda: bench_srp_kw._sweep_rows(dim=2), "t1_7_d2", None,
+         "T1.7 SRP-KW d=2 k=2"),
+        (bench_srp_kw._radius_sweep_rows, "t1_7_radius", None,
+         "T1.7 SRP-KW d=2 k=2: radius sweep"),
+    ],
+    "t1.8": [
+        (bench_nn_l2._n_sweep_rows, "t1_8_n_sweep", None,
+         "T1.8 L2NN-KW k=2: N sweep at t=4"),
+        (bench_nn_l2._t_sweep_rows, "t1_8_t_sweep", None,
+         "T1.8 L2NN-KW k=2: t sweep at fixed N"),
+    ],
+    "f1": [
+        (bench_fig1_crossing._rows, "f1_crossing", None,
+         "F1 kd-tree crossing sensitivity (Lemma 10)"),
+    ],
+    "f2": [
+        (bench_fig2_dimred._rows, "f2_node_types", None,
+         "F2 dimension-reduction tree structure (Propositions 1-3)"),
+        (bench_fig2_dimred._level_breakdown, "f2_level_breakdown", None,
+         "F2 per-level node types for one x-slab query"),
+    ],
+    "h1": [
+        (bench_ksi_hardness._empty_rows, "h1_empty", None,
+         "H1 k-SI k=2: empty intersections"),
+        (bench_ksi_hardness._planted_rows, "h1_planted", None,
+         "H1 k-SI k=2: OUT sweep"),
+        (bench_ksi_hardness._k_rows, "h1_k_sweep", None,
+         "H1 k-SI: k sweep"),
+    ],
+    "h2": [
+        (bench_ksi_bitset._crossover_rows, "h2_crossover", None,
+         "H2 k-SI: tree index vs word-parallel bitset index"),
+        (bench_ksi_bitset._interval_rows, "h2_goodrich", None,
+         "H2 ORP-KW d=1: Goodrich variant vs Theorem 1"),
+    ],
+    "e1": [
+        (bench_irtree._adversarial_rows, "e1_adversarial", None,
+         "E1 adversarial data: IR-tree vs Theorem 1"),
+        (bench_irtree._clustered_rows, "e1_clustered", None,
+         "E1 clustered correlated data"),
+    ],
+    "a1": [
+        (bench_ablation_kd3d._rows, "a1_kd3d", None,
+         "A1 ORP-KW d=3: kd-tree route vs Theorem 2"),
+    ],
+    "a2": [
+        (bench_ablation_threshold._rows, "a2_threshold", None,
+         "A2 large/small threshold multiplier sweep"),
+    ],
+    "d1": [
+        (bench_dynamic._rows, "d1_dynamic", None,
+         "D1 logarithmic-method dynamization"),
+    ],
+    "h3": [
+        (bench_tradeoff._rows, "h3_tradeoff", None,
+         "H3 threshold-exponent trade-off"),
+    ],
+    "a3": [
+        (bench_ablation_verbose._rows, "a3_verbose", None,
+         "A3 verbose-set ablation"),
+    ],
+    "p1": [
+        (bench_planner._regime_rows, "p1_regimes", None,
+         "P1 planner choice per regime"),
+        (bench_planner._mixed_rows, "p1_mixed", None,
+         "P1 mixed workload aggregate regret"),
+    ],
+    "b1": [
+        (bench_build._rows, "b1_build", None,
+         "B1 construction cost and space"),
+    ],
+    "w1": [
+        (bench_vocab._rows, "w1_vocab", None,
+         "W1 vocabulary sweep at fixed N"),
+    ],
+}
+
+
+def main(argv=None) -> int:
+    requested = argv if argv else sorted(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; known: {sorted(EXPERIMENTS)}")
+        return 2
+    for name in requested:
+        for producer, result_name, columns, title in EXPERIMENTS[name]:
+            rows = producer()
+            cols = columns or list(rows[0].keys())
+            summarize_sweep(result_name, rows, cols, title)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,92 @@
+"""Quickstart: index a small dataset and run every query type.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CostCounter,
+    Dataset,
+    HalfSpace,
+    LcKwIndex,
+    LinfNnIndex,
+    OrpKwIndex,
+    Rect,
+    SrpKwIndex,
+)
+
+# ---------------------------------------------------------------------------
+# 1. A dataset is a set of points, each with a document of integer keywords.
+#    The input size N is the *total document mass*, not the object count.
+# ---------------------------------------------------------------------------
+POINTS = [
+    (120.0, 8.5),  # hotel 0: $120/night, rating 8.5
+    (180.0, 9.1),  # hotel 1
+    (90.0, 7.0),   # hotel 2
+    (220.0, 9.7),  # hotel 3
+    (150.0, 8.1),  # hotel 4
+]
+POOL, PARKING, PETS = 1, 2, 3
+DOCS = [
+    {POOL, PARKING, PETS},
+    {POOL, PETS},
+    {POOL, PARKING},
+    {PARKING, PETS},
+    {POOL, PARKING, PETS},
+]
+
+data = Dataset.from_points(POINTS, DOCS)
+print(f"dataset: {len(data)} objects, N = {data.total_doc_size}, "
+      f"W = {data.num_keywords} distinct keywords")
+
+# ---------------------------------------------------------------------------
+# 2. ORP-KW (Theorem 1): rectangle range + keywords.  Every index fixes the
+#    number of query keywords k at build time.
+# ---------------------------------------------------------------------------
+orp = OrpKwIndex(data, k=2)
+price_rating_box = Rect((100.0, 8.0), (200.0, 10.0))
+hits = orp.query(price_rating_box, [POOL, PETS])
+print("\nORP-KW: price in [100, 200], rating >= 8, pool & pet-friendly:")
+for hotel in sorted(hits, key=lambda h: h.oid):
+    print(f"  hotel {hotel.oid}: price={hotel.point[0]:.0f} rating={hotel.point[1]}")
+
+# ---------------------------------------------------------------------------
+# 3. LC-KW (Theorem 5): any conjunction of linear constraints + keywords.
+#    Example: price + 40*(10 - rating) <= 260  (cheap OR excellent).
+# ---------------------------------------------------------------------------
+lc = LcKwIndex(data, k=2)
+tradeoff = HalfSpace((1.0, -40.0), 260.0 - 400.0)  # price - 40*rating <= -140
+hits = lc.query([tradeoff], [POOL, PARKING])
+print("\nLC-KW: price + 40*(10-rating) <= 260, pool & parking:")
+for hotel in sorted(hits, key=lambda h: h.oid):
+    print(f"  hotel {hotel.oid}: price={hotel.point[0]:.0f} rating={hotel.point[1]}")
+
+# ---------------------------------------------------------------------------
+# 4. Nearest neighbour with keywords (Corollary 4) and spherical range
+#    reporting (Corollary 6).
+# ---------------------------------------------------------------------------
+nn = LinfNnIndex(data, k=2)
+closest = nn.query((150.0, 9.0), 2, [POOL, PETS])
+print("\nL∞NN-KW: 2 hotels nearest to (price 150, rating 9), pool & pets:")
+for hotel in closest:
+    print(f"  hotel {hotel.oid}: price={hotel.point[0]:.0f} rating={hotel.point[1]}")
+
+srp = SrpKwIndex(data, k=2)
+nearby = srp.query((150.0, 8.5), 40.0, [POOL, PARKING])
+print("\nSRP-KW: within L2 distance 40 of (150, 8.5), pool & parking:")
+print(f"  hotels {sorted(h.oid for h in nearby)}")
+
+# ---------------------------------------------------------------------------
+# 5. Cost accounting: every query can carry a CostCounter that tallies
+#    RAM-model units (the quantity the paper's theorems bound).
+# ---------------------------------------------------------------------------
+counter = CostCounter()
+orp.query(price_rating_box, [POOL, PETS], counter=counter)
+print(f"\ncost of the ORP-KW query: {counter.total} units "
+      f"({dict(counter.counts)})")
+
+# ---------------------------------------------------------------------------
+# 6. Explain: a structural breakdown of where a query spent its time.
+# ---------------------------------------------------------------------------
+stats = orp.explain(price_rating_box, [POOL, PETS])
+print("\nexplain(ORP-KW query):")
+print(stats.describe())

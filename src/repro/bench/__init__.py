@@ -1,0 +1,19 @@
+"""Benchmark harness: sweeps, slope fitting, and table rendering.
+
+The experiments (see DESIGN.md §3) measure RAM-model cost units against the
+paper's predicted bounds; this package provides the shared machinery —
+running parameter sweeps, fitting log-log slopes, and printing the
+tables/series that EXPERIMENTS.md records.
+"""
+
+from .harness import SweepResult, fit_loglog_slope, geometric_sizes, run_sweep
+from .reporting import format_table, print_table
+
+__all__ = [
+    "SweepResult",
+    "fit_loglog_slope",
+    "geometric_sizes",
+    "run_sweep",
+    "format_table",
+    "print_table",
+]

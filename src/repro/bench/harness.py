@@ -1,0 +1,91 @@
+"""Sweep runner and slope fitting.
+
+Each experiment sweeps a size parameter (usually ``N``), measures cost
+units, and checks the *shape* of the paper's bound two ways:
+
+* the ratio ``measured / predicted`` should stay (roughly) constant across
+  the sweep, and
+* the fitted log-log slope of ``measured`` vs ``N`` should approximate the
+  bound's exponent (``1 - 1/k`` for the non-output term, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import ValidationError
+
+
+@dataclass
+class SweepResult:
+    """Rows collected by :func:`run_sweep`, with derived statistics."""
+
+    parameter: str
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[float]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def slope(self, x_column: str, y_column: str) -> float:
+        """Fitted log-log slope of ``y`` against ``x``."""
+        return fit_loglog_slope(self.column(x_column), self.column(y_column))
+
+    def ratio_spread(self, num_column: str, den_column: str) -> float:
+        """max/min of the per-row ratio (1.0 = perfectly proportional)."""
+        ratios = [
+            row[num_column] / row[den_column]
+            for row in self.rows
+            if row[den_column] > 0
+        ]
+        if not ratios:
+            return math.inf
+        return max(ratios) / min(ratios)
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[float],
+    measure: Callable[[float], Dict[str, float]],
+) -> SweepResult:
+    """Evaluate ``measure`` at each value; collect one row per value."""
+    result = SweepResult(parameter)
+    for value in values:
+        row = {parameter: float(value)}
+        row.update(measure(value))
+        result.rows.append(row)
+    return result
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    Zero or negative measurements are clamped to 1 (a cost of zero units is
+    "constant" for slope purposes).
+    """
+    pairs = [(math.log(max(x, 1.0)), math.log(max(y, 1.0))) for x, y in zip(xs, ys)]
+    if len(pairs) < 2:
+        raise ValidationError("need at least two points to fit a slope")
+    n = len(pairs)
+    mean_x = sum(p[0] for p in pairs) / n
+    mean_y = sum(p[1] for p in pairs) / n
+    sxx = sum((p[0] - mean_x) ** 2 for p in pairs)
+    if sxx == 0:
+        raise ValidationError("degenerate sweep: all x values equal")
+    sxy = sum((p[0] - mean_x) * (p[1] - mean_y) for p in pairs)
+    return sxy / sxx
+
+
+def geometric_sizes(start: int, stop: int, steps: int) -> List[int]:
+    """``steps`` sizes geometrically spaced in ``[start, stop]``."""
+    if steps < 2 or start < 1 or stop <= start:
+        raise ValidationError("need steps >= 2 and 1 <= start < stop")
+    ratio = (stop / start) ** (1.0 / (steps - 1))
+    return [int(round(start * ratio**i)) for i in range(steps)]
+
+
+def predicted_query_bound(n: int, k: int, out: int) -> float:
+    """The headline bound ``N^(1-1/k) * (1 + OUT^(1/k))`` (Theorem 1)."""
+    return n ** (1.0 - 1.0 / k) * (1.0 + out ** (1.0 / k))

@@ -1,0 +1,262 @@
+"""Command-line interface: build, persist, and query indexes on JSONL data.
+
+Dataset file format: one JSON object per line, each with a ``point`` array
+and a ``doc`` array of integer keywords, e.g.
+
+    {"point": [120.0, 8.5], "doc": [1, 2, 3]}
+
+Usage examples::
+
+    python -m repro.cli build  data.jsonl index.bin --kind orp --k 2
+    python -m repro.cli query  index.bin --rect 100 8 200 10 --keywords 1 3
+    python -m repro.cli nearest index.bin --point 150 9 --t 3 --keywords 1 3
+    python -m repro.cli info   index.bin
+    python -m repro.cli demo
+
+All query commands print one JSON object per reported match plus a summary
+line (count + RAM-model cost units) on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .costmodel import CostCounter
+from .dataset import Dataset, RectangleObject, make_objects
+from .errors import ReproError, ValidationError
+from .geometry.rectangles import Rect
+from .core.lc_kw import LcKwIndex
+from .core.nn_linf import LinfNnIndex
+from .core.orp_kw import OrpKwIndex
+from .core.rr_kw import RrKwIndex
+from .core.srp_kw import SrpKwIndex
+from .persist import load_index, save_index
+
+#: --kind values accepted by `build` (rr reads {lo, hi, doc} records).
+INDEX_KINDS = {
+    "orp": OrpKwIndex,
+    "lc": LcKwIndex,
+    "linf-nn": LinfNnIndex,
+    "srp": SrpKwIndex,
+    "rr": RrKwIndex,
+}
+
+
+def load_jsonl_dataset(path: str) -> Dataset:
+    """Read a JSONL dataset (see module docstring for the record format)."""
+    points: List[List[float]] = []
+    docs: List[List[int]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                points.append([float(c) for c in record["point"]])
+                docs.append([int(w) for w in record["doc"]])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"{path}:{line_number}: bad record ({exc})"
+                ) from exc
+    if not points:
+        raise ValidationError(f"{path}: no records")
+    return Dataset(make_objects(points, docs))
+
+
+def _emit(objects, counter: CostCounter) -> None:
+    for obj in objects:
+        print(json.dumps({"oid": obj.oid, "point": list(obj.point), "doc": sorted(obj.doc)}))
+    print(
+        f"# {len(objects)} match(es), {counter.total} cost units",
+        file=sys.stderr,
+    )
+
+
+def load_jsonl_rectangles(path: str) -> List[RectangleObject]:
+    """Read a JSONL rectangle dataset: ``{"lo": [...], "hi": [...], "doc": [...]}``."""
+    rectangles: List[RectangleObject] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                rectangles.append(
+                    RectangleObject(
+                        oid=len(rectangles),
+                        lo=tuple(float(c) for c in record["lo"]),
+                        hi=tuple(float(c) for c in record["hi"]),
+                        doc=frozenset(int(w) for w in record["doc"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"{path}:{line_number}: bad rectangle record ({exc})"
+                ) from exc
+    if not rectangles:
+        raise ValidationError(f"{path}: no records")
+    return rectangles
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    index_cls = INDEX_KINDS[args.kind]
+    if args.kind == "rr":
+        rectangles = load_jsonl_rectangles(args.dataset)
+        index = index_cls(rectangles, k=args.k)
+        described = f"{len(rectangles)} rectangles (N={index.input_size})"
+    else:
+        dataset = load_jsonl_dataset(args.dataset)
+        index = index_cls(dataset, k=args.k)
+        described = f"{len(dataset)} objects (N={dataset.total_doc_size})"
+    save_index(index, args.index)
+    print(
+        f"# built {index_cls.__name__} over {described}, saved to {args.index}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    counter = CostCounter()
+    if args.rect is not None:
+        dim = len(args.rect) // 2
+        if isinstance(index, RrKwIndex):
+            found_rects = index.query(
+                args.rect[:dim], args.rect[dim:], args.keywords, counter=counter
+            )
+            for rect_obj in found_rects:
+                print(
+                    json.dumps(
+                        {
+                            "oid": rect_obj.oid,
+                            "lo": list(rect_obj.lo),
+                            "hi": list(rect_obj.hi),
+                            "doc": sorted(rect_obj.doc),
+                        }
+                    )
+                )
+            print(
+                f"# {len(found_rects)} match(es), {counter.total} cost units",
+                file=sys.stderr,
+            )
+            return 0
+        if not isinstance(index, OrpKwIndex):
+            raise ValidationError(
+                "--rect queries need an index built with --kind orp or rr"
+            )
+        rect = Rect(args.rect[:dim], args.rect[dim:])
+        found = index.query(rect, args.keywords, counter=counter)
+    elif args.halfspace is not None:
+        if not isinstance(index, LcKwIndex):
+            raise ValidationError("--halfspace queries need an index built with --kind lc")
+        from .geometry.halfspaces import HalfSpace
+
+        *coeffs, bound = args.halfspace
+        found = index.query([HalfSpace(coeffs, bound)], args.keywords, counter=counter)
+    elif args.ball is not None:
+        if not isinstance(index, SrpKwIndex):
+            raise ValidationError("--ball queries need an index built with --kind srp")
+        *center, radius = args.ball
+        found = index.query(center, radius, args.keywords, counter=counter)
+    else:
+        raise ValidationError("supply one of --rect / --halfspace / --ball")
+    _emit(found, counter)
+    return 0
+
+
+def cmd_nearest(args: argparse.Namespace) -> int:
+    index = load_index(args.index, expected_class=LinfNnIndex)
+    counter = CostCounter()
+    found = index.query(args.point, args.t, args.keywords, counter=counter)
+    _emit(found, counter)
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    info = {
+        "class": type(index).__name__,
+        "k": getattr(index, "k", None),
+        "dim": getattr(index, "dim", None),
+        "input_size": getattr(index, "input_size", None),
+        "space_units": getattr(index, "space_units", None),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """Tiny in-memory end-to-end demo (no files needed)."""
+    dataset = Dataset.from_points(
+        [(120.0, 8.5), (180.0, 9.1), (90.0, 7.0), (150.0, 8.1)],
+        [{1, 2, 3}, {1, 3}, {1, 2}, {1, 2, 3}],
+    )
+    index = OrpKwIndex(dataset, k=2)
+    counter = CostCounter()
+    found = index.query(Rect((100.0, 8.0), (200.0, 10.0)), [1, 3], counter=counter)
+    _emit(found, counter)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="keyword search with structured constraints"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build an index from a JSONL dataset")
+    p_build.add_argument("dataset", help="JSONL file of {point, doc} records")
+    p_build.add_argument("index", help="output index file")
+    p_build.add_argument("--kind", choices=sorted(INDEX_KINDS), default="orp")
+    p_build.add_argument("--k", type=int, default=2, help="query keywords per query")
+    p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser("query", help="run a reporting query")
+    p_query.add_argument("index")
+    p_query.add_argument("--keywords", type=int, nargs="+", required=True)
+    p_query.add_argument(
+        "--rect", type=float, nargs="+", help="lo coords then hi coords"
+    )
+    p_query.add_argument(
+        "--halfspace", type=float, nargs="+", help="coefficients then bound"
+    )
+    p_query.add_argument(
+        "--ball", type=float, nargs="+", help="center coords then radius"
+    )
+    p_query.set_defaults(func=cmd_query)
+
+    p_nearest = sub.add_parser("nearest", help="t nearest neighbours (L∞)")
+    p_nearest.add_argument("index")
+    p_nearest.add_argument("--point", type=float, nargs="+", required=True)
+    p_nearest.add_argument("--t", type=int, default=1)
+    p_nearest.add_argument("--keywords", type=int, nargs="+", required=True)
+    p_nearest.set_defaults(func=cmd_nearest)
+
+    p_info = sub.add_parser("info", help="describe a saved index")
+    p_info.add_argument("index")
+    p_info.set_defaults(func=cmd_info)
+
+    p_demo = sub.add_parser("demo", help="run a tiny in-memory demo")
+    p_demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

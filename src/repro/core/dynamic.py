@@ -1,0 +1,186 @@
+"""Dynamization of the static indexes (extension; not in the paper).
+
+The paper's indexes are static.  This module adds insertions and deletions
+through the classic *logarithmic method* (Bentley–Saxe): maintain static
+sub-indexes of doubling sizes; an insertion merges the carry chain of full
+buckets into the next empty one (amortized ``O(log n)`` index rebuilds per
+insertion); a query fans out over the ``O(log n)`` live buckets, which
+multiplies the static query bound by ``O(log n)``.  Deletions are lazy
+tombstones with a global rebuild once half the elements are dead, keeping
+the structure within a constant factor of its minimal size.
+
+Works for any static index exposing the ``(dataset, k)`` constructor and a
+``query(region_args..., keywords, counter, ...)`` method; the concrete
+:class:`DynamicOrpKw` wires it to :class:`~repro.core.orp_kw.OrpKwIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+from .orp_kw import OrpKwIndex
+
+
+class _Bucket:
+    """One static sub-index over a fixed object snapshot."""
+
+    __slots__ = ("objects", "index")
+
+    def __init__(self, objects: List[KeywordObject], k: int):
+        self.objects = objects
+        # Re-id objects locally (Dataset requires unique ids; globals may
+        # collide after re-insertion) and keep the mapping positional.
+        local = [
+            KeywordObject(oid=i, point=obj.point, doc=obj.doc)
+            for i, obj in enumerate(objects)
+        ]
+        self.index = OrpKwIndex(Dataset(local), k)
+
+    def query(
+        self,
+        rect: Rect,
+        words: Sequence[int],
+        counter: CostCounter,
+    ) -> List[KeywordObject]:
+        found = self.index.query(rect, words, counter)
+        return [self.objects[obj.oid] for obj in found]
+
+
+class DynamicOrpKw:
+    """Insert/delete-capable ORP-KW via the logarithmic method.
+
+    Parameters
+    ----------
+    k:
+        Number of query keywords (fixed, as for the static index).
+    dim:
+        Point dimensionality (validated on every insert).
+
+    Query time: ``O(log n)`` static queries, i.e.
+    ``O(N^(1-1/k)(1+OUT^(1/k)) * log n)``.  Insertion: amortized
+    ``O(log n)`` rebuild participations per object.
+    """
+
+    def __init__(self, k: int, dim: int):
+        if k < 2:
+            raise ValidationError(f"k must be >= 2, got {k}")
+        if dim < 1:
+            raise ValidationError(f"dim must be >= 1, got {dim}")
+        self.k = k
+        self.dim = dim
+        self._buckets: List[Optional[_Bucket]] = []
+        self._objects: Dict[int, KeywordObject] = {}
+        self._tombstones: Set[int] = set()
+        self._next_oid = 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, point: Sequence[float], doc) -> int:
+        """Insert an object; returns its assigned id."""
+        if len(point) != self.dim:
+            raise ValidationError(
+                f"point is {len(point)}-dimensional, index is {self.dim}-dimensional"
+            )
+        oid = self._next_oid
+        self._next_oid += 1
+        obj = KeywordObject(
+            oid=oid, point=tuple(float(c) for c in point), doc=frozenset(doc)
+        )
+        self._objects[oid] = obj
+        self._merge_in([obj])
+        return oid
+
+    def insert_many(self, points, docs) -> List[int]:
+        """Bulk insert; cheaper than repeated :meth:`insert` for big batches."""
+        oids = []
+        batch = []
+        for point, doc in zip(points, docs):
+            if len(point) != self.dim:
+                raise ValidationError("point dimensionality mismatch in batch")
+            oid = self._next_oid
+            self._next_oid += 1
+            obj = KeywordObject(
+                oid=oid, point=tuple(float(c) for c in point), doc=frozenset(doc)
+            )
+            self._objects[oid] = obj
+            batch.append(obj)
+            oids.append(oid)
+        if batch:
+            self._merge_in(batch)
+        return oids
+
+    def delete(self, oid: int) -> None:
+        """Tombstone an object; physical removal happens at the next rebuild."""
+        if oid not in self._objects:
+            raise ValidationError(f"unknown object id {oid}")
+        if oid in self._tombstones:
+            raise ValidationError(f"object {oid} already deleted")
+        self._tombstones.add(oid)
+        if len(self._tombstones) * 2 >= len(self._objects):
+            self._rebuild_all()
+
+    def _merge_in(self, carry: List[KeywordObject]) -> None:
+        level = 0
+        while True:
+            if level == len(self._buckets):
+                self._buckets.append(None)
+            bucket = self._buckets[level]
+            if bucket is None and len(carry) <= (1 << level):
+                self._buckets[level] = _Bucket(carry, self.k)
+                return
+            if bucket is not None:
+                carry = carry + bucket.objects
+                self._buckets[level] = None
+            level += 1
+
+    def _rebuild_all(self) -> None:
+        live = [
+            obj for oid, obj in self._objects.items() if oid not in self._tombstones
+        ]
+        self._objects = {obj.oid: obj for obj in live}
+        self._tombstones.clear()
+        self._buckets = []
+        if live:
+            self._merge_in(live)
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(
+        self,
+        rect: Rect,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Report matches across all live buckets (tombstones filtered)."""
+        counter = ensure_counter(counter)
+        result: List[KeywordObject] = []
+        for bucket in self._buckets:
+            if bucket is None:
+                continue
+            for obj in bucket.query(rect, keywords, counter):
+                if obj.oid not in self._tombstones:
+                    result.append(obj)
+        return result
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._objects) - len(self._tombstones)
+
+    @property
+    def bucket_sizes(self) -> Tuple[int, ...]:
+        """Live bucket sizes, smallest level first (diagnostic)."""
+        return tuple(
+            len(bucket.objects) if bucket else 0 for bucket in self._buckets
+        )
+
+    @property
+    def space_units(self) -> int:
+        """Sum of the static sub-indexes' stored entries."""
+        return sum(
+            bucket.index.space_units for bucket in self._buckets if bucket
+        )

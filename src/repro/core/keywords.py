@@ -1,0 +1,92 @@
+"""Large/small keyword machinery (§3.2).
+
+At every node ``u`` of the space-partitioning tree, with
+``N_u = Σ_{e in D_act_u} |e.Doc|``, a keyword ``w`` is
+
+* **large** at ``u`` if ``|D_act_u(w)| >= N_u^(1-1/k)``, and
+* **small** otherwise.
+
+Since ``Σ_w |D_act_u(w)| = N_u``, at most ``N_u^(1/k)`` keywords are large.
+``D_act_u(w)`` is *materialized* (stored explicitly) iff ``w`` is small at
+``u`` but large at every proper ancestor — each (object, keyword) pair then
+appears in at most one materialized list, which is what keeps the total
+space linear (Appendix B).
+
+The paper's k-dimensional emptiness bit array over large-keyword
+combinations is realized as a hash set of the non-empty combinations
+(see DESIGN.md): probing stays O(1) expected, and the stored combinations
+are enumerated directly from the documents.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..dataset import KeywordObject
+
+
+def node_weight(objects: Iterable[KeywordObject]) -> int:
+    """``N_u``: total document size of the active set (equation (6))."""
+    return sum(len(obj.doc) for obj in objects)
+
+
+def large_small_split(
+    objects: Sequence[KeywordObject],
+    candidates: Set[int],
+    weight: int,
+    k: int,
+) -> Tuple[Set[int], Dict[int, List[KeywordObject]]]:
+    """Classify candidate keywords at a node.
+
+    Parameters
+    ----------
+    objects:
+        The node's active set ``D_act_u``.
+    candidates:
+        Keywords large at every proper ancestor (only these can still be
+        queried at or below the node).
+    weight:
+        ``N_u`` (precomputed by the caller).
+    k:
+        The index's fixed number of query keywords.
+
+    Returns
+    -------
+    (large, materialized):
+        ``large`` — candidate keywords with ``|D_act_u(w)| >= N_u^(1-1/k)``;
+        ``materialized`` — for each candidate that is small *and present*,
+        the explicit object list ``D_act_u(w)``.
+    """
+    threshold = weight ** (1.0 - 1.0 / k)
+    lists: Dict[int, List[KeywordObject]] = {}
+    for obj in objects:
+        for word in obj.doc:
+            if word in candidates:
+                lists.setdefault(word, []).append(obj)
+    large: Set[int] = set()
+    materialized: Dict[int, List[KeywordObject]] = {}
+    for word, members in lists.items():
+        if len(members) >= threshold:
+            large.add(word)
+        else:
+            materialized[word] = members
+    return large, materialized
+
+
+def nonempty_combinations(
+    objects: Iterable[KeywordObject], large: Set[int], k: int
+) -> Set[Tuple[int, ...]]:
+    """Sorted k-tuples of ``large`` keywords sharing at least one object.
+
+    This is the content of the paper's per-child emptiness table: the tuple
+    ``(w1 < w2 < ... < wk)`` is present iff
+    ``D_act_v(w1) ∩ ... ∩ D_act_v(wk)`` is non-empty for the child ``v``
+    whose active set is ``objects``.
+    """
+    combos: Set[Tuple[int, ...]] = set()
+    for obj in objects:
+        present = sorted(large.intersection(obj.doc))
+        if len(present) >= k:
+            combos.update(combinations(present, k))
+    return combos

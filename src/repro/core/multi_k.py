@@ -1,0 +1,70 @@
+"""Serving queries with a *varying* number of keywords.
+
+Every index in the paper fixes ``k`` at construction ("Fix an integer
+k >= 2") — the large/small threshold ``N_u^(1-1/k)`` depends on it.  A
+deployed system, however, receives queries with one, two, or five keywords.
+:class:`MultiKOrpIndex` is the practical wrapper: one Theorem-1 index per
+``k`` in ``2..max_k`` plus an inverted index for ``k = 1`` (where scanning
+the posting list *is* optimal: the list is exactly the answer candidate
+set), and per-query routing.
+
+Space: ``O(N * (max_k - 1))`` — a constant blow-up for constant ``max_k``,
+which matches the paper's standing assumption that ``k = O(1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+from ..ksi.inverted import InvertedIndex
+from .orp_kw import OrpKwIndex
+
+
+class MultiKOrpIndex:
+    """ORP-KW for any keyword count in ``1..max_k``."""
+
+    def __init__(self, dataset: Dataset, max_k: int = 4):
+        if max_k < 1:
+            raise ValidationError(f"max_k must be >= 1, got {max_k}")
+        self.dataset = dataset
+        self.max_k = max_k
+        self._inverted = InvertedIndex(dataset)
+        self._by_k: Dict[int, OrpKwIndex] = {
+            k: OrpKwIndex(dataset, k=k) for k in range(2, max_k + 1)
+        }
+
+    def query(
+        self,
+        rect: Rect,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Route to the per-``k`` index matching ``len(keywords)``."""
+        counter = ensure_counter(counter)
+        words = list(dict.fromkeys(keywords))  # dedupe, keep order
+        if not words:
+            raise ValidationError("need at least one keyword")
+        if len(words) > self.max_k:
+            raise ValidationError(
+                f"{len(words)} distinct keywords exceed max_k={self.max_k}"
+            )
+        if len(words) == 1:
+            matches = self._inverted.matching_objects(words, counter)
+            return [obj for obj in matches if rect.contains_point(obj.point)]
+        return self._by_k[len(words)].query(rect, words, counter)
+
+    @property
+    def input_size(self) -> int:
+        """``N``."""
+        return self.dataset.total_doc_size
+
+    @property
+    def space_units(self) -> int:
+        """Sum over the per-k structures (O(N) each)."""
+        return self._inverted.space_units + sum(
+            index.space_units for index in self._by_k.values()
+        )

@@ -1,0 +1,153 @@
+"""A hybrid query planner: choose between the naives and the fused index.
+
+§1 frames three ways to answer a keyword+range query: structured only,
+keywords only, or a fused index.  The paper proves the fused index's
+worst-case superiority — but on easy queries the naives' constants can win
+(a three-object posting list beats any tree walk).  A production system
+therefore *plans*: estimate each strategy's cost from cheap statistics and
+run the cheapest.
+
+Estimates used (all O(k + log n) per query):
+
+* keywords-only ≈ the shortest posting-list length;
+* structured-only ≈ ``|D| * sel(q)``, with the rectangle selectivity
+  ``sel(q)`` estimated on a fixed random sample of the points;
+* fused ≈ ``N^(1-1/k) * (1 + est_OUT^(1/k))`` with
+  ``est_OUT ≈ sel(q) * shortest posting * (second posting / |D|)`` — the
+  independence heuristic classic to query optimizers.
+
+The planner never affects correctness (all three strategies are exact);
+mis-estimates only cost time, and the E-P1 benchmark measures how close the
+planner lands to the per-query optimum.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+from ..ksi.inverted import InvertedIndex
+from .baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from .orp_kw import OrpKwIndex
+
+STRATEGIES = ("fused", "keywords_only", "structured_only")
+
+
+class HybridPlanner:
+    """Cost-based routing between the three §1 strategies."""
+
+    def __init__(self, dataset: Dataset, k: int, sample_size: int = 256, seed: int = 0):
+        if sample_size < 1:
+            raise ValidationError("sample_size must be >= 1")
+        self.dataset = dataset
+        self.k = k
+        self._fused = OrpKwIndex(dataset, k)
+        self._structured = StructuredOnlyIndex(dataset)
+        self._keywords = KeywordsOnlyIndex(dataset)
+        self._inverted = InvertedIndex(dataset)
+        rng = random.Random(seed)
+        population = [obj.point for obj in dataset.objects]
+        count = min(sample_size, len(population))
+        self._sample = rng.sample(population, count)
+        self.last_plan: Optional[Dict[str, float]] = None
+
+    # -- estimation -----------------------------------------------------------
+
+    def _selectivity(self, rect: Rect) -> float:
+        hits = sum(1 for p in self._sample if rect.contains_point(p))
+        return hits / len(self._sample)
+
+    def estimate(self, rect: Rect, keywords: Sequence[int]) -> Dict[str, float]:
+        """Per-strategy cost estimates (cost-model units)."""
+        words = list(keywords)
+        postings = sorted(self._inverted.frequency(w) for w in words)
+        shortest = postings[0] if postings else 0
+        second = postings[1] if len(postings) > 1 else shortest
+        n = self.dataset.total_doc_size
+        count = len(self.dataset)
+        sel = self._selectivity(rect)
+        est_out = sel * shortest * (second / max(count, 1))
+        fused = n ** (1.0 - 1.0 / self.k) * (1.0 + est_out ** (1.0 / self.k))
+        return {
+            "keywords_only": float(shortest),
+            "structured_only": max(sel * count, 1.0),
+            "fused": fused,
+            "est_out": est_out,
+            "selectivity": sel,
+        }
+
+    def choose(self, rect: Rect, keywords: Sequence[int]) -> str:
+        """Name of the naive strategy with the smallest estimate.
+
+        This is the *fallback* choice — :meth:`query` races the fused index
+        against it under a budget, so the fused index is preferred whenever
+        it can finish within the best naive estimate.
+        """
+        estimates = self.estimate(rect, keywords)
+        choice = min(
+            ("keywords_only", "structured_only"), key=lambda s: estimates[s]
+        )
+        self.last_plan = dict(estimates, fallback=choice)
+        return choice
+
+    # -- execution ----------------------------------------------------------------
+
+    def query(
+        self,
+        rect: Rect,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Budgeted race: fused first, best naive as the fallback.
+
+        The fused index runs under a hard budget equal to the cheapest naive
+        estimate (plus slack); if it exceeds the budget — which can only
+        happen on queries where a naive is genuinely competitive — the
+        cheapest naive finishes the job.  Total cost is therefore at most
+        ``~2x`` the best naive on every query while keeping the fused
+        index's polynomial wins intact.  Always exact.
+        """
+        from ..errors import BudgetExceeded
+
+        counter = ensure_counter(counter)
+        fallback = self.choose(rect, keywords)
+        naive_estimate = self.last_plan[fallback]
+        budget = int(naive_estimate) + 32
+        probe = CostCounter(budget=budget)
+        try:
+            result = self._fused.query(rect, keywords, counter=probe)
+            counter.charge("objects_examined", probe.total)
+            self.last_plan["choice"] = "fused"
+            return result
+        except BudgetExceeded:
+            counter.charge("objects_examined", probe.total)
+        self.last_plan["choice"] = fallback
+        if fallback == "keywords_only":
+            return self._keywords.query_rect(rect, keywords, counter)
+        return self._structured.query_rect(rect, keywords, counter)
+
+    def query_with(
+        self,
+        strategy: str,
+        rect: Rect,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Run a specific strategy (for planner-quality measurements)."""
+        if strategy not in STRATEGIES:
+            raise ValidationError(f"unknown strategy {strategy!r}")
+        counter = ensure_counter(counter)
+        if strategy == "fused":
+            return self._fused.query(rect, keywords, counter)
+        if strategy == "keywords_only":
+            return self._keywords.query_rect(rect, keywords, counter)
+        return self._structured.query_rect(rect, keywords, counter)
+
+    @property
+    def space_units(self) -> int:
+        """Fused index + baselines + the sample."""
+        return self._fused.space_units + self._inverted.space_units + len(self._sample)

@@ -1,0 +1,96 @@
+"""RR-KW: rectangle reporting with keywords (Corollary 3).
+
+A rectangle ``[a1,b1] x ... x [ad,bd]`` intersects the query rectangle
+``[x1,y1] x ... x [xd,yd]`` iff the 2d-dimensional corner point
+``(a1, b1, ..., ad, bd)`` lies in the 2d-rectangle
+``(-inf, y1] x [x1, inf) x ... x (-inf, yd] x [xd, inf)`` (Appendix F).  So
+RR-KW is answered by a 2d-dimensional ORP-KW index: the kd-tree index
+(Theorem 1) when ``d = 1``, the dimension-reduction index (Theorem 2)
+otherwise.
+
+``d = 1`` is keyword search over *temporal* documents (each document carries
+a lifespan interval); ``d >= 2`` covers geographic entities stored as
+minimum bounding rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..costmodel import CostCounter
+from ..dataset import Dataset, KeywordObject, RectangleObject
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+from .dim_reduction import DimReductionOrpKw
+from .orp_kw import OrpKwIndex
+
+_INF = math.inf
+
+
+class RrKwIndex:
+    """The Corollary-3 index for rectangle reporting with keywords."""
+
+    def __init__(self, rectangles: Sequence[RectangleObject], k: int):
+        if not rectangles:
+            raise ValidationError("RR-KW needs at least one rectangle")
+        dims = {rect.dim for rect in rectangles}
+        if len(dims) != 1:
+            raise ValidationError(f"mixed rectangle dimensionalities: {sorted(dims)}")
+        self.dim = dims.pop()
+        self.k = k
+        self.rectangles = list(rectangles)
+        self._by_oid = {rect.oid: rect for rect in self.rectangles}
+        if len(self._by_oid) != len(self.rectangles):
+            raise ValidationError("duplicate rectangle ids")
+
+        corner_objects = [
+            KeywordObject(oid=rect.oid, point=_corner_point(rect), doc=rect.doc)
+            for rect in self.rectangles
+        ]
+        corner_dataset = Dataset(corner_objects)
+        if corner_dataset.dim <= 2:
+            self._index = OrpKwIndex(corner_dataset, k)
+        else:
+            self._index = DimReductionOrpKw(corner_dataset, k)
+
+    def query(
+        self,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+        max_report: Optional[int] = None,
+    ) -> List[RectangleObject]:
+        """Report rectangles intersecting ``[lo, hi]`` with all keywords."""
+        if len(lo) != self.dim or len(hi) != self.dim:
+            raise ValidationError(
+                f"query corners must be {self.dim}-dimensional"
+            )
+        corner_lo: List[float] = []
+        corner_hi: List[float] = []
+        for axis in range(self.dim):
+            # a_axis <= hi[axis]  and  b_axis >= lo[axis]
+            corner_lo.extend((-_INF, float(lo[axis])))
+            corner_hi.extend((float(hi[axis]), _INF))
+        found = self._index.query(
+            Rect(corner_lo, corner_hi), keywords, counter, max_report=max_report
+        )
+        return [self._by_oid[obj.oid] for obj in found]
+
+    @property
+    def input_size(self) -> int:
+        """``N``."""
+        return self._index.input_size
+
+    @property
+    def space_units(self) -> int:
+        """Stored entries across the whole structure."""
+        return self._index.space_units
+
+
+def _corner_point(rect: RectangleObject):
+    point: List[float] = []
+    for axis in range(rect.dim):
+        point.extend((rect.lo[axis], rect.hi[axis]))
+    return tuple(point)

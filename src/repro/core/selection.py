@@ -1,0 +1,87 @@
+"""Candidate radii for the L∞ nearest-neighbour binary search (Corollary 4).
+
+For a query point ``q``, a *candidate radius* is the coordinate difference
+``|q[j] - e[j]|`` between ``q`` and some object ``e`` on some dimension
+``j`` — the L∞ distance from ``q`` to its t-th closest match is always one of
+these ``d * |D|`` values.  The binary search of Corollary 4 needs, per query,
+
+* ``count_within(q, r)`` — how many candidate radii are ``<= r`` (a membership
+  count the search uses to know when it has isolated a single candidate), and
+* ``successor(q, r)`` — the smallest candidate radius strictly greater than
+  ``r`` (the exact snap at the end of the search),
+
+both in ``O(d log |D|)`` time via per-dimension sorted coordinate arrays —
+the "d binary search trees, each created on the coordinates of a different
+dimension" of the paper's proof.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..costmodel import CostCounter, ensure_counter
+from ..errors import ValidationError
+
+
+class CandidateRadii:
+    """Per-dimension sorted coordinate arrays for candidate-radius queries."""
+
+    def __init__(self, points: Sequence[Sequence[float]]):
+        if not len(points):
+            raise ValidationError("candidate radii need at least one point")
+        arr = np.asarray(points, dtype=float)
+        self.dim = arr.shape[1]
+        self.count = arr.shape[0]
+        self._sorted: List[np.ndarray] = [
+            np.sort(arr[:, axis]) for axis in range(self.dim)
+        ]
+
+    def count_within(
+        self, q: Sequence[float], radius: float, counter: Optional[CostCounter] = None
+    ) -> int:
+        """Number of (object, dimension) pairs with ``|q[j] - e[j]| <= radius``."""
+        counter = ensure_counter(counter)
+        total = 0
+        for axis in range(self.dim):
+            coords = self._sorted[axis]
+            left = bisect_left(coords, q[axis] - radius)
+            right = bisect_right(coords, q[axis] + radius)
+            counter.charge("comparisons", 2)
+            total += right - left
+        return total
+
+    def successor(
+        self, q: Sequence[float], radius: float, counter: Optional[CostCounter] = None
+    ) -> Optional[float]:
+        """Smallest candidate radius strictly greater than ``radius``.
+
+        Returns ``None`` when no candidate exceeds ``radius``.
+        """
+        counter = ensure_counter(counter)
+        best = math.inf
+        for axis in range(self.dim):
+            coords = self._sorted[axis]
+            center = q[axis]
+            # Candidates on this axis are |center - c|; the successor comes
+            # from the first coordinate beyond center + radius (right side)
+            # or the last one before center - radius (left side).
+            right = bisect_right(coords, center + radius)
+            counter.charge("comparisons", 2)
+            if right < len(coords):
+                best = min(best, float(coords[right] - center))
+            left = bisect_left(coords, center - radius)
+            if left > 0:
+                best = min(best, float(center - coords[left - 1]))
+        return None if math.isinf(best) else best
+
+    def max_radius(self, q: Sequence[float]) -> float:
+        """Largest candidate radius (the L∞ ball of this radius covers D)."""
+        best = 0.0
+        for axis in range(self.dim):
+            coords = self._sorted[axis]
+            best = max(best, abs(q[axis] - float(coords[0])), abs(q[axis] - float(coords[-1])))
+        return best

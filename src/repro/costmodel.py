@@ -1,0 +1,114 @@
+"""RAM-model cost accounting.
+
+The paper's guarantees are statements about operation counts in the standard
+RAM model.  Pure-Python wall clock is dominated by interpreter overhead, so
+the benchmark harness measures *cost units* instead: every index and baseline
+in this library charges the counter one unit per elementary step.  The charge
+sites are chosen so that the counted total is (up to a small constant) the
+quantity bounded by the paper's theorems:
+
+* ``objects_examined`` — an object was read and tested against the query
+  predicate (pivot scans, materialized-list scans, baseline scans);
+* ``nodes_visited`` — a tree node was visited by a query;
+* ``structure_probes`` — a secondary-structure lookup (large-keyword test,
+  non-empty-combination probe, hash membership test);
+* ``comparisons`` — a coordinate comparison inside binary searches and
+  selection routines.
+
+A :class:`CostCounter` also enforces an optional *budget*: once the total
+charge exceeds the budget, :class:`~repro.errors.BudgetExceeded` is raised.
+The nearest-neighbour indexes (Corollaries 4 and 7) rely on this to implement
+the paper's "run the reporting query; if it does not terminate within
+``O(N^(1-1/k) t^(1/k))`` time, terminate it manually" step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .errors import BudgetExceeded
+
+#: Counter categories, in display order.
+CATEGORIES = (
+    "objects_examined",
+    "nodes_visited",
+    "structure_probes",
+    "comparisons",
+)
+
+
+@dataclass
+class CostCounter:
+    """Accumulates RAM-model cost units, optionally against a hard budget.
+
+    Parameters
+    ----------
+    budget:
+        If not ``None``, :class:`~repro.errors.BudgetExceeded` is raised as
+        soon as :attr:`total` exceeds this value.
+
+    Examples
+    --------
+    >>> counter = CostCounter()
+    >>> counter.charge("objects_examined", 3)
+    >>> counter.total
+    3
+    """
+
+    budget: Optional[int] = None
+    counts: Dict[str, int] = field(default_factory=dict)
+    _total: int = 0
+
+    def charge(self, category: str, units: int = 1) -> None:
+        """Add ``units`` to ``category`` and enforce the budget."""
+        self.counts[category] = self.counts.get(category, 0) + units
+        self._total += units
+        if self.budget is not None and self._total > self.budget:
+            raise BudgetExceeded(self._total, self.budget)
+
+    @property
+    def total(self) -> int:
+        """Total units charged across all categories."""
+        return self._total
+
+    def __getitem__(self, category: str) -> int:
+        return self.counts.get(category, 0)
+
+    def reset(self) -> None:
+        """Zero all counts (the budget, if any, is kept)."""
+        self.counts.clear()
+        self._total = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a copy of the per-category counts plus the total."""
+        snap = dict(self.counts)
+        snap["total"] = self._total
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{key}={val}" for key, val in sorted(self.counts.items()))
+        return f"CostCounter(total={self._total}, {parts})"
+
+
+class NullCounter(CostCounter):
+    """A counter that ignores charges; used when cost accounting is off.
+
+    Query methods accept ``counter=None`` and substitute this singleton, so
+    the charging call sites never need a conditional.
+    """
+
+    def charge(self, category: str, units: int = 1) -> None:  # noqa: D102
+        return
+
+    def reset(self) -> None:  # noqa: D102
+        return
+
+
+#: Shared do-nothing counter.
+NULL_COUNTER = NullCounter()
+
+
+def ensure_counter(counter: Optional[CostCounter]) -> CostCounter:
+    """Return ``counter`` itself, or the shared null counter when ``None``."""
+    return counter if counter is not None else NULL_COUNTER

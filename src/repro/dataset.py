@@ -1,0 +1,224 @@
+"""Input data model: objects with keyword documents.
+
+Every problem in the paper takes a set ``D`` of *objects*, each carrying a
+non-empty *document* ``e.Doc`` formulated as a set of integers (keywords).
+The input size is ``N = sum(|e.Doc| for e in D)`` — the paper's equation (2)
+— and *not* the number of objects; all space/query bounds are stated in terms
+of this ``N``.
+
+:class:`KeywordObject` is a point object (used by ORP-KW, LC-KW, SRP-KW and
+the nearest-neighbour problems); :class:`RectangleObject` is a rectangle
+object (used by RR-KW).  :class:`Dataset` wraps a list of point objects and
+precomputes the derived quantities every index needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from .errors import ValidationError
+
+Coordinate = float
+PointTuple = Tuple[Coordinate, ...]
+
+
+@dataclass(frozen=True)
+class KeywordObject:
+    """A point in R^d with a non-empty integer-keyword document.
+
+    Attributes
+    ----------
+    oid:
+        Object identifier, unique within a dataset.
+    point:
+        Coordinates, a tuple of ``d`` floats.
+    doc:
+        The document ``e.Doc`` — a frozenset of positive integers.  Frozenset
+        membership plays the role of the paper's per-object perfect hash
+        table (footnote 9): a ``w in e.doc`` test is an O(1) expected probe.
+    """
+
+    oid: int
+    point: PointTuple
+    doc: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.doc:
+            raise ValidationError(f"object {self.oid} has an empty document")
+        if not self.point:
+            raise ValidationError(f"object {self.oid} has no coordinates")
+        for coord in self.point:
+            if math.isnan(coord) or math.isinf(coord):
+                raise ValidationError(
+                    f"object {self.oid} has a non-finite coordinate ({coord})"
+                )
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the point."""
+        return len(self.point)
+
+    def contains_keywords(self, keywords: Sequence[int]) -> bool:
+        """Return whether ``doc`` contains *all* of ``keywords``."""
+        return all(word in self.doc for word in keywords)
+
+
+@dataclass(frozen=True)
+class RectangleObject:
+    """A d-rectangle with a non-empty integer-keyword document (RR-KW input).
+
+    ``lo`` and ``hi`` are the per-dimension lower/upper corners; degenerate
+    rectangles (``lo == hi`` on some dimension) are allowed.
+    """
+
+    oid: int
+    lo: PointTuple
+    hi: PointTuple
+    doc: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.doc:
+            raise ValidationError(f"rectangle {self.oid} has an empty document")
+        if len(self.lo) != len(self.hi):
+            raise ValidationError(
+                f"rectangle {self.oid}: corner dimensionalities differ "
+                f"({len(self.lo)} vs {len(self.hi)})"
+            )
+        for low, high in zip(self.lo, self.hi):
+            if low > high:
+                raise ValidationError(
+                    f"rectangle {self.oid}: lower corner exceeds upper corner"
+                )
+            if not (math.isfinite(low) and math.isfinite(high)):
+                raise ValidationError(
+                    f"rectangle {self.oid} has a non-finite corner"
+                )
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the rectangle."""
+        return len(self.lo)
+
+    def contains_keywords(self, keywords: Sequence[int]) -> bool:
+        """Return whether ``doc`` contains *all* of ``keywords``."""
+        return all(word in self.doc for word in keywords)
+
+    def intersects(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        """Return whether this rectangle intersects ``[lo, hi]``."""
+        return all(
+            self.lo[i] <= hi[i] and lo[i] <= self.hi[i] for i in range(self.dim)
+        )
+
+
+def make_objects(
+    points: Sequence[Sequence[float]], docs: Sequence[Iterable[int]]
+) -> List[KeywordObject]:
+    """Build :class:`KeywordObject` instances from parallel sequences.
+
+    Object ids are assigned ``0..len(points)-1`` in order.
+
+    >>> objs = make_objects([(0.0, 1.0)], [[3, 5]])
+    >>> objs[0].doc == frozenset({3, 5})
+    True
+    """
+    if len(points) != len(docs):
+        raise ValidationError(
+            f"{len(points)} points but {len(docs)} documents"
+        )
+    return [
+        KeywordObject(oid=i, point=tuple(float(c) for c in pt), doc=frozenset(doc))
+        for i, (pt, doc) in enumerate(zip(points, docs))
+    ]
+
+
+class Dataset:
+    """A set ``D`` of point objects plus the derived quantities of §1.1.
+
+    Attributes
+    ----------
+    objects:
+        The objects, in id order.
+    dim:
+        Common dimensionality ``d`` of all points.
+    total_doc_size:
+        The paper's input size ``N = Σ |e.Doc|`` (equation (2)).
+    vocabulary:
+        Sorted list of distinct keywords across all documents
+        (``W = len(vocabulary)``).
+    """
+
+    def __init__(self, objects: Sequence[KeywordObject]):
+        if not objects:
+            raise ValidationError("a dataset must contain at least one object")
+        dims = {obj.dim for obj in objects}
+        if len(dims) != 1:
+            raise ValidationError(f"mixed dimensionalities in dataset: {sorted(dims)}")
+        oids = [obj.oid for obj in objects]
+        if len(set(oids)) != len(oids):
+            raise ValidationError("duplicate object ids in dataset")
+        self.objects: List[KeywordObject] = list(objects)
+        self.dim: int = dims.pop()
+        self.total_doc_size: int = sum(len(obj.doc) for obj in self.objects)
+        self._by_id: Dict[int, KeywordObject] = {o.oid: o for o in self.objects}
+        vocab = set()
+        for obj in self.objects:
+            vocab.update(obj.doc)
+        self.vocabulary: List[int] = sorted(vocab)
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.objects)
+
+    def __getitem__(self, oid: int) -> KeywordObject:
+        return self._by_id[oid]
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def num_keywords(self) -> int:
+        """The paper's ``W``: number of distinct keywords."""
+        return len(self.vocabulary)
+
+    def objects_with(self, keyword: int) -> List[KeywordObject]:
+        """Return ``D(w)``: every object whose document contains ``keyword``.
+
+        Linear scan — the indexes build their own inverted structures; this
+        accessor exists for tests and small utilities.
+        """
+        return [obj for obj in self.objects if keyword in obj.doc]
+
+    def matching(self, keywords: Sequence[int]) -> List[KeywordObject]:
+        """Return ``D(w1..wk)`` (equation (1)) by linear scan."""
+        return [obj for obj in self.objects if obj.contains_keywords(keywords)]
+
+    @staticmethod
+    def weight(objects: Iterable[KeywordObject]) -> int:
+        """The paper's ``weight(D')`` (equation (9)): total document size."""
+        return sum(len(obj.doc) for obj in objects)
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[Sequence[float]], docs: Sequence[Iterable[int]]
+    ) -> "Dataset":
+        """Convenience constructor from parallel point/document sequences."""
+        return cls(make_objects(points, docs))
+
+
+def validate_query_keywords(keywords: Sequence[int], k: int) -> Tuple[int, ...]:
+    """Validate a query's keyword list against the index's fixed ``k``.
+
+    The paper fixes ``k >= 2`` per index; queries must supply exactly ``k``
+    distinct keywords.  Returns the keywords as a tuple.
+    """
+    words = tuple(keywords)
+    if len(words) != k:
+        raise ValidationError(f"query must supply exactly k={k} keywords, got {len(words)}")
+    if len(set(words)) != len(words):
+        raise ValidationError(f"query keywords must be distinct, got {words}")
+    return words

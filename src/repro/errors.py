@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch every library failure with a single ``except`` clause while still
+distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when input data or query parameters are malformed.
+
+    Examples: an object with an empty document, a rectangle whose lower bound
+    exceeds its upper bound, a query issuing fewer keywords than the ``k`` an
+    index was built for.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """Raised internally when an operation budget runs out.
+
+    The nearest-neighbour drivers (Corollaries 4 and 7 of the paper) probe a
+    reporting index with a hard operation budget of
+    ``O(N^(1-1/k) * t^(1/k))`` units; if the probe does not finish within the
+    budget, the candidate count must be at least ``t`` and the probe is
+    abandoned.  This exception implements the "terminate the query manually"
+    step of the paper's footnote 4.
+    """
+
+    def __init__(self, spent: int, budget: int):
+        super().__init__(f"operation budget exceeded: spent {spent} > budget {budget}")
+        self.spent = spent
+        self.budget = budget
+
+
+class GeometryError(ReproError):
+    """Raised when a geometric computation cannot proceed.
+
+    Examples: vertex enumeration on an empty polytope, triangulating a
+    degenerate (lower-dimensional) polytope without a containing box.
+    """
+
+
+class BuildError(ReproError):
+    """Raised when an index cannot be constructed from the given dataset."""

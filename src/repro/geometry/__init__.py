@@ -1,0 +1,22 @@
+"""Geometric substrates: predicates and constructions the indexes build on.
+
+Everything in this package is implemented from scratch (Seidel's LP, vertex
+enumeration, simplex decomposition, the lifting map, rank-space reduction);
+``scipy.spatial`` is used only for Delaunay triangulation of explicit vertex
+sets inside :mod:`repro.geometry.triangulate`.
+"""
+
+from .rectangles import Rect
+from .halfspaces import HalfSpace
+from .simplex import Simplex
+from .lifting import lift_point, lift_sphere
+from .rank_space import RankSpaceMap
+
+__all__ = [
+    "Rect",
+    "HalfSpace",
+    "Simplex",
+    "lift_point",
+    "lift_sphere",
+    "RankSpaceMap",
+]

@@ -1,0 +1,113 @@
+"""Linear constraints (halfspaces).
+
+An LC-KW query (paper §1.1) supplies ``s = O(1)`` linear constraints of the
+form ``c1*x[1] + ... + cd*x[d] <= c_{d+1}``.  :class:`HalfSpace` represents
+one such constraint; conjunctions are plain sequences of halfspaces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import ValidationError
+
+#: Relative tolerance for boundary classification of float geometry.
+EPS = 1e-9
+
+
+class HalfSpace:
+    """The closed halfspace ``coeffs . x <= bound`` in R^d."""
+
+    __slots__ = ("coeffs", "bound")
+
+    def __init__(self, coeffs: Sequence[float], bound: float):
+        coeff_t = tuple(float(c) for c in coeffs)
+        if not coeff_t:
+            raise ValidationError("halfspace must have at least one coefficient")
+        if all(c == 0.0 for c in coeff_t):
+            raise ValidationError("halfspace normal must be non-zero")
+        if any(not math.isfinite(c) for c in coeff_t) or math.isnan(bound):
+            raise ValidationError("halfspace coefficients must be finite")
+        self.coeffs: Tuple[float, ...] = coeff_t
+        self.bound: float = float(bound)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality d."""
+        return len(self.coeffs)
+
+    def value(self, point: Sequence[float]) -> float:
+        """Evaluate ``coeffs . point``."""
+        return sum(c * x for c, x in zip(self.coeffs, point))
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Closed membership test ``coeffs . point <= bound``."""
+        return self.value(point) <= self.bound + EPS * self._scale(point)
+
+    def strictly_contains(self, point: Sequence[float]) -> bool:
+        """Open membership test."""
+        return self.value(point) < self.bound - EPS * self._scale(point)
+
+    def on_boundary(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` lies (within tolerance) on the bounding hyperplane."""
+        return abs(self.value(point) - self.bound) <= EPS * self._scale(point)
+
+    def _scale(self, point: Sequence[float]) -> float:
+        """Magnitude scale for the relative tolerance."""
+        mag = max(
+            (abs(c * x) for c, x in zip(self.coeffs, point)),
+            default=0.0,
+        )
+        return max(mag, abs(self.bound), 1.0)
+
+    def complement(self) -> "HalfSpace":
+        """The closed halfspace on the other side (shares the boundary)."""
+        return HalfSpace(tuple(-c for c in self.coeffs), -self.bound)
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def axis_upper(cls, dim: int, axis: int, value: float) -> "HalfSpace":
+        """``x[axis] <= value``."""
+        coeffs = [0.0] * dim
+        coeffs[axis] = 1.0
+        return cls(coeffs, value)
+
+    @classmethod
+    def axis_lower(cls, dim: int, axis: int, value: float) -> "HalfSpace":
+        """``x[axis] >= value`` (stored as ``-x[axis] <= -value``)."""
+        coeffs = [0.0] * dim
+        coeffs[axis] = -1.0
+        return cls(coeffs, -value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HalfSpace)
+            and self.coeffs == other.coeffs
+            and self.bound == other.bound
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.coeffs, self.bound))
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*x{i + 1}" for i, c in enumerate(self.coeffs) if c)
+        return f"HalfSpace({terms} <= {self.bound:g})"
+
+
+def rect_to_halfspaces(lo: Sequence[float], hi: Sequence[float]) -> Tuple[HalfSpace, ...]:
+    """Express the rectangle ``[lo, hi]`` as (at most) ``2d`` halfspaces.
+
+    Infinite bounds produce no constraint.  This is the §1.1 observation that
+    "a d-rectangle can be regarded as the conjunction of 2d = O(1) linear
+    constraints", used to route ORP-KW queries through an LC-KW index.
+    """
+    dim = len(lo)
+    constraints = []
+    for axis in range(dim):
+        if math.isfinite(hi[axis]):
+            constraints.append(HalfSpace.axis_upper(dim, axis, hi[axis]))
+        if math.isfinite(lo[axis]):
+            constraints.append(HalfSpace.axis_lower(dim, axis, lo[axis]))
+    return tuple(constraints)

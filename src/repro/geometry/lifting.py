@@ -1,0 +1,51 @@
+"""The lifting map: spheres in R^d become halfspaces in R^{d+1}.
+
+Corollary 6 solves SRP-KW (spherical range reporting with keywords) with a
+(d+1)-dimensional LC-KW index through the classic lifting technique [8]:
+map each point ``p`` to ``p' = (p, |p|^2)``; then ``p`` lies in the ball of
+center ``c`` and radius ``r`` iff ``p'`` satisfies the halfspace
+
+    |p|^2 - 2 c . p <= r^2 - |c|^2
+
+which is linear in the lifted coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .halfspaces import HalfSpace
+
+
+def lift_point(point: Sequence[float]) -> Tuple[float, ...]:
+    """Map ``p in R^d`` to ``(p, |p|^2) in R^{d+1}``.
+
+    >>> lift_point((3.0, 4.0))
+    (3.0, 4.0, 25.0)
+    """
+    coords = tuple(float(c) for c in point)
+    return coords + (sum(c * c for c in coords),)
+
+
+def lift_sphere(center: Sequence[float], radius: float) -> HalfSpace:
+    """The halfspace in R^{d+1} whose lifted members are the ball's members.
+
+    ``|p - c|^2 <= r^2``  iff  ``-2 c . p + y <= r^2 - |c|^2`` with
+    ``y = |p|^2`` the lifted coordinate.
+    """
+    c = tuple(float(x) for x in center)
+    coeffs = tuple(-2.0 * x for x in c) + (1.0,)
+    bound = float(radius) ** 2 - sum(x * x for x in c)
+    return HalfSpace(coeffs, bound)
+
+
+def lift_sphere_squared(center: Sequence[float], radius_squared: float) -> HalfSpace:
+    """Same as :func:`lift_sphere` but parameterized by ``r^2``.
+
+    L2NN-KW (Corollary 7) binary-searches over *squared* candidate radii,
+    which stay exact integers when the input points are integral.
+    """
+    c = tuple(float(x) for x in center)
+    coeffs = tuple(-2.0 * x for x in c) + (1.0,)
+    bound = float(radius_squared) - sum(x * x for x in c)
+    return HalfSpace(coeffs, bound)

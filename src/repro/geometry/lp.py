@@ -1,0 +1,212 @@
+"""Seidel's randomized linear programming in small, fixed dimension.
+
+The partition-tree machinery (Appendix D) needs one geometric primitive over
+and over: *does a convex cell intersect a query simplex?*  Both sides are
+intersections of halfspaces, so the test is feasibility of a tiny linear
+program (``d`` variables, a handful of constraints).  Seidel's randomized
+incremental algorithm solves such LPs in ``O(d! * n)`` expected time, which
+for the ``d <= 6`` regimes of this library is a few microseconds — far
+cheaper than a general-purpose solver.
+
+The entry points are :func:`solve_lp` (minimize a linear objective over a
+halfspace intersection clipped to a bounding box) and :func:`feasible_point`
+(find any point of the intersection, or ``None``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import GeometryError
+
+#: Absolute/relative feasibility tolerance.
+_EPS = 1e-9
+
+Constraint = Tuple[Tuple[float, ...], float]  # coeffs . x <= bound
+
+
+def _violates(point: Sequence[float], constraint: Constraint) -> bool:
+    coeffs, bound = constraint
+    value = sum(c * x for c, x in zip(coeffs, point))
+    scale = max(1.0, abs(bound), max((abs(c * x) for c, x in zip(coeffs, point)), default=0.0))
+    return value > bound + _EPS * scale
+
+
+def _solve_1d(
+    constraints: Sequence[Constraint],
+    objective: float,
+    lo: float,
+    hi: float,
+) -> Optional[float]:
+    """Base case: minimize ``objective * x`` over an interval and constraints."""
+    for (coeff,), bound in constraints:
+        if coeff > 0:
+            hi = min(hi, bound / coeff)
+        elif coeff < 0:
+            lo = max(lo, bound / coeff)
+        elif bound < -_EPS:
+            return None  # 0 <= bound with bound < 0: infeasible
+    if lo > hi + _EPS * max(1.0, abs(lo), abs(hi)):
+        return None
+    hi = max(hi, lo)
+    return lo if objective >= 0 else hi
+
+
+def _substitute(
+    constraint: Constraint, axis: int, plane: Constraint
+) -> Optional[Constraint]:
+    """Eliminate variable ``axis`` using equality ``plane`` (coeffs . x == bound).
+
+    Returns the reduced constraint over the remaining variables, or ``None``
+    if the constraint becomes trivially true after substitution.  Raises
+    :class:`GeometryError` when the reduced constraint is trivially false —
+    the caller treats that as infeasibility.
+    """
+    p_coeffs, p_bound = plane
+    c_coeffs, c_bound = constraint
+    pivot = p_coeffs[axis]
+    factor = c_coeffs[axis] / pivot
+    new_coeffs = tuple(
+        c_coeffs[i] - factor * p_coeffs[i]
+        for i in range(len(c_coeffs))
+        if i != axis
+    )
+    new_bound = c_bound - factor * p_bound
+    if all(abs(c) <= _EPS for c in new_coeffs):
+        if new_bound < -_EPS * max(1.0, abs(c_bound)):
+            raise GeometryError("constraint infeasible after substitution")
+        return None
+    return (new_coeffs, new_bound)
+
+
+def _reduce_objective(
+    objective: Tuple[float, ...], axis: int, plane: Constraint
+) -> Tuple[float, ...]:
+    """Project the objective onto the hyperplane's parameterization.
+
+    Unlike constraints, the objective has no feasibility meaning — the
+    constant offset produced by the substitution is irrelevant to argmin and
+    never signals infeasibility.
+    """
+    p_coeffs, _p_bound = plane
+    pivot = p_coeffs[axis]
+    factor = objective[axis] / pivot
+    return tuple(
+        objective[i] - factor * p_coeffs[i]
+        for i in range(len(objective))
+        if i != axis
+    )
+
+
+def _lift(point_reduced: Sequence[float], axis: int, plane: Constraint) -> Tuple[float, ...]:
+    """Insert the eliminated coordinate back, using the equality ``plane``."""
+    p_coeffs, p_bound = plane
+    partial = list(point_reduced)
+    partial.insert(axis, 0.0)
+    acc = sum(p_coeffs[i] * partial[i] for i in range(len(p_coeffs)) if i != axis)
+    partial[axis] = (p_bound - acc) / p_coeffs[axis]
+    return tuple(partial)
+
+
+def _solve(
+    constraints: List[Constraint],
+    objective: Sequence[float],
+    box_lo: Sequence[float],
+    box_hi: Sequence[float],
+    rng: random.Random,
+) -> Optional[Tuple[float, ...]]:
+    dim = len(objective)
+    if dim == 1:
+        x = _solve_1d(constraints, objective[0], box_lo[0], box_hi[0])
+        return None if x is None else (x,)
+
+    order = list(constraints)
+    rng.shuffle(order)
+
+    # Start from the box corner optimal for the objective alone.
+    current = tuple(
+        box_lo[i] if objective[i] >= 0 else box_hi[i] for i in range(dim)
+    )
+
+    for idx, constraint in enumerate(order):
+        if not _violates(current, constraint):
+            continue
+        # The optimum must lie on this constraint's bounding hyperplane.
+        coeffs, _bound = constraint
+        axis = max(range(dim), key=lambda i: abs(coeffs[i]))
+        if abs(coeffs[axis]) <= _EPS:
+            return None
+        plane: Constraint = constraint
+        reduced: List[Constraint] = []
+        try:
+            for prior in order[:idx]:
+                red = _substitute(prior, axis, plane)
+                if red is not None:
+                    reduced.append(red)
+            # Box bounds of the eliminated variable become general constraints.
+            unit = tuple(1.0 if i == axis else 0.0 for i in range(dim))
+            for bnd_constraint in (
+                (unit, box_hi[axis]),
+                (tuple(-u for u in unit), -box_lo[axis]),
+            ):
+                red = _substitute(bnd_constraint, axis, plane)
+                if red is not None:
+                    reduced.append(red)
+        except GeometryError:
+            return None
+        red_obj = _reduce_objective(tuple(objective), axis, plane)
+        red_lo = [box_lo[i] for i in range(dim) if i != axis]
+        red_hi = [box_hi[i] for i in range(dim) if i != axis]
+        sub = _solve(reduced, red_obj, red_lo, red_hi, rng)
+        if sub is None:
+            return None
+        current = _lift(sub, axis, plane)
+    return current
+
+
+def solve_lp(
+    constraints: Sequence[Constraint],
+    objective: Sequence[float],
+    box_lo: Sequence[float],
+    box_hi: Sequence[float],
+    seed: int = 0x5E1DE1,
+) -> Optional[Tuple[float, ...]]:
+    """Minimize ``objective . x`` s.t. ``constraints`` and ``box_lo <= x <= box_hi``.
+
+    Returns an optimal point, or ``None`` when infeasible.  The box bounds
+    must be finite (the callers always clip to a data bounding box), which
+    rules out unbounded LPs.
+
+    >>> solve_lp([((1.0, 1.0), 1.0)], (1.0, 0.0), (0.0, 0.0), (2.0, 2.0))
+    (0.0, 0.0)
+    """
+    dim = len(objective)
+    if len(box_lo) != dim or len(box_hi) != dim:
+        raise GeometryError("box bounds must match the objective dimensionality")
+    for lo, hi in zip(box_lo, box_hi):
+        if lo > hi:
+            return None
+    rng = random.Random(seed)
+    return _solve(list(constraints), objective, list(box_lo), list(box_hi), rng)
+
+
+def feasible_point(
+    constraints: Sequence[Constraint],
+    box_lo: Sequence[float],
+    box_hi: Sequence[float],
+    seed: int = 0x5E1DE1,
+) -> Optional[Tuple[float, ...]]:
+    """Return any point satisfying all constraints within the box, or ``None``."""
+    dim = len(box_lo)
+    return solve_lp(constraints, (0.0,) * dim, box_lo, box_hi, seed=seed)
+
+
+def halfspaces_feasible(
+    halfspaces: Sequence,
+    box_lo: Sequence[float],
+    box_hi: Sequence[float],
+) -> bool:
+    """Feasibility test for :class:`~repro.geometry.halfspaces.HalfSpace` objects."""
+    constraints = [(h.coeffs, h.bound) for h in halfspaces]
+    return feasible_point(constraints, box_lo, box_hi) is not None

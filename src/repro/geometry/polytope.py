@@ -1,0 +1,125 @@
+"""Convex polytopes in halfspace representation, with vertex enumeration.
+
+LC-KW reduces to SP-KW by decomposing the feasible region of its ``s = O(1)``
+linear constraints into ``O(1)`` simplices (Appendix D, discussion under
+Theorem 12).  That needs the polytope's vertices.  In the small, constant
+dimensions of this library, brute-force vertex enumeration — solve every
+``d``-subset of bounding hyperplanes and keep the feasible solutions — costs
+``O(C(s + 2d, d) * d^3)`` which is a constant, so no sophisticated pivoting
+is required.
+
+Unbounded polyhedra (e.g. a single halfspace) are handled by clipping with a
+bounding box that encloses all data: only data points can be reported, so
+clipping to an enclosing box never changes any query answer.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .halfspaces import HalfSpace, rect_to_halfspaces
+from .lp import feasible_point
+
+_EPS = 1e-9
+
+
+class HPolytope:
+    """Intersection of closed halfspaces in R^d."""
+
+    __slots__ = ("halfspaces", "dim")
+
+    def __init__(self, halfspaces: Sequence[HalfSpace]):
+        spaces = tuple(halfspaces)
+        if not spaces:
+            raise GeometryError("a polytope needs at least one halfspace")
+        dims = {h.dim for h in spaces}
+        if len(dims) != 1:
+            raise GeometryError(f"mixed halfspace dimensionalities: {sorted(dims)}")
+        self.halfspaces: Tuple[HalfSpace, ...] = spaces
+        self.dim: int = dims.pop()
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Closed membership test."""
+        return all(h.contains(point) for h in self.halfspaces)
+
+    def clipped_to_box(
+        self, lo: Sequence[float], hi: Sequence[float]
+    ) -> "HPolytope":
+        """Return the polytope intersected with the box ``[lo, hi]``."""
+        return HPolytope(self.halfspaces + rect_to_halfspaces(lo, hi))
+
+    def feasible(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        """Whether the polytope meets the box ``[lo, hi]`` (Seidel LP)."""
+        constraints = [(h.coeffs, h.bound) for h in self.halfspaces]
+        return feasible_point(constraints, lo, hi) is not None
+
+    def enumerate_vertices(self) -> List[Tuple[float, ...]]:
+        """All vertices of the (bounded) polytope.
+
+        Every vertex is the intersection of ``d`` bounding hyperplanes that
+        satisfies all other constraints.  The polytope must already be
+        bounded (clip first); unbounded inputs simply yield the vertices of
+        the bounded skeleton, which is usually not what you want.
+        """
+        dim = self.dim
+        mats = [np.asarray(h.coeffs, dtype=float) for h in self.halfspaces]
+        bounds = [h.bound for h in self.halfspaces]
+        vertices: List[Tuple[float, ...]] = []
+        for subset in combinations(range(len(self.halfspaces)), dim):
+            a_mat = np.stack([mats[i] for i in subset])
+            b_vec = np.asarray([bounds[i] for i in subset])
+            try:
+                solution = np.linalg.solve(a_mat, b_vec)
+            except np.linalg.LinAlgError:
+                continue
+            point = tuple(float(c) for c in solution)
+            if not all(h.contains(point) for h in self.halfspaces):
+                continue
+            if not _is_duplicate(point, vertices):
+                vertices.append(point)
+        return vertices
+
+
+def _is_duplicate(point: Tuple[float, ...], seen: List[Tuple[float, ...]]) -> bool:
+    scale = max(1.0, max(abs(c) for c in point))
+    for other in seen:
+        if all(abs(a - b) <= _EPS * scale for a, b in zip(point, other)):
+            return True
+    return False
+
+
+def polytope_from_constraints(
+    constraints: Sequence[HalfSpace],
+    data_lo: Sequence[float],
+    data_hi: Sequence[float],
+    margin: float = 1.0,
+) -> HPolytope:
+    """Build the (clipped) feasible polytope of an LC-KW query.
+
+    The clip box is the data bounding box inflated by ``margin`` times its
+    extent on each side, which keeps every data point strictly inside the
+    clip region; hence the clipped polytope contains exactly the same data
+    points as the original polyhedron.
+    """
+    lo: List[float] = []
+    hi: List[float] = []
+    for low, high in zip(data_lo, data_hi):
+        extent = max(high - low, 1.0)
+        lo.append(low - margin * extent)
+        hi.append(high + margin * extent)
+    if not constraints:
+        return HPolytope(rect_to_halfspaces(lo, hi))
+    return HPolytope(tuple(constraints) + rect_to_halfspaces(lo, hi))
+
+
+def optional_feasible_point(
+    constraints: Sequence[HalfSpace],
+    lo: Sequence[float],
+    hi: Sequence[float],
+) -> Optional[Tuple[float, ...]]:
+    """Any point of ``constraints`` within ``[lo, hi]``, or ``None``."""
+    return feasible_point([(h.coeffs, h.bound) for h in constraints], lo, hi)

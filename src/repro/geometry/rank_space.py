@@ -1,0 +1,88 @@
+"""Rank-space reduction (§3.4: removing the general-position assumption).
+
+The kd-tree transformation assumes no two objects share an x- or
+y-coordinate.  §3.4 removes the assumption by converting coordinates to
+*rank space*: sort the objects on each dimension, breaking ties by object id,
+and replace each coordinate by its rank.  In rank space every object has
+distinct integer coordinates on every dimension, and an original-space query
+rectangle converts to a rank-space rectangle in ``O(d log N)`` time without
+changing the answer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Sequence, Tuple
+
+from ..costmodel import CostCounter, ensure_counter
+from ..errors import ValidationError
+from .rectangles import Rect
+
+
+class RankSpaceMap:
+    """Per-dimension rank mapping for a fixed point set.
+
+    Parameters
+    ----------
+    points:
+        One point per object, in object-id order (the id is the tie-breaker,
+        as in §3.4: "break ties by favoring the object with a smaller id").
+    """
+
+    def __init__(self, points: Sequence[Sequence[float]]):
+        if not points:
+            raise ValidationError("rank space needs at least one point")
+        self.dim = len(points[0])
+        self.count = len(points)
+        # _order[axis][rank] = (coordinate, object index); sorted by (coord, idx).
+        self._order: List[List[Tuple[float, int]]] = []
+        # _rank[axis][idx] = rank of object idx on this axis.
+        self._rank: List[List[int]] = []
+        for axis in range(self.dim):
+            keyed = sorted((float(p[axis]), idx) for idx, p in enumerate(points))
+            ranks = [0] * self.count
+            for rank, (_coord, idx) in enumerate(keyed):
+                ranks[idx] = rank
+            self._order.append(keyed)
+            self._rank.append(ranks)
+
+    def to_rank_point(self, index: int) -> Tuple[int, ...]:
+        """Rank-space coordinates of the ``index``-th input point."""
+        return tuple(self._rank[axis][index] for axis in range(self.dim))
+
+    def rank_interval(
+        self, axis: int, lo: float, hi: float, counter: CostCounter = None
+    ) -> Tuple[float, float]:
+        """Convert the original-space interval ``[lo, hi]`` on ``axis`` to ranks.
+
+        The result is the (closed) set of ranks whose coordinates fall inside
+        ``[lo, hi]``; an empty set is returned as an inverted pseudo-interval
+        ``(0.5, -0.5)`` which no rank point can satisfy.
+        """
+        counter = ensure_counter(counter)
+        keys = self._order[axis]
+        # bisect on (coord, idx) pairs: all ids compare above (-1,) sentinels.
+        start = bisect_left(keys, (lo, -1))
+        stop = bisect_right(keys, (hi, self.count))
+        counter.charge("comparisons", 2)
+        if start >= stop:
+            return (0.5, -0.5)
+        return (float(start), float(stop - 1))
+
+    def rect_to_rank(self, rect: Rect, counter: CostCounter = None) -> Rect:
+        """Convert an original-space query rectangle to rank space.
+
+        Empty per-axis intervals become inverted unit intervals placed
+        outside the rank range so the rank-space query reports nothing —
+        ``Rect`` forbids inverted bounds, so emptiness is encoded as an
+        interval beyond the last rank.
+        """
+        lo: List[float] = []
+        hi: List[float] = []
+        for axis in range(self.dim):
+            a, b = self.rank_interval(axis, rect.lo[axis], rect.hi[axis], counter)
+            if a > b:  # empty on this axis -> whole query is empty
+                a, b = float(self.count + 1), float(self.count + 2)
+            lo.append(a)
+            hi.append(b)
+        return Rect(lo, hi)

@@ -1,0 +1,157 @@
+"""Closed axis-parallel d-rectangles.
+
+A *d-rectangle* (paper footnote 1) is a product of closed intervals
+``[x1, y1] x ... x [xd, yd]``.  Unbounded sides are represented with
+``float('inf')`` / ``float('-inf')``; :meth:`Rect.full` builds the all-space
+rectangle used as the root cell of the kd-tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import ValidationError
+
+_INF = math.inf
+
+
+class Rect:
+    """A closed, possibly unbounded, axis-parallel rectangle in R^d."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        lo_t = tuple(float(c) for c in lo)
+        hi_t = tuple(float(c) for c in hi)
+        if len(lo_t) != len(hi_t):
+            raise ValidationError(
+                f"rectangle corners have different dimensionalities "
+                f"({len(lo_t)} vs {len(hi_t)})"
+            )
+        if not lo_t:
+            raise ValidationError("rectangle must have at least one dimension")
+        for low, high in zip(lo_t, hi_t):
+            if math.isnan(low) or math.isnan(high):
+                raise ValidationError("rectangle bounds must not be NaN")
+            if low > high:
+                raise ValidationError(f"empty rectangle: lower bound {low} > upper bound {high}")
+        self.lo: Tuple[float, ...] = lo_t
+        self.hi: Tuple[float, ...] = hi_t
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def full(cls, dim: int) -> "Rect":
+        """The all-space rectangle R^dim."""
+        return cls((-_INF,) * dim, (_INF,) * dim)
+
+    @classmethod
+    def from_intervals(cls, intervals: Sequence[Tuple[float, float]]) -> "Rect":
+        """Build from a sequence of (lo, hi) pairs."""
+        return cls([iv[0] for iv in intervals], [iv[1] for iv in intervals])
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality d."""
+        return len(self.lo)
+
+    def interval(self, axis: int) -> Tuple[float, float]:
+        """Projection onto ``axis`` (the paper's ``q[i]``)."""
+        return (self.lo[axis], self.hi[axis])
+
+    def is_bounded(self) -> bool:
+        """Whether every side is finite."""
+        return all(math.isfinite(c) for c in self.lo + self.hi)
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Closed containment test."""
+        return all(
+            self.lo[i] <= point[i] <= self.hi[i] for i in range(self.dim)
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the two closed rectangles share at least one point."""
+        return all(
+            self.lo[i] <= other.hi[i] and other.lo[i] <= self.hi[i]
+            for i in range(self.dim)
+        )
+
+    def covers(self, other: "Rect") -> bool:
+        """Whether ``other`` is fully contained in this rectangle."""
+        return all(
+            self.lo[i] <= other.lo[i] and other.hi[i] <= self.hi[i]
+            for i in range(self.dim)
+        )
+
+    def boundary_contains(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` lies on the boundary of this rectangle.
+
+        The boundary of an unbounded side is empty (a point can never sit on
+        an infinite bound), matching the polyhedron-boundary definition of
+        the paper's footnote 7.
+        """
+        if not self.contains_point(point):
+            return False
+        return any(
+            point[i] == self.lo[i] or point[i] == self.hi[i]
+            for i in range(self.dim)
+            if math.isfinite(self.lo[i]) or math.isfinite(self.hi[i])
+        )
+
+    def interior_contains(self, point: Sequence[float]) -> bool:
+        """Strict (open) containment test."""
+        return all(
+            self.lo[i] < point[i] < self.hi[i] for i in range(self.dim)
+        )
+
+    # -- constructions --------------------------------------------------------
+
+    def clip(self, other: "Rect") -> "Rect":
+        """Intersection of two rectangles (raises if empty)."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Rect(lo, hi)
+
+    def split(self, axis: int, value: float) -> Tuple["Rect", "Rect"]:
+        """Split by the hyperplane ``x[axis] == value`` into two closed halves.
+
+        The halves share the splitting hyperplane on their boundary — they
+        "touch only at boundary and are interior disjoint", exactly the
+        kd-tree cell rule of §3.1.
+        """
+        if not (self.lo[axis] <= value <= self.hi[axis]):
+            raise ValidationError(
+                f"split value {value} outside axis-{axis} extent "
+                f"[{self.lo[axis]}, {self.hi[axis]}]"
+            )
+        left_hi = list(self.hi)
+        left_hi[axis] = value
+        right_lo = list(self.lo)
+        right_lo[axis] = value
+        return Rect(self.lo, left_hi), Rect(right_lo, self.hi)
+
+    def vertices(self) -> Tuple[Tuple[float, ...], ...]:
+        """All 2^d corner points (requires a bounded rectangle)."""
+        if not self.is_bounded():
+            raise ValidationError("cannot enumerate vertices of an unbounded rectangle")
+        corners = [()]
+        for low, high in zip(self.lo, self.hi):
+            corners = [c + (v,) for c in corners for v in ((low, high) if low != high else (low,))]
+        return tuple(corners)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Rect) and self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        sides = " x ".join(f"[{lo:g}, {hi:g}]" for lo, hi in zip(self.lo, self.hi))
+        return f"Rect({sides})"

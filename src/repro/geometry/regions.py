@@ -1,0 +1,144 @@
+"""Query regions: the geometry side of a query, abstracted over cell types.
+
+The transformation framework (§3.3) interacts with geometry through exactly
+three predicates on a query region ``q`` and a tree cell ``Δ``:
+
+* does ``q`` contain a given point?          (reporting filter)
+* does ``q`` intersect ``Δ``?                (may the subtree contain answers?)
+* does ``q`` cover ``Δ``?                    (covered vs crossing node)
+
+A region object implements the three; cells are either bounded
+:class:`~repro.geometry.rectangles.Rect` boxes (kd-tree, box partition
+scheme) or :class:`~repro.partitiontree.cells.ConvexCell` polytopes (Willard
+scheme).  Rect-vs-Rect tests take the exact fast path; everything else goes
+through vertex filters with Seidel-LP feasibility as the exact fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import ValidationError
+from .halfspaces import HalfSpace, rect_to_halfspaces
+from .lp import feasible_point
+from .rectangles import Rect
+from .simplex import Simplex
+
+
+def _cell_vertices(cell) -> Tuple[Tuple[float, ...], ...]:
+    if isinstance(cell, Rect):
+        return cell.vertices()
+    return cell.vertices
+
+
+def _cell_bounds(cell) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    return (tuple(cell.lo), tuple(cell.hi))
+
+
+def _cell_halfspaces(cell) -> Tuple[HalfSpace, ...]:
+    if isinstance(cell, Rect):
+        return rect_to_halfspaces(cell.lo, cell.hi)
+    return cell.halfspaces
+
+
+class RectRegion:
+    """An orthogonal query range (ORP-KW)."""
+
+    __slots__ = ("rect",)
+
+    def __init__(self, rect: Rect):
+        self.rect = rect
+
+    @property
+    def dim(self) -> int:
+        return self.rect.dim
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return self.rect.contains_point(point)
+
+    def intersects(self, cell) -> bool:
+        if isinstance(cell, Rect):
+            return self.rect.intersects(cell)
+        # Polytope cell: bounding-box reject, then vertex accept, then LP.
+        lo, hi = _cell_bounds(cell)
+        box = Rect(lo, hi)
+        if not self.rect.intersects(box):
+            return False
+        if any(self.rect.contains_point(v) for v in cell.vertices):
+            return True
+        constraints = [
+            (h.coeffs, h.bound)
+            for h in rect_to_halfspaces(self.rect.lo, self.rect.hi)
+        ] + [(h.coeffs, h.bound) for h in cell.halfspaces]
+        return feasible_point(constraints, lo, hi) is not None
+
+    def covers(self, cell) -> bool:
+        if isinstance(cell, Rect):
+            return self.rect.covers(cell)
+        return all(self.rect.contains_point(v) for v in cell.vertices)
+
+
+class ConvexRegion:
+    """A query range given as an intersection of halfspaces.
+
+    Used for simplices (SP-KW), conjunctions of linear constraints (LC-KW
+    before decomposition), and lifted spheres (SRP-KW): a single halfspace
+    is simply a one-constraint region.
+    """
+
+    __slots__ = ("halfspaces", "dim")
+
+    def __init__(self, halfspaces: Sequence[HalfSpace]):
+        spaces = tuple(halfspaces)
+        if not spaces:
+            raise ValidationError("a convex region needs at least one halfspace")
+        dims = {h.dim for h in spaces}
+        if len(dims) != 1:
+            raise ValidationError(f"mixed halfspace dimensionalities: {sorted(dims)}")
+        self.halfspaces = spaces
+        self.dim = dims.pop()
+
+    @classmethod
+    def from_simplex(cls, simplex: Simplex) -> "ConvexRegion":
+        """Region for a d-simplex (its d+1 facet halfspaces)."""
+        return cls(simplex.halfspaces)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return all(h.contains(point) for h in self.halfspaces)
+
+    def intersects(self, cell) -> bool:
+        lo, hi = _cell_bounds(cell)
+        verts = _cell_vertices(cell)
+        # Fast accept: some cell vertex inside the region.
+        if any(self.contains_point(v) for v in verts):
+            return True
+        # Fast reject: all cell vertices strictly outside one halfspace
+        # (the whole convex cell then lies outside that halfspace).
+        for h in self.halfspaces:
+            if not any(h.contains(v) for v in verts):
+                return False
+        constraints = [(h.coeffs, h.bound) for h in self.halfspaces] + [
+            (h.coeffs, h.bound) for h in _cell_halfspaces(cell)
+        ]
+        return feasible_point(constraints, lo, hi) is not None
+
+    def covers(self, cell) -> bool:
+        return all(self.contains_point(v) for v in _cell_vertices(cell))
+
+
+class EverythingRegion:
+    """The all-space region (the §1.2 reduction queries with ``q = R^d``)."""
+
+    __slots__ = ("dim",)
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return True
+
+    def intersects(self, cell) -> bool:
+        return True
+
+    def covers(self, cell) -> bool:
+        return True

@@ -1,0 +1,104 @@
+"""d-simplices.
+
+A *d-simplex* (Appendix D) is a polyhedron in R^d with ``d + 1`` facets: a
+point (d=0), segment (d=1), triangle (d=2), tetrahedron (d=3), and so on.
+SP-KW queries are issued with a simplex range; LC-KW queries are decomposed
+into a constant number of simplices (see :mod:`repro.geometry.triangulate`).
+
+A simplex is stored both ways: as its ``d + 1`` vertices and as the ``d + 1``
+facet halfspaces, because the query algorithms need vertex-based "covers"
+tests and halfspace-based feasibility tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .halfspaces import HalfSpace
+
+#: Degeneracy tolerance for facet-normal computation.
+_EPS = 1e-12
+
+
+def hyperplane_through(points: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Hyperplane through ``d`` affinely independent points in R^d.
+
+    Returns ``(normal, offset)`` with ``normal . x == offset`` on the plane.
+    Raises :class:`GeometryError` when the points are affinely dependent.
+    """
+    pts = np.asarray(points, dtype=float)
+    dim = pts.shape[1]
+    base = pts[0]
+    diffs = pts[1:] - base
+    if diffs.shape[0] == 0:
+        # d == 1: the "hyperplane" through one point is x == base.
+        normal = np.ones(1)
+    else:
+        # The normal spans the null space of the difference matrix.
+        _u, sing, vt = np.linalg.svd(diffs, full_matrices=True)
+        full_rank = sing.size == dim - 1 and (
+            dim == 1 or sing[-1] > _EPS * max(1.0, float(sing[0]))
+        )
+        if not full_rank:
+            raise GeometryError("points are affinely dependent; no unique hyperplane")
+        normal = vt[-1]
+    norm = float(np.linalg.norm(normal))
+    if norm <= _EPS:
+        raise GeometryError("degenerate hyperplane normal")
+    normal = normal / norm
+    return normal, float(normal @ base)
+
+
+class Simplex:
+    """A (possibly degenerate) d-simplex given by its ``d + 1`` vertices."""
+
+    __slots__ = ("vertices", "halfspaces", "dim")
+
+    def __init__(self, vertices: Sequence[Sequence[float]]):
+        verts = tuple(tuple(float(c) for c in v) for v in vertices)
+        if not verts:
+            raise GeometryError("a simplex needs at least one vertex")
+        dim = len(verts[0])
+        if any(len(v) != dim for v in verts):
+            raise GeometryError("simplex vertices have mixed dimensionalities")
+        if len(verts) != dim + 1:
+            raise GeometryError(
+                f"a {dim}-simplex needs {dim + 1} vertices, got {len(verts)}"
+            )
+        self.vertices: Tuple[Tuple[float, ...], ...] = verts
+        self.dim: int = dim
+        self.halfspaces: Tuple[HalfSpace, ...] = self._facet_halfspaces()
+
+    def _facet_halfspaces(self) -> Tuple[HalfSpace, ...]:
+        arr = np.asarray(self.vertices, dtype=float)
+        facets = []
+        for excluded in range(len(self.vertices)):
+            rest = np.delete(arr, excluded, axis=0)
+            normal, offset = hyperplane_through(rest)
+            # Orient so the excluded vertex is inside (<=).
+            if float(normal @ arr[excluded]) > offset:
+                normal, offset = -normal, -offset
+            facets.append(HalfSpace(tuple(normal), offset))
+        return tuple(facets)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Closed membership test (inside or on the boundary)."""
+        return all(h.contains(point) for h in self.halfspaces)
+
+    def volume(self) -> float:
+        """Euclidean volume (zero for degenerate simplices)."""
+        arr = np.asarray(self.vertices, dtype=float)
+        diffs = arr[1:] - arr[0]
+        return abs(float(np.linalg.det(diffs))) / float(math.factorial(self.dim))
+
+    def bounding_box(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Axis-aligned bounding box of the vertex set."""
+        arr = np.asarray(self.vertices, dtype=float)
+        return tuple(arr.min(axis=0)), tuple(arr.max(axis=0))
+
+    def __repr__(self) -> str:
+        return f"Simplex(dim={self.dim}, vertices={self.vertices})"

@@ -1,0 +1,141 @@
+"""A static interval tree: O(log n + OUT) interval-overlap reporting.
+
+For RR-KW with d = 1 (temporal keyword search), the honest "structured only"
+baseline is not a scan but the classical interval tree [24, §10.1]: a
+balanced ternary recursion on the median point, with the intervals stabbing
+the median stored twice, sorted by left and by right endpoint.
+
+Overlap query with ``[lo, hi]``: at each node, report the center intervals
+overlapping the window (prefix of a sorted list — output-proportional), then
+recurse into the side subtrees the window touches.  A *stabbing* query
+(point ``x``) is the degenerate window ``[x, x]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .costmodel import CostCounter, ensure_counter
+from .errors import ValidationError
+
+Interval = Tuple[float, float]
+
+
+class _Node:
+    __slots__ = ("center", "by_left", "by_right", "left", "right")
+
+    def __init__(self, center: float):
+        self.center = center
+        #: intervals containing center, sorted by left endpoint ascending.
+        self.by_left: List[Tuple[float, float, int]] = []
+        #: the same intervals, sorted by right endpoint descending.
+        self.by_right: List[Tuple[float, float, int]] = []
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class IntervalTree:
+    """Static interval tree over closed intervals ``[lo, hi]``."""
+
+    def __init__(self, intervals: Sequence[Interval]):
+        if not len(intervals):
+            raise ValidationError("an interval tree needs at least one interval")
+        items = []
+        for index, (lo, hi) in enumerate(intervals):
+            if lo > hi:
+                raise ValidationError(f"interval {index} is inverted: [{lo}, {hi}]")
+            items.append((float(lo), float(hi), index))
+        self.count = len(items)
+        self.root = self._build(items)
+
+    def _build(self, items: List[Tuple[float, float, int]]) -> Optional[_Node]:
+        if not items:
+            return None
+        endpoints = sorted(
+            [lo for lo, _hi, _i in items] + [hi for _lo, hi, _i in items]
+        )
+        center = endpoints[len(endpoints) // 2]
+        node = _Node(center)
+        left_items: List[Tuple[float, float, int]] = []
+        right_items: List[Tuple[float, float, int]] = []
+        for item in items:
+            lo, hi, _index = item
+            if hi < center:
+                left_items.append(item)
+            elif lo > center:
+                right_items.append(item)
+            else:
+                node.by_left.append(item)
+        node.by_left.sort(key=lambda it: it[0])
+        node.by_right = sorted(node.by_left, key=lambda it: -it[1])
+        # Degenerate guard: if nothing stabs the center (cannot happen with
+        # the median-of-endpoints choice) the recursion still shrinks.
+        node.left = self._build(left_items)
+        node.right = self._build(right_items)
+        return node
+
+    # -- queries ----------------------------------------------------------------
+
+    def overlap_query(
+        self, lo: float, hi: float, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Indices of intervals intersecting the closed window ``[lo, hi]``."""
+        if lo > hi:
+            raise ValidationError(f"inverted query window [{lo}, {hi}]")
+        counter = ensure_counter(counter)
+        result: List[int] = []
+        node = self.root
+        stack = [node]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            counter.charge("nodes_visited")
+            if hi < node.center:
+                # Window entirely left of center: center intervals overlap
+                # iff their left endpoint <= hi (prefix of by_left).
+                for c_lo, _c_hi, index in node.by_left:
+                    counter.charge("comparisons")
+                    if c_lo > hi:
+                        break
+                    counter.charge("objects_examined")
+                    result.append(index)
+                stack.append(node.left)
+            elif lo > node.center:
+                # Window entirely right of center: overlap iff right
+                # endpoint >= lo (prefix of by_right).
+                for _c_lo, c_hi, index in node.by_right:
+                    counter.charge("comparisons")
+                    if c_hi < lo:
+                        break
+                    counter.charge("objects_examined")
+                    result.append(index)
+                stack.append(node.right)
+            else:
+                # Window contains the center: every center interval overlaps.
+                for _c_lo, _c_hi, index in node.by_left:
+                    counter.charge("objects_examined")
+                    result.append(index)
+                stack.append(node.left)
+                stack.append(node.right)
+        return result
+
+    def stabbing_query(
+        self, x: float, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Indices of intervals containing the point ``x``."""
+        return self.overlap_query(x, x, counter)
+
+    @property
+    def space_units(self) -> int:
+        """Stored interval copies (2 per interval) plus nodes."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            total += 1 + 2 * len(node.by_left)
+            stack.append(node.left)
+            stack.append(node.right)
+        return total

@@ -1,0 +1,23 @@
+"""The system community's index: an IR-tree, for empirical comparison.
+
+§2 of the paper surveys two decades of spatial-keyword indexes — IR-trees
+[42], inverted quadtrees [52], etc. — that are "empirically efficient" but
+"do not have interesting theoretical guarantees".  To reproduce that framing
+we implement the canonical member of the family:
+
+* :class:`~repro.irtree.rtree.RTree` — an STR bulk-loaded R-tree (the
+  spatial substrate), and
+* :class:`~repro.irtree.irtree.IrTree` — the R-tree with per-node keyword
+  summaries, pruning a subtree when its MBR misses the query range *or* its
+  keyword set misses a query keyword.
+
+The E1 benchmark shows exactly the paper's story: on clustered, correlated
+("real-looking") data the IR-tree is excellent; on the adversarial
+disjoint-keyword instance its pruning never fires and it degrades to Θ(N),
+while the paper's index stays at O(N^(1-1/k)).
+"""
+
+from .rtree import RTree
+from .irtree import IrTree
+
+__all__ = ["RTree", "IrTree"]

@@ -1,0 +1,148 @@
+"""An STR bulk-loaded R-tree.
+
+Sort-Tile-Recursive (STR) packing: sort entries by the first coordinate,
+cut into vertical slabs of ~sqrt(n/B) leaves each, sort each slab by the
+second coordinate, pack runs of ``B`` entries per leaf; repeat one level up
+until a single root remains.  Bulk loading suits this library — all the
+paper's indexes are static — and produces well-clustered MBRs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..costmodel import CostCounter, ensure_counter
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+
+
+class RTreeNode:
+    """One R-tree node: an MBR plus children (internal) or entry ids (leaf)."""
+
+    __slots__ = ("mbr", "children", "entry_ids")
+
+    def __init__(self, mbr: Rect):
+        self.mbr = mbr
+        self.children: List["RTreeNode"] = []
+        self.entry_ids: List[int] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _mbr_of(rects: Sequence[Rect]) -> Rect:
+    dim = rects[0].dim
+    lo = tuple(min(r.lo[axis] for r in rects) for axis in range(dim))
+    hi = tuple(max(r.hi[axis] for r in rects) for axis in range(dim))
+    return Rect(lo, hi)
+
+
+class RTree:
+    """Static R-tree over rectangles (points are degenerate rectangles)."""
+
+    def __init__(self, rectangles: Sequence[Rect], fanout: int = 16):
+        if not rectangles:
+            raise ValidationError("an R-tree needs at least one entry")
+        if fanout < 2:
+            raise ValidationError(f"fanout must be >= 2, got {fanout}")
+        dims = {rect.dim for rect in rectangles}
+        if len(dims) != 1:
+            raise ValidationError(f"mixed entry dimensionalities: {sorted(dims)}")
+        self.fanout = fanout
+        self.entries: List[Rect] = list(rectangles)
+        self.dim = dims.pop()
+        leaves = self._pack_leaves()
+        self.root = self._build_up(leaves)
+
+    @classmethod
+    def from_points(cls, points: Sequence[Sequence[float]], fanout: int = 16) -> "RTree":
+        """Build over points (stored as degenerate rectangles)."""
+        rects = [Rect(p, p) for p in points]
+        return cls(rects, fanout=fanout)
+
+    # -- STR bulk load -------------------------------------------------------------
+
+    def _pack_leaves(self) -> List[RTreeNode]:
+        order = sorted(
+            range(len(self.entries)),
+            key=lambda i: tuple(
+                (self.entries[i].lo[axis] + self.entries[i].hi[axis]) / 2
+                for axis in range(self.dim)
+            ),
+        )
+        num_leaves = math.ceil(len(order) / self.fanout)
+        if self.dim >= 2:
+            slab_count = max(1, math.ceil(math.sqrt(num_leaves)))
+            slab_size = math.ceil(len(order) / slab_count)
+            pieces = [
+                order[i : i + slab_size] for i in range(0, len(order), slab_size)
+            ]
+            order = []
+            for piece in pieces:
+                piece.sort(
+                    key=lambda i: (
+                        (self.entries[i].lo[1] + self.entries[i].hi[1]) / 2
+                    )
+                )
+                order.extend(piece)
+        leaves = []
+        for start in range(0, len(order), self.fanout):
+            ids = order[start : start + self.fanout]
+            node = RTreeNode(_mbr_of([self.entries[i] for i in ids]))
+            node.entry_ids = ids
+            leaves.append(node)
+        return leaves
+
+    def _build_up(self, nodes: List[RTreeNode]) -> RTreeNode:
+        while len(nodes) > 1:
+            nodes.sort(key=lambda n: tuple(n.mbr.lo))
+            parents = []
+            for start in range(0, len(nodes), self.fanout):
+                group = nodes[start : start + self.fanout]
+                parent = RTreeNode(_mbr_of([n.mbr for n in group]))
+                parent.children = group
+                parents.append(parent)
+            nodes = parents
+        return nodes[0]
+
+    # -- queries -------------------------------------------------------------------
+
+    def range_query(
+        self, rect: Rect, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Ids of entries whose rectangles intersect ``rect``."""
+        counter = ensure_counter(counter)
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.charge("nodes_visited")
+            if not rect.intersects(node.mbr):
+                continue
+            if node.is_leaf:
+                for entry_id in node.entry_ids:
+                    counter.charge("objects_examined")
+                    if rect.intersects(self.entries[entry_id]):
+                        result.append(entry_id)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def height(self) -> int:
+        """Number of levels."""
+        node, levels = self.root, 1
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def node_count(self) -> int:
+        """Total nodes."""
+        count, stack = 0, [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count

@@ -1,0 +1,15 @@
+"""kd-trees: the space-partitioning index of §3.1.
+
+:class:`~repro.kdtree.tree.KdTree` is the classic structure — a balanced
+binary tree whose nodes carry axis-parallel rectangular cells, splitting on
+the axes in round-robin order.  It serves two roles:
+
+* the geometric skeleton that §3's transformation framework converts into
+  the ORP-KW index (Theorem 1), and
+* a classic orthogonal range-reporting structure, which is exactly the
+  "structured only" naive solution of §1.
+"""
+
+from .tree import KdNode, KdTree
+
+__all__ = ["KdNode", "KdTree"]

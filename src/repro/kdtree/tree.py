@@ -1,0 +1,204 @@
+"""The kd-tree (§3.1).
+
+Built on a (multi)set ``P`` of points in R^d:
+
+* every node ``u`` carries a closed rectangular cell ``Δ_u`` covering all the
+  points in its subtree;
+* the root cell covers the whole space (here: a caller-supplied universe
+  rectangle enclosing all data — equivalent for every query that matters,
+  since only data points can be reported);
+* an internal node at level ``ℓ`` splits its cell with an axis-parallel
+  hyperplane orthogonal to axis ``ℓ mod d``, placed at the median of its
+  points; the child cells touch only at the splitting hyperplane and are
+  interior disjoint.
+
+Splitting at the *index* median (rather than a value median) keeps the exact
+balance invariant ``|P_u| <= ceil(|P|/2^level)`` even when coordinates repeat
+— repeats are what the verbose set of §3.2 produces, so this matters.
+
+The build uses ``numpy.argpartition`` per node, giving an
+``O(|P| log |P|)``-time construction with C-speed partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..costmodel import CostCounter, ensure_counter
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+
+
+class KdNode:
+    """One node of a kd-tree."""
+
+    __slots__ = ("cell", "level", "axis", "split_value", "children", "indices", "size")
+
+    def __init__(self, cell: Rect, level: int):
+        self.cell = cell
+        self.level = level
+        self.axis: int = -1
+        self.split_value: float = float("nan")
+        self.children: List["KdNode"] = []
+        #: point indices stored here (leaves only).
+        self.indices: Optional[np.ndarray] = None
+        #: |P_u| — number of points in the subtree.
+        self.size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class KdTree:
+    """kd-tree over ``points`` (an ``(n, d)`` array; duplicates allowed)."""
+
+    def __init__(
+        self,
+        points: Sequence[Sequence[float]],
+        leaf_size: int = 1,
+        root_cell: Optional[Rect] = None,
+    ):
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValidationError("points must be a non-empty (n, d) array")
+        if leaf_size < 1:
+            raise ValidationError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.points = arr
+        self.dim = arr.shape[1]
+        self.leaf_size = leaf_size
+        if root_cell is None:
+            lo = arr.min(axis=0) - 1.0
+            hi = arr.max(axis=0) + 1.0
+            root_cell = Rect(lo, hi)
+        if root_cell.dim != self.dim:
+            raise ValidationError("root cell dimensionality mismatch")
+        self.root = self._build(np.arange(arr.shape[0]), root_cell, 0)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(self, indices: np.ndarray, cell: Rect, level: int) -> KdNode:
+        node = KdNode(cell, level)
+        node.size = int(indices.shape[0])
+        if node.size <= self.leaf_size:
+            node.indices = indices
+            return node
+        axis = level % self.dim
+        mid = node.size // 2
+        coords = self.points[indices, axis]
+        order = np.argpartition(coords, mid)
+        indices = indices[order]
+        split_value = float(self.points[indices[mid], axis])
+        # Clamp into the cell (repeated coordinates can push the median onto
+        # the cell boundary; the split degenerates gracefully).
+        split_value = min(max(split_value, cell.lo[axis]), cell.hi[axis])
+        node.axis = axis
+        node.split_value = split_value
+        left_cell, right_cell = cell.split(axis, split_value)
+        node.children = [
+            self._build(indices[:mid], left_cell, level + 1),
+            self._build(indices[mid:], right_cell, level + 1),
+        ]
+        return node
+
+    # -- traversal ---------------------------------------------------------------
+
+    def nodes(self) -> Iterator[KdNode]:
+        """Yield every node, pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def height(self) -> int:
+        """Maximum level over all nodes."""
+        return max(node.level for node in self.nodes())
+
+    def subtree_indices(self, node: KdNode) -> np.ndarray:
+        """All point indices stored under ``node``."""
+        if node.is_leaf:
+            return node.indices
+        parts = [self.subtree_indices(child) for child in node.children]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=int)
+
+    # -- classic range reporting (the "structured only" baseline) -----------------
+
+    def range_query(
+        self, rect: Rect, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Classic orthogonal range reporting: indices of points in ``rect``.
+
+        Standard kd-tree analysis: ``O(n^(1-1/d) + OUT)`` node visits for a
+        d-dimensional tree on ``n`` points.
+        """
+        counter = ensure_counter(counter)
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.charge("nodes_visited")
+            if not rect.intersects(node.cell):
+                continue
+            if node.is_leaf:
+                for idx in node.indices:
+                    counter.charge("objects_examined")
+                    if rect.contains_point(self.points[idx]):
+                        result.append(int(idx))
+                continue
+            if rect.covers(node.cell):
+                # Covered subtree: every point qualifies; pay output cost only.
+                for idx in self.subtree_indices(node):
+                    counter.charge("objects_examined")
+                    result.append(int(idx))
+                continue
+            stack.extend(node.children)
+        return result
+
+    def region_query(
+        self, region, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Report indices of points inside an arbitrary convex ``region``.
+
+        ``region`` is any object of :mod:`repro.geometry.regions`.  Used by
+        the "structured only" baselines for non-rectangular predicates.
+        """
+        counter = ensure_counter(counter)
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.charge("nodes_visited")
+            if not region.intersects(node.cell):
+                continue
+            if region.covers(node.cell):
+                for idx in self.subtree_indices(node):
+                    counter.charge("objects_examined")
+                    result.append(int(idx))
+                continue
+            if node.is_leaf:
+                for idx in node.indices:
+                    counter.charge("objects_examined")
+                    if region.contains_point(self.points[idx]):
+                        result.append(int(idx))
+                continue
+            stack.extend(node.children)
+        return result
+
+    def count_crossing_nodes(self, rect: Rect) -> int:
+        """Number of nodes whose cells intersect but are not covered by ``rect``.
+
+        This is ``|T_cross|`` of §3.3, the quantity Figure 1's compaction
+        argument bounds; exposed for the F1 benchmark.
+        """
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not rect.intersects(node.cell) or rect.covers(node.cell):
+                continue
+            count += 1
+            stack.extend(node.children)
+        return count

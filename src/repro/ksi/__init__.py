@@ -1,0 +1,33 @@
+"""k-Set Intersection (k-SI) substrates.
+
+§1.2 of the paper shows pure keyword search and k-SI reporting are the same
+problem in disguise: build, for each keyword ``w``, the set ``S_w`` of ids of
+objects whose documents contain ``w`` (the inverted-index idea); then
+``D(w1..wk) = S_w1 ∩ ... ∩ S_wk``.
+
+This package provides
+
+* :class:`~repro.ksi.inverted.InvertedIndex` — posting lists over a dataset
+  (the "keywords only" naive solution of §1);
+* :class:`~repro.ksi.naive.NaiveKSI` — the hash-based ``O(N)``-time baseline
+  over an abstract set family;
+* :class:`~repro.ksi.cohen_porat.KSetIndex` — a Cohen–Porat-style [23]
+  large/small recursion achieving ``O(N^(1-1/k) * (1 + OUT^(1/k)))`` query
+  time with ``O(N)`` space, generalized from ``k = 2`` to any fixed ``k``
+  (the index §3.5 names as the inspiration for the paper's framework);
+* :class:`~repro.ksi.ksi_index.OrpBackedKsi` — the §1.2 reduction in the
+  other direction: a k-SI index implemented by a 1-D ORP-KW index.
+"""
+
+from .inverted import InvertedIndex
+from .naive import NaiveKSI
+from .cohen_porat import KSetIndex
+from .bitset import BitsetIntervalIndex, BitsetKSI
+
+__all__ = [
+    "InvertedIndex",
+    "NaiveKSI",
+    "KSetIndex",
+    "BitsetKSI",
+    "BitsetIntervalIndex",
+]

@@ -1,0 +1,189 @@
+"""Word-packed set intersection: the *other* line of k-SI research (§2).
+
+§2 reviews two lines of work on k-SI reporting.  This module implements the
+first one — query time ``o(N) + O(OUT)`` through word-level parallelism
+(Bille-Pagh-Pagh [11], Eppstein et al. [27], Goodrich [33]): store each set
+``S_w`` as a bitmap over the element universe and intersect ``k`` bitmaps
+with word-wide ANDs, paying ``O(k * N / wlen + OUT)`` time.
+
+Python integers are arbitrary-precision bitstrings whose bitwise AND runs at
+machine-word speed in C, so a single ``&`` chain is the exact analogue of
+the word-RAM algorithm.  For the cost model, one ``structure_probes`` unit
+is charged per machine word touched (``universe / wlen`` per set), making
+the measured cost directly comparable with the other k-SI indexes.
+
+Goodrich's corollary for ORP-KW with d = 1 (§2: "an O(N)-size index and
+O(N loglogN / logN + OUT) expected query time") is realized by
+:class:`BitsetIntervalIndex`: sort the objects by coordinate, keep bitmaps
+in sorted order, and mask the query interval's prefix/suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject
+from ..errors import ValidationError
+
+#: Machine word size assumed by the cost accounting (CPython uses 30-bit
+#: digits internally; 64 matches the paper's wlen = Θ(log N) reading).
+WORD_LENGTH = 64
+
+
+class BitsetKSI:
+    """k-SI reporting via bitmap intersection (the [11, 27, 33] line)."""
+
+    def __init__(self, sets: Sequence[Sequence[int]]):
+        if not sets:
+            raise ValidationError("a k-SI instance needs at least one set")
+        elements = set()
+        for members in sets:
+            elements.update(members)
+        if not elements:
+            raise ValidationError("the set family contains no elements")
+        #: elements in universe order; bit i of a mask = membership of
+        #: self.universe[i].
+        self.universe: List[int] = sorted(elements)
+        self._position: Dict[int, int] = {e: i for i, e in enumerate(self.universe)}
+        self.input_size = sum(len(set(s)) for s in sets)
+        self._masks: List[int] = []
+        for members in sets:
+            mask = 0
+            for element in set(members):
+                mask |= 1 << self._position[element]
+            self._masks.append(mask)
+
+    @property
+    def num_sets(self) -> int:
+        """``m``."""
+        return len(self._masks)
+
+    def words_per_set(self) -> int:
+        """Machine words per bitmap (the unit of intersection work)."""
+        return (len(self.universe) + WORD_LENGTH - 1) // WORD_LENGTH
+
+    def report(
+        self, set_ids: Sequence[int], counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Sorted intersection of the requested sets.
+
+        Cost: ``k * ceil(universe / wlen)`` word operations plus one
+        ``objects_examined`` per reported element.
+        """
+        counter = ensure_counter(counter)
+        ids = list(set_ids)
+        if not ids:
+            raise ValidationError("need at least one set id")
+        try:
+            mask = self._masks[ids[0]]
+            for set_id in ids[1:]:
+                mask &= self._masks[set_id]
+        except IndexError as exc:
+            raise ValidationError(f"set id out of range: {ids}") from exc
+        counter.charge("structure_probes", len(ids) * self.words_per_set())
+        result = []
+        for position in _iter_bits(mask):
+            counter.charge("objects_examined")
+            result.append(self.universe[position])
+        return result
+
+    def is_empty(
+        self, set_ids: Sequence[int], counter: Optional[CostCounter] = None
+    ) -> bool:
+        """Emptiness via the same AND chain (no enumeration cost)."""
+        counter = ensure_counter(counter)
+        ids = list(set_ids)
+        mask = self._masks[ids[0]]
+        for set_id in ids[1:]:
+            mask &= self._masks[set_id]
+        counter.charge("structure_probes", len(ids) * self.words_per_set())
+        return mask == 0
+
+    @property
+    def space_units(self) -> int:
+        """Words across all bitmaps plus the universe array."""
+        return self.num_sets * self.words_per_set() + len(self.universe)
+
+
+class BitsetIntervalIndex:
+    """ORP-KW with d = 1 in the word-RAM style (Goodrich [33], §2).
+
+    Objects are sorted by coordinate; each keyword's bitmap is over *sorted
+    positions*, so an interval query is an AND chain followed by a mask that
+    zeroes everything outside the contiguous rank range of the interval.
+    Query cost: ``O(k * N / wlen + log|D| + OUT)``.
+    """
+
+    def __init__(self, dataset: Dataset):
+        if dataset.dim != 1:
+            raise ValidationError(
+                f"BitsetIntervalIndex is 1-D only (got d={dataset.dim})"
+            )
+        self.dataset = dataset
+        order = sorted(range(len(dataset)), key=lambda i: (dataset.objects[i].point[0], i))
+        self._sorted_objects: List[KeywordObject] = [dataset.objects[i] for i in order]
+        self._coords: List[float] = [obj.point[0] for obj in self._sorted_objects]
+        self.input_size = dataset.total_doc_size
+        self._masks: Dict[int, int] = {}
+        for position, obj in enumerate(self._sorted_objects):
+            bit = 1 << position
+            for word in obj.doc:
+                self._masks[word] = self._masks.get(word, 0) | bit
+
+    def words_per_mask(self) -> int:
+        """Machine words per keyword bitmap."""
+        return (len(self._sorted_objects) + WORD_LENGTH - 1) // WORD_LENGTH
+
+    def query(
+        self,
+        lo: float,
+        hi: float,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Objects with coordinate in ``[lo, hi]`` containing all keywords."""
+        from bisect import bisect_left, bisect_right
+
+        counter = ensure_counter(counter)
+        words = list(keywords)
+        if not words:
+            raise ValidationError("need at least one keyword")
+        mask = self._masks.get(words[0], 0)
+        for word in words[1:]:
+            mask &= self._masks.get(word, 0)
+        counter.charge("structure_probes", len(words) * self.words_per_mask())
+        start = bisect_left(self._coords, lo)
+        stop = bisect_right(self._coords, hi)
+        counter.charge("comparisons", 2)
+        if start >= stop:
+            return []
+        range_mask = ((1 << (stop - start)) - 1) << start
+        mask &= range_mask
+        result = []
+        for position in _iter_bits(mask):
+            counter.charge("objects_examined")
+            result.append(self._sorted_objects[position])
+        return result
+
+    @property
+    def space_units(self) -> int:
+        """Words across all keyword bitmaps plus the sorted arrays."""
+        return len(self._masks) * self.words_per_mask() + 2 * len(self._sorted_objects)
+
+
+def _iter_bits(mask: int):
+    """Yield set-bit positions of ``mask``, lowest first.
+
+    ``mask & -mask`` isolates the lowest set bit; ``bit_length`` locates it —
+    both constant-time word operations on the sizes involved.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def words_touched(num_sets: int, universe: int) -> int:
+    """Predicted word operations for one query (the [33] cost)."""
+    return num_sets * ((universe + WORD_LENGTH - 1) // WORD_LENGTH)

@@ -1,0 +1,79 @@
+"""Inverted index over a dataset: the "keywords only" naive solution.
+
+§1 of the paper describes two naive approaches; this is the second one:
+retrieve all the objects whose documents include all the keywords (via
+posting lists), then eliminate those failing the structured condition.  Its
+query time is proportional to the *shortest posting list* involved, which can
+be ``Θ(N)`` even when nothing is reported — exactly the drawback motivating
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject
+
+
+class InvertedIndex:
+    """Posting lists ``S_w = {e.oid : w in e.Doc}``, sorted by object id."""
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        self._postings: Dict[int, List[int]] = {}
+        for obj in dataset:
+            for word in obj.doc:
+                self._postings.setdefault(word, []).append(obj.oid)
+        for plist in self._postings.values():
+            plist.sort()
+
+    # -- accessors -------------------------------------------------------------
+
+    def posting_list(self, keyword: int) -> List[int]:
+        """Object ids whose documents contain ``keyword`` (sorted)."""
+        return self._postings.get(keyword, [])
+
+    def frequency(self, keyword: int) -> int:
+        """``|D(w)|``."""
+        return len(self._postings.get(keyword, ()))
+
+    @property
+    def space_units(self) -> int:
+        """Total posting-list entries (equals ``N``)."""
+        return sum(len(p) for p in self._postings.values())
+
+    # -- queries ---------------------------------------------------------------
+
+    def matching_objects(
+        self, keywords: Sequence[int], counter: Optional[CostCounter] = None
+    ) -> List[KeywordObject]:
+        """Compute ``D(w1..wk)`` by scanning the shortest posting list.
+
+        Cost: one ``objects_examined`` unit per entry of the shortest list,
+        plus an O(1) ``structure_probes`` doc-membership test per candidate
+        per remaining keyword.
+        """
+        counter = ensure_counter(counter)
+        words = list(keywords)
+        if not words:
+            return list(self.dataset.objects)
+        lists = [self._postings.get(w) for w in words]
+        if any(plist is None for plist in lists):
+            return []
+        words.sort(key=self.frequency)
+        shortest = self._postings[words[0]]
+        rest = words[1:]
+        result: List[KeywordObject] = []
+        for oid in shortest:
+            counter.charge("objects_examined")
+            obj = self.dataset[oid]
+            ok = True
+            for word in rest:
+                counter.charge("structure_probes")
+                if word not in obj.doc:
+                    ok = False
+                    break
+            if ok:
+                result.append(obj)
+        return result

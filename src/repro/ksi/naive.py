@@ -1,0 +1,103 @@
+"""The hash-based naive k-SI index.
+
+§2 of the paper: "By resorting to (perfect) hashing, one can build an
+O(N)-space index to answer a query in O(N) time."  This module implements
+that baseline over an abstract set family ``S_1 .. S_m``: store each set as a
+hash set, scan the smallest queried set, and probe the others.
+
+The cost is ``Θ(min_i |S_wi|)`` regardless of the output size — the structure
+every non-trivial k-SI index (and every index in this paper) is measured
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from ..costmodel import CostCounter, ensure_counter
+from ..errors import ValidationError
+
+
+class NaiveKSI:
+    """Hash-set family supporting k-SI reporting and emptiness queries."""
+
+    def __init__(self, sets: Sequence[Sequence[int]]):
+        if not sets:
+            raise ValidationError("a k-SI instance needs at least one set")
+        self.sets: List[FrozenSet[int]] = [frozenset(s) for s in sets]
+        self.input_size: int = sum(len(s) for s in self.sets)
+
+    @property
+    def num_sets(self) -> int:
+        """``m``, the number of sets."""
+        return len(self.sets)
+
+    def _resolve(self, set_ids: Sequence[int]) -> List[FrozenSet[int]]:
+        try:
+            return [self.sets[i] for i in set_ids]
+        except IndexError as exc:
+            raise ValidationError(f"set id out of range: {set_ids}") from exc
+
+    def report(
+        self, set_ids: Sequence[int], counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Return ``S_{w1} ∩ ... ∩ S_{wk}`` (sorted).
+
+        Cost: one ``objects_examined`` per element of the smallest set and
+        one ``structure_probes`` per hash probe.
+        """
+        counter = ensure_counter(counter)
+        chosen = self._resolve(set_ids)
+        chosen.sort(key=len)
+        smallest, rest = chosen[0], chosen[1:]
+        result = []
+        for element in smallest:
+            counter.charge("objects_examined")
+            ok = True
+            for other in rest:
+                counter.charge("structure_probes")
+                if element not in other:
+                    ok = False
+                    break
+            if ok:
+                result.append(element)
+        result.sort()
+        return result
+
+    def is_empty(
+        self, set_ids: Sequence[int], counter: Optional[CostCounter] = None
+    ) -> bool:
+        """Emptiness query: whether the intersection is empty.
+
+        Same worst-case cost as :meth:`report` (the naive structure cannot
+        do better, which is what the strong k-set-disjointness conjecture is
+        about).
+        """
+        counter = ensure_counter(counter)
+        chosen = self._resolve(set_ids)
+        chosen.sort(key=len)
+        smallest, rest = chosen[0], chosen[1:]
+        for element in smallest:
+            counter.charge("objects_examined")
+            hit = True
+            for other in rest:
+                counter.charge("structure_probes")
+                if element not in other:
+                    hit = False
+                    break
+            if hit:
+                return False
+        return True
+
+
+def sets_to_documents(sets: Sequence[Sequence[int]]) -> Dict[int, FrozenSet[int]]:
+    """The §1.2 reduction: elements become objects, set ids become keywords.
+
+    Returns a mapping ``element -> frozenset(set ids containing it)``, i.e.
+    ``e.Doc := {i | e in S_i}``.
+    """
+    docs: Dict[int, set] = {}
+    for set_id, members in enumerate(sets):
+        for element in members:
+            docs.setdefault(element, set()).add(set_id)
+    return {element: frozenset(ids) for element, ids in docs.items()}

@@ -1,0 +1,29 @@
+"""Partition trees: the space-partitioning index of Appendix D.1.
+
+A partition tree stores ``N`` points in a tree of constant fanout whose
+nodes carry interior-disjoint convex cells; the paper plugs Chan's optimal
+partition tree [13] into the §3 framework to obtain the SP-KW/LC-KW indexes
+of Theorem 12.  Chan's construction relies on multilevel cuttings that are
+(to our knowledge) unimplemented anywhere; this package provides the same
+*interface* with two practical schemes (see DESIGN.md for the substitution
+argument):
+
+* :class:`~repro.partitiontree.schemes.KdBoxScheme` — round-robin median
+  hyperplane splits with axis-box cells (exact ``O(n^(1-1/d))`` crossing for
+  axis-parallel hyperplanes);
+* :class:`~repro.partitiontree.schemes.WillardScheme` — Willard-style 4-way
+  planar partitions with polygon cells and a genuine ``O(n^(log4 3))``
+  crossing bound for arbitrary lines (d = 2 only).
+"""
+
+from .cells import ConvexCell
+from .schemes import KdBoxScheme, WillardScheme
+from .tree import PartitionNode, PartitionTree
+
+__all__ = [
+    "ConvexCell",
+    "KdBoxScheme",
+    "WillardScheme",
+    "PartitionNode",
+    "PartitionTree",
+]

@@ -1,0 +1,115 @@
+"""Convex polytope cells for partition trees.
+
+A cell is stored three ways at once — vertex list, facet halfspaces, and
+bounding box — because the query machinery needs all three: vertex lists for
+"is the cell covered by the query region" tests, halfspaces + bounding box
+for LP-based "does the cell intersect the query region" tests, and the
+bounding box alone as a cheap rejection filter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import GeometryError
+from ..geometry.halfspaces import EPS, HalfSpace, rect_to_halfspaces
+from ..geometry.rectangles import Rect
+
+
+class ConvexCell:
+    """A bounded convex polytope cell."""
+
+    __slots__ = ("vertices", "halfspaces", "lo", "hi", "dim")
+
+    def __init__(
+        self,
+        vertices: Sequence[Sequence[float]],
+        halfspaces: Sequence[HalfSpace],
+    ):
+        verts = tuple(tuple(float(c) for c in v) for v in vertices)
+        if not verts:
+            raise GeometryError("a cell needs at least one vertex")
+        self.vertices: Tuple[Tuple[float, ...], ...] = verts
+        self.halfspaces: Tuple[HalfSpace, ...] = tuple(halfspaces)
+        self.dim = len(verts[0])
+        self.lo = tuple(min(v[i] for v in verts) for i in range(self.dim))
+        self.hi = tuple(max(v[i] for v in verts) for i in range(self.dim))
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "ConvexCell":
+        """Wrap a bounded rectangle as a convex cell."""
+        return cls(rect.vertices(), rect_to_halfspaces(rect.lo, rect.hi))
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Closed membership test."""
+        return all(h.contains(point) for h in self.halfspaces)
+
+    def boundary_contains(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` lies on the cell boundary (footnote 7)."""
+        if not self.contains_point(point):
+            return False
+        return any(h.on_boundary(point) for h in self.halfspaces)
+
+    def clip(self, halfspace: HalfSpace) -> "ConvexCell":
+        """Intersect a 2-D polygon cell with a halfplane (Sutherland–Hodgman).
+
+        Only implemented for d = 2 (the Willard scheme); box cells in higher
+        dimensions are split axis-parallel via :class:`Rect` instead.
+        """
+        if self.dim != 2:
+            raise GeometryError("polygon clipping is only implemented for d = 2")
+        verts = _order_polygon(self.vertices)
+        clipped: List[Tuple[float, ...]] = []
+        n = len(verts)
+        for i in range(n):
+            current, nxt = verts[i], verts[(i + 1) % n]
+            cur_in = halfspace.contains(current)
+            nxt_in = halfspace.contains(nxt)
+            if cur_in:
+                clipped.append(current)
+            if cur_in != nxt_in:
+                clipped.append(_line_crossing(current, nxt, halfspace))
+        if not clipped:
+            raise GeometryError("clipping produced an empty cell")
+        return ConvexCell(_dedupe(clipped), self.halfspaces + (halfspace,))
+
+    def __repr__(self) -> str:
+        return f"ConvexCell(dim={self.dim}, nverts={len(self.vertices)})"
+
+
+def _line_crossing(
+    a: Tuple[float, ...], b: Tuple[float, ...], halfspace: HalfSpace
+) -> Tuple[float, ...]:
+    """Intersection of segment ``ab`` with the halfplane boundary."""
+    va = halfspace.value(a) - halfspace.bound
+    vb = halfspace.value(b) - halfspace.bound
+    denom = va - vb
+    if abs(denom) < 1e-300:
+        return a
+    t = va / denom
+    t = min(max(t, 0.0), 1.0)
+    return tuple(a[i] + t * (b[i] - a[i]) for i in range(len(a)))
+
+
+def _order_polygon(
+    vertices: Sequence[Tuple[float, ...]],
+) -> List[Tuple[float, ...]]:
+    """Order 2-D vertices counter-clockwise around their centroid."""
+    import math
+
+    cx = sum(v[0] for v in vertices) / len(vertices)
+    cy = sum(v[1] for v in vertices) / len(vertices)
+    return sorted(vertices, key=lambda v: math.atan2(v[1] - cy, v[0] - cx))
+
+
+def _dedupe(vertices: Sequence[Tuple[float, ...]]) -> List[Tuple[float, ...]]:
+    """Drop near-duplicate vertices (keeps the polygon well-formed)."""
+    result: List[Tuple[float, ...]] = []
+    for vert in vertices:
+        scale = max(1.0, max(abs(c) for c in vert))
+        if not any(
+            all(abs(a - b) <= EPS * scale for a, b in zip(vert, prev))
+            for prev in result
+        ):
+            result.append(vert)
+    return result

@@ -1,0 +1,170 @@
+"""Partition schemes: how a node's points and cell are divided among children.
+
+A scheme's :meth:`split` receives the node's point indices, its cell, and its
+level, and returns ``(child_indices, child_cell)`` pairs such that
+
+* every index lands in exactly one child,
+* the child cells are interior disjoint with the parent cell as union, and
+* every child's points lie inside its (closed) cell.
+
+See the package docstring and DESIGN.md for the substitution of Chan's
+optimal partition tree by these practical schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError, ValidationError
+from ..geometry.halfspaces import HalfSpace
+from ..geometry.rectangles import Rect
+from .cells import ConvexCell
+
+SplitResult = List[Tuple[np.ndarray, object]]
+
+
+class KdBoxScheme:
+    """Round-robin median hyperplane splits with axis-box (Rect) cells.
+
+    The resulting tree is a kd-tree in disguise; its cells are boxes rather
+    than simplices, which the framework permits (it only needs convex,
+    interior-disjoint cells).  For axis-parallel query facets the crossing
+    number is the classic ``O(n^(1-1/d))``; for oblique facets it is a
+    heuristic (see DESIGN.md).
+    """
+
+    fanout = 2
+
+    def split(
+        self, points: np.ndarray, indices: np.ndarray, cell: Rect, level: int
+    ) -> SplitResult:
+        if not isinstance(cell, Rect):
+            raise ValidationError("KdBoxScheme requires Rect cells")
+        dim = points.shape[1]
+        axis = level % dim
+        mid = indices.shape[0] // 2
+        order = np.argpartition(points[indices, axis], mid)
+        ordered = indices[order]
+        value = float(points[ordered[mid], axis])
+        value = min(max(value, cell.lo[axis]), cell.hi[axis])
+        left_cell, right_cell = cell.split(axis, value)
+        return [(ordered[:mid], left_cell), (ordered[mid:], right_cell)]
+
+
+class WillardScheme:
+    """Willard-style 4-way planar partition (d = 2 only).
+
+    Each node is split by two lines: a median line ``L1`` orthogonal to a
+    round-robin axis, and a single second line ``L2`` that simultaneously
+    (approximately) bisects both halves — an approximate ham-sandwich cut
+    found by scanning a grid of directions.  Because ``L2`` is one line, any
+    query line can intersect at most 3 of the 4 child cells, giving the
+    classic recurrence ``T(n) = 3 T(n/4) + O(1)`` and an
+    ``O(n^(log4 3)) ≈ O(n^0.79)`` crossing bound for arbitrary lines.
+
+    When no direction balances the second half acceptably (degenerate point
+    sets), the node falls back to a plain median split into two children.
+    """
+
+    fanout = 4
+
+    def __init__(self, num_directions: int = 16, balance_limit: float = 0.8):
+        if num_directions < 2:
+            raise ValidationError("need at least 2 candidate directions")
+        self.balance_limit = balance_limit
+        self._directions = [
+            (math.cos(math.pi * i / num_directions), math.sin(math.pi * i / num_directions))
+            for i in range(num_directions)
+        ]
+
+    def split(
+        self, points: np.ndarray, indices: np.ndarray, cell: ConvexCell, level: int
+    ) -> SplitResult:
+        if points.shape[1] != 2:
+            raise ValidationError("WillardScheme only supports d = 2")
+        axis = level % 2
+        order = np.argsort(points[indices, axis], kind="stable")
+        ordered = indices[order]
+        mid = ordered.shape[0] // 2
+        first, second = ordered[:mid], ordered[mid:]
+        value = float(points[ordered[mid], axis])
+        h_low = HalfSpace.axis_upper(2, axis, value)
+        h_high = HalfSpace.axis_lower(2, axis, value)
+
+        line2 = self._ham_sandwich(points, first, second)
+        if line2 is None:
+            return self._fallback(cell, h_low, h_high, first, second)
+
+        direction, offset = line2
+        h2_low = HalfSpace(direction, offset)
+        h2_high = h2_low.complement()
+        children: SplitResult = []
+        halves = [(first, h_low), (second, h_high)]
+        for part, h1 in halves:
+            if part.shape[0] == 0:
+                continue
+            proj = points[part] @ np.asarray(direction)
+            below = part[proj <= offset]
+            above = part[proj > offset]
+            for sub, h2 in ((below, h2_low), (above, h2_high)):
+                if sub.shape[0] == 0:
+                    continue
+                try:
+                    child_cell = cell.clip(h1).clip(h2)
+                except GeometryError:
+                    return self._fallback(cell, h_low, h_high, first, second)
+                children.append((sub, child_cell))
+        if not children:
+            return self._fallback(cell, h_low, h_high, first, second)
+        return children
+
+    def _ham_sandwich(
+        self, points: np.ndarray, first: np.ndarray, second: np.ndarray
+    ):
+        """Approximate simultaneous bisector of the two index sets.
+
+        Returns ``((dx, dy), offset)`` or ``None`` when every direction
+        leaves the second set too imbalanced.
+        """
+        if first.shape[0] == 0 or second.shape[0] == 0:
+            return None
+        best = None
+        best_score = math.inf
+        pts_first = points[first]
+        pts_second = points[second]
+        for direction in self._directions:
+            vec = np.asarray(direction)
+            proj_first = pts_first @ vec
+            offset = float(np.partition(proj_first, proj_first.shape[0] // 2)[
+                proj_first.shape[0] // 2
+            ])
+            proj_second = pts_second @ vec
+            frac = float(np.count_nonzero(proj_second <= offset)) / proj_second.shape[0]
+            score = abs(frac - 0.5)
+            if score < best_score:
+                best_score = score
+                best = (direction, offset)
+        if best is None or best_score > self.balance_limit - 0.5:
+            return None
+        return best
+
+    @staticmethod
+    def _fallback(
+        cell: ConvexCell,
+        h_low: HalfSpace,
+        h_high: HalfSpace,
+        first: np.ndarray,
+        second: np.ndarray,
+    ) -> SplitResult:
+        children: SplitResult = []
+        for part, h1 in ((first, h_low), (second, h_high)):
+            if part.shape[0] == 0:
+                continue
+            try:
+                children.append((part, cell.clip(h1)))
+            except GeometryError:
+                children.append((part, cell))
+        return children

@@ -1,0 +1,153 @@
+"""The partition tree (Appendix D.1).
+
+Structurally identical to the kd-tree — a space-partitioning tree with
+``|P_u| = O(n / f^level)`` — but with constant fanout ``f >= 2``, convex
+cells, and a pluggable :mod:`partition scheme <repro.partitiontree.schemes>`.
+Besides serving as the skeleton for the SP-KW/LC-KW transformation, it
+answers classic (keyword-free) region reporting queries: the "structured
+only" naive solution of §1 for linear-constraint queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..costmodel import CostCounter, ensure_counter
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+from .cells import ConvexCell
+from .schemes import KdBoxScheme, WillardScheme
+
+
+class PartitionNode:
+    """One node of a partition tree."""
+
+    __slots__ = ("cell", "level", "children", "indices", "size")
+
+    def __init__(self, cell, level: int):
+        self.cell = cell
+        self.level = level
+        self.children: List["PartitionNode"] = []
+        self.indices: Optional[np.ndarray] = None
+        self.size: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PartitionTree:
+    """Partition tree over ``points`` with a pluggable split scheme."""
+
+    def __init__(
+        self,
+        points: Sequence[Sequence[float]],
+        scheme=None,
+        leaf_size: int = 1,
+        root_cell=None,
+    ):
+        arr = np.asarray(points, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ValidationError("points must be a non-empty (n, d) array")
+        if leaf_size < 1:
+            raise ValidationError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.points = arr
+        self.dim = arr.shape[1]
+        self.leaf_size = leaf_size
+        if scheme is None:
+            scheme = KdBoxScheme()
+        self.scheme = scheme
+        if root_cell is None:
+            lo = arr.min(axis=0) - 1.0
+            hi = arr.max(axis=0) + 1.0
+            root_cell = Rect(lo, hi)
+            if isinstance(scheme, WillardScheme):
+                root_cell = ConvexCell.from_rect(root_cell)
+        self.root = self._build(np.arange(arr.shape[0]), root_cell, 0)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(self, indices: np.ndarray, cell, level: int) -> PartitionNode:
+        node = PartitionNode(cell, level)
+        node.size = int(indices.shape[0])
+        if node.size <= self.leaf_size:
+            node.indices = indices
+            return node
+        parts = self.scheme.split(self.points, indices, cell, level)
+        live = [(idx, c) for idx, c in parts if idx.shape[0] > 0]
+        if len(live) <= 1:
+            # The scheme could not divide the points (all coincident, say);
+            # store them as a fat leaf rather than recurse forever.
+            node.indices = indices
+            return node
+        node.children = [
+            self._build(child_indices, child_cell, level + 1)
+            for child_indices, child_cell in live
+        ]
+        return node
+
+    # -- traversal ---------------------------------------------------------------
+
+    def nodes(self) -> Iterator[PartitionNode]:
+        """Yield every node, pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def height(self) -> int:
+        """Maximum level over all nodes."""
+        return max(node.level for node in self.nodes())
+
+    def subtree_indices(self, node: PartitionNode) -> np.ndarray:
+        """All point indices stored under ``node``."""
+        if node.is_leaf:
+            return node.indices
+        parts = [self.subtree_indices(child) for child in node.children]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=int)
+
+    # -- classic region reporting (the "structured only" baseline) ----------------
+
+    def region_query(
+        self, region, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Report indices of points inside ``region`` (keyword-free).
+
+        ``region`` is any object of :mod:`repro.geometry.regions`.
+        """
+        counter = ensure_counter(counter)
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.charge("nodes_visited")
+            if not region.intersects(node.cell):
+                continue
+            if region.covers(node.cell):
+                for idx in self.subtree_indices(node):
+                    counter.charge("objects_examined")
+                    result.append(int(idx))
+                continue
+            if node.is_leaf:
+                for idx in node.indices:
+                    counter.charge("objects_examined")
+                    if region.contains_point(self.points[idx]):
+                        result.append(int(idx))
+                continue
+            stack.extend(node.children)
+        return result
+
+    def count_crossing_nodes(self, region) -> int:
+        """Number of nodes whose cells intersect but are not covered by ``region``."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not region.intersects(node.cell) or region.covers(node.cell):
+                continue
+            count += 1
+            stack.extend(node.children)
+        return count

@@ -1,0 +1,123 @@
+"""A classic 2-D range tree: the textbook structured-only alternative.
+
+§2 notes that dropping the keyword component of every problem leaves
+"classical [problems] in computational geometry [that] have been well
+understood" [3, 16].  The kd-tree gives ``O(√n + OUT)`` orthogonal range
+reporting; the *range tree* trades space for time — ``O(n log n)`` space,
+``O(log² n + OUT)`` query — and is the other canonical point on that curve.
+It serves here as a second structured-only baseline and as a reference
+implementation of the space/time trade-off the paper's Table-1 bounds are
+implicitly compared against.
+
+Structure: a balanced BST over x-ranks; every node stores its subtree's
+points as a y-sorted array.  A query decomposes the x-interval into
+``O(log n)`` canonical subtrees and binary-searches each associated array.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+from .costmodel import CostCounter, ensure_counter
+from .errors import ValidationError
+from .geometry.rectangles import Rect
+
+
+class _Node:
+    __slots__ = ("x_lo", "x_hi", "split", "left", "right", "by_y")
+
+    def __init__(self, x_lo: float, x_hi: float):
+        self.x_lo = x_lo
+        self.x_hi = x_hi
+        self.split: float = 0.0
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        #: subtree points sorted by (y, index): tuples (y, x, index).
+        self.by_y: List[Tuple[float, float, int]] = []
+
+
+class RangeTree2D:
+    """Static 2-D range tree with y-sorted associated arrays."""
+
+    def __init__(self, points: Sequence[Sequence[float]]):
+        if not len(points):
+            raise ValidationError("a range tree needs at least one point")
+        if any(len(p) != 2 for p in points):
+            raise ValidationError("RangeTree2D requires 2-D points")
+        self.count = len(points)
+        # Sort by (x, index) once; build recursively over the sorted order.
+        order = sorted(range(self.count), key=lambda i: (points[i][0], i))
+        entries = [
+            (float(points[i][0]), float(points[i][1]), i) for i in order
+        ]
+        self.root = self._build(entries)
+
+    def _build(self, entries: List[Tuple[float, float, int]]) -> _Node:
+        node = _Node(entries[0][0], entries[-1][0])
+        node.by_y = sorted((y, x, i) for x, y, i in entries)
+        if len(entries) > 1:
+            mid = len(entries) // 2
+            node.split = entries[mid][0]
+            node.left = self._build(entries[:mid])
+            node.right = self._build(entries[mid:])
+        return node
+
+    def range_query(
+        self, rect: Rect, counter: Optional[CostCounter] = None
+    ) -> List[int]:
+        """Indices of points inside the closed rectangle ``rect``.
+
+        ``O(log² n + OUT)``: canonical-subtree decomposition on x, binary
+        search on y inside each associated array.
+        """
+        if rect.dim != 2:
+            raise ValidationError("query rectangle must be 2-D")
+        counter = ensure_counter(counter)
+        x_lo, x_hi = rect.lo[0], rect.hi[0]
+        y_lo, y_hi = rect.lo[1], rect.hi[1]
+        result: List[int] = []
+
+        def report(node: _Node) -> None:
+            counter.charge("comparisons", 2)
+            start = bisect_left(node.by_y, (y_lo, float("-inf"), -1))
+            stop = bisect_right(node.by_y, (y_hi, float("inf"), self.count))
+            for idx in range(start, stop):
+                counter.charge("objects_examined")
+                _y, x, original = node.by_y[idx]
+                # x containment guaranteed for canonical nodes; the leaf
+                # fringe re-checks below.
+                result.append(original)
+
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.charge("nodes_visited")
+            if node.x_hi < x_lo or x_hi < node.x_lo:
+                continue
+            if x_lo <= node.x_lo and node.x_hi <= x_hi:
+                report(node)
+                continue
+            if node.left is None:
+                # Leaf straddling the boundary: exact check.
+                counter.charge("objects_examined")
+                y, x, original = node.by_y[0]
+                if x_lo <= x <= x_hi and y_lo <= y <= y_hi:
+                    result.append(original)
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return result
+
+    @property
+    def space_units(self) -> int:
+        """Total associated-array entries (Θ(n log n))."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += len(node.by_y)
+            if node.left is not None:
+                stack.append(node.left)
+                stack.append(node.right)
+        return total

@@ -1,0 +1,159 @@
+"""Text-to-keyword mapping: from real documents to the paper's integer docs.
+
+The paper's model takes documents as sets of integers; real systems start
+from text.  This module supplies the missing layer: a tokenizer, a
+:class:`Vocabulary` with stable integer ids (with stopword and frequency
+filtering), and a one-call builder that turns ``(point, text)`` pairs into
+an indexable :class:`~repro.dataset.Dataset`.
+
+>>> vocab, data = dataset_from_texts(
+...     [(120.0, 8.5), (90.0, 7.0)],
+...     ["Pool and free parking", "pool pets parking"],
+... )
+>>> sorted(vocab.decode(data[0].doc)) == ['free', 'parking', 'pool']
+True
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .dataset import Dataset, make_objects
+from .errors import ValidationError
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+)*")
+
+#: A minimal English stopword list; callers supply domain lists as needed.
+DEFAULT_STOPWORDS = frozenset(
+    "a an and are as at be by for from has in is it of on or the to with".split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase word tokens (hyphenated compounds stay together).
+
+    >>> tokenize("Pet-Friendly rooms, FREE parking!")
+    ['pet-friendly', 'rooms', 'free', 'parking']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """Token <-> keyword-id mapping with stable, dense positive ids."""
+
+    def __init__(self, tokens: Sequence[str]):
+        if not tokens:
+            raise ValidationError("a vocabulary needs at least one token")
+        if len(set(tokens)) != len(tokens):
+            raise ValidationError("duplicate tokens in vocabulary")
+        self._id_of: Dict[str, int] = {
+            token: i + 1 for i, token in enumerate(tokens)
+        }
+        self._token_of: Dict[int, str] = {
+            i + 1: token for i, token in enumerate(tokens)
+        }
+
+    @classmethod
+    def build(
+        cls,
+        token_lists: Iterable[Sequence[str]],
+        min_count: int = 1,
+        max_fraction: float = 1.0,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+    ) -> "Vocabulary":
+        """Build from tokenized documents with frequency filtering.
+
+        ``min_count`` drops rare tokens; ``max_fraction`` drops tokens
+        appearing in more than that fraction of documents (near-stopwords);
+        ``stopwords`` are always dropped.  Ids are assigned by descending
+        document frequency, ties broken alphabetically, so keyword 1 is
+        always the most common retained token.
+        """
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValidationError("max_fraction must be in (0, 1]")
+        stop = set(stopwords)
+        doc_freq: Dict[str, int] = {}
+        num_docs = 0
+        for tokens in token_lists:
+            num_docs += 1
+            for token in set(tokens):
+                if token not in stop:
+                    doc_freq[token] = doc_freq.get(token, 0) + 1
+        if num_docs == 0:
+            raise ValidationError("no documents supplied")
+        kept = [
+            token
+            for token, freq in doc_freq.items()
+            if freq >= min_count and freq <= max_fraction * num_docs
+        ]
+        if not kept:
+            raise ValidationError(
+                "filtering removed every token; relax min_count/max_fraction"
+            )
+        kept.sort(key=lambda t: (-doc_freq[t], t))
+        return cls(kept)
+
+    def __len__(self) -> int:
+        return len(self._id_of)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._id_of
+
+    def id_of(self, token: str) -> int:
+        """Keyword id of ``token`` (raises for unknown tokens)."""
+        try:
+            return self._id_of[token]
+        except KeyError as exc:
+            raise ValidationError(f"unknown token {token!r}") from exc
+
+    def token_of(self, keyword: int) -> str:
+        """Token of keyword id ``keyword``."""
+        try:
+            return self._token_of[keyword]
+        except KeyError as exc:
+            raise ValidationError(f"unknown keyword id {keyword}") from exc
+
+    def encode(self, tokens: Iterable[str]) -> FrozenSet[int]:
+        """Keyword-id set of the known tokens (unknown tokens are dropped)."""
+        return frozenset(
+            self._id_of[token] for token in tokens if token in self._id_of
+        )
+
+    def decode(self, keywords: Iterable[int]) -> Set[str]:
+        """Tokens of the given keyword ids."""
+        return {self.token_of(k) for k in keywords}
+
+    def query_keywords(self, *tokens: str) -> List[int]:
+        """Keyword ids for a query; unknown tokens raise (fail loudly)."""
+        return [self.id_of(token) for token in tokens]
+
+
+def dataset_from_texts(
+    points: Sequence[Sequence[float]],
+    texts: Sequence[str],
+    min_count: int = 1,
+    max_fraction: float = 1.0,
+    stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+) -> Tuple[Vocabulary, Dataset]:
+    """Tokenize, build a vocabulary, and assemble the Dataset in one call.
+
+    Objects whose documents become empty after filtering get a reserved
+    out-of-vocabulary keyword (id ``len(vocab) + 1``) so the Dataset
+    invariant (non-empty documents) holds without dropping rows.
+    """
+    if len(points) != len(texts):
+        raise ValidationError(f"{len(points)} points but {len(texts)} texts")
+    token_lists = [tokenize(text) for text in texts]
+    vocab = Vocabulary.build(
+        token_lists,
+        min_count=min_count,
+        max_fraction=max_fraction,
+        stopwords=stopwords,
+    )
+    oov = len(vocab) + 1
+    docs = []
+    for tokens in token_lists:
+        encoded = set(vocab.encode(tokens))
+        docs.append(encoded if encoded else {oov})
+    return vocab, Dataset(make_objects(points, docs))

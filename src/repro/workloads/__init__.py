@@ -1,0 +1,34 @@
+"""Synthetic workloads: data generators, query generators, and scenarios.
+
+The paper evaluates nothing empirically, so the benchmark harness needs
+workloads that exercise each index in the regimes the theory talks about:
+Zipf-distributed keyword frequencies (so both large and small keywords
+occur), controllable output sizes (the bounds interpolate between ``OUT = 0``
+and ``OUT = Θ(N)``), and adversarial k-SI instances (where the naive
+solutions are maximally bad).
+"""
+
+from .generators import (
+    WorkloadConfig,
+    adversarial_ksi_sets,
+    clustered_points,
+    planted_dataset,
+    uniform_points,
+    zipf_dataset,
+    zipf_document,
+)
+from .queries import rect_with_target_out, random_rect
+from .scenarios import hotel_dataset
+
+__all__ = [
+    "WorkloadConfig",
+    "zipf_document",
+    "zipf_dataset",
+    "planted_dataset",
+    "uniform_points",
+    "clustered_points",
+    "adversarial_ksi_sets",
+    "random_rect",
+    "rect_with_target_out",
+    "hotel_dataset",
+]

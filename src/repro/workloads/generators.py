@@ -1,0 +1,194 @@
+"""Synthetic dataset generators.
+
+All generators are deterministic given a seed and return either a
+:class:`~repro.dataset.Dataset` or plain building blocks (point lists,
+set families).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from ..dataset import Dataset, make_objects
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters shared by the Zipf-style generators.
+
+    Attributes
+    ----------
+    num_objects:
+        Number of objects ``|D|`` (the input size ``N`` is the total
+        document mass, roughly ``num_objects * (doc_min + doc_max) / 2``).
+    dim:
+        Point dimensionality.
+    vocabulary:
+        Number of distinct keywords ``W``.
+    doc_min, doc_max:
+        Document sizes are uniform in ``[doc_min, doc_max]``.
+    zipf_s:
+        Zipf exponent for keyword frequencies (``0`` = uniform).
+    seed:
+        RNG seed.
+    """
+
+    num_objects: int
+    dim: int = 2
+    vocabulary: int = 64
+    doc_min: int = 1
+    doc_max: int = 5
+    zipf_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise ValidationError("num_objects must be >= 1")
+        if not (1 <= self.doc_min <= self.doc_max <= self.vocabulary):
+            raise ValidationError(
+                "need 1 <= doc_min <= doc_max <= vocabulary, got "
+                f"{self.doc_min}..{self.doc_max} of {self.vocabulary}"
+            )
+
+
+def _zipf_weights(vocabulary: int, s: float) -> List[float]:
+    return [1.0 / (rank**s) for rank in range(1, vocabulary + 1)]
+
+
+def zipf_document(
+    rng: random.Random, vocabulary: int, size: int, weights: Sequence[float]
+) -> Set[int]:
+    """A document of ``size`` distinct keywords, Zipf-weighted.
+
+    Keywords are ``1..vocabulary``; keyword 1 is the most frequent.
+    """
+    doc: Set[int] = set()
+    population = range(1, vocabulary + 1)
+    while len(doc) < size:
+        doc.update(rng.choices(population, weights=weights, k=size - len(doc)))
+    return doc
+
+
+def uniform_points(
+    rng: random.Random, count: int, dim: int, extent: float = 1.0
+) -> List[Tuple[float, ...]]:
+    """``count`` points uniform in ``[0, extent]^dim``."""
+    return [tuple(rng.uniform(0.0, extent) for _ in range(dim)) for _ in range(count)]
+
+
+def clustered_points(
+    rng: random.Random,
+    count: int,
+    dim: int,
+    clusters: int = 8,
+    spread: float = 0.05,
+    extent: float = 1.0,
+) -> List[Tuple[float, ...]]:
+    """Gaussian clusters: the skewed-geometry regime."""
+    centers = uniform_points(rng, clusters, dim, extent)
+    points = []
+    for _ in range(count):
+        center = rng.choice(centers)
+        points.append(
+            tuple(
+                min(max(rng.gauss(c, spread * extent), 0.0), extent) for c in center
+            )
+        )
+    return points
+
+
+def zipf_dataset(config: WorkloadConfig, clustered: bool = False) -> Dataset:
+    """The workhorse dataset: uniform/clustered points, Zipf documents."""
+    rng = random.Random(config.seed)
+    if clustered:
+        points = clustered_points(rng, config.num_objects, config.dim)
+    else:
+        points = uniform_points(rng, config.num_objects, config.dim)
+    weights = _zipf_weights(config.vocabulary, config.zipf_s)
+    docs = [
+        zipf_document(
+            rng, config.vocabulary, rng.randint(config.doc_min, config.doc_max), weights
+        )
+        for _ in range(config.num_objects)
+    ]
+    return Dataset(make_objects(points, docs))
+
+
+def planted_dataset(
+    num_objects: int,
+    dim: int,
+    keywords: Sequence[int],
+    planted_fraction: float,
+    seed: int = 0,
+    vocabulary: int = 64,
+    doc_extra: int = 3,
+    region: Tuple[float, float] = (0.0, 1.0),
+) -> Dataset:
+    """Dataset with a *planted* fraction of objects matching all ``keywords``.
+
+    Used to control ``OUT`` precisely: a ``planted_fraction`` of objects
+    receive all the query keywords (placed uniformly in ``region^dim``);
+    the rest receive random keywords that never include the full query set.
+    """
+    if not 0.0 <= planted_fraction <= 1.0:
+        raise ValidationError("planted_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    planted_count = int(round(num_objects * planted_fraction))
+    lo, hi = region
+    points: List[Tuple[float, ...]] = []
+    docs: List[Set[int]] = []
+    query_set = set(keywords)
+    others = [w for w in range(1, vocabulary + 1) if w not in query_set]
+    if len(others) < doc_extra + len(query_set):
+        raise ValidationError("vocabulary too small for the planted design")
+    for i in range(num_objects):
+        if i < planted_count:
+            points.append(tuple(rng.uniform(lo, hi) for _ in range(dim)))
+            doc = set(query_set)
+            doc.update(rng.sample(others, rng.randint(0, doc_extra)))
+        else:
+            points.append(tuple(rng.uniform(0.0, 1.0) for _ in range(dim)))
+            # Never the full query set: drop one query keyword at random.
+            doc = set(rng.sample(others, rng.randint(1, doc_extra)))
+            if rng.random() < 0.5 and len(query_set) > 1:
+                doc.update(rng.sample(sorted(query_set), len(query_set) - 1))
+        docs.append(doc)
+    return Dataset(make_objects(points, docs))
+
+
+def adversarial_ksi_sets(
+    num_sets: int,
+    set_size: int,
+    planted: int = 0,
+    seed: int = 0,
+) -> List[List[int]]:
+    """A k-SI family where the naive solutions do maximal work.
+
+    Sets are pairwise (almost) disjoint blocks of ``set_size`` elements each,
+    plus ``planted`` shared elements common to *all* sets: any k-wise
+    intersection has exactly ``planted`` elements, yet every set has
+    ``Θ(set_size)`` members for the naive scan to wade through.
+    """
+    if num_sets < 2 or set_size < 1 or planted < 0:
+        raise ValidationError("need num_sets >= 2, set_size >= 1, planted >= 0")
+    rng = random.Random(seed)
+    shared = list(range(planted))
+    sets = []
+    base = planted
+    for _ in range(num_sets):
+        block = list(range(base, base + set_size))
+        base += set_size
+        members = shared + block
+        rng.shuffle(members)
+        sets.append(members)
+    return sets
+
+
+def grid_snap(points: Sequence[Tuple[float, ...]], cells: int) -> List[Tuple[float, ...]]:
+    """Snap points onto an integer grid (for the L2NN integer-domain input)."""
+    return [
+        tuple(float(min(int(c * cells), cells - 1)) for c in p) for p in points
+    ]

@@ -1,0 +1,90 @@
+"""Query generators.
+
+The bounds under test interpolate between ``OUT = 0`` and ``OUT = Θ(N)``,
+so benchmarks need query rectangles whose output size is controllable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..dataset import Dataset, KeywordObject
+from ..geometry.rectangles import Rect
+
+
+def random_rect(
+    rng: random.Random, dim: int, side: float, extent: float = 1.0
+) -> Rect:
+    """A random axis-aligned cube of side ``side`` inside ``[0, extent]^dim``."""
+    lo = [rng.uniform(0.0, max(extent - side, 0.0)) for _ in range(dim)]
+    return Rect(lo, [c + side for c in lo])
+
+
+def rect_with_target_out(
+    dataset: Dataset,
+    keywords: Sequence[int],
+    target_out: int,
+    rng: random.Random,
+    max_iterations: int = 40,
+) -> Tuple[Rect, int]:
+    """A query rectangle whose keyword-filtered output is ≈ ``target_out``.
+
+    Grows/shrinks a centered cube by bisection on the side length, counting
+    matches by brute force (this is workload *construction*, not a query
+    path under measurement).  Returns ``(rect, actual_out)``.
+    """
+    matches: List[KeywordObject] = dataset.matching(list(keywords))
+    dim = dataset.dim
+    center = tuple(0.5 for _ in range(dim))
+    if target_out <= 0:
+        # A sliver away from all matches.
+        rect = Rect((1.01,) * dim, (1.02,) * dim)
+        return rect, 0
+
+    def count(side: float) -> int:
+        rect = _centered(center, side, dim)
+        return sum(1 for obj in matches if rect.contains_point(obj.point))
+
+    lo_side, hi_side = 0.0, 2.2
+    for _ in range(max_iterations):
+        mid = (lo_side + hi_side) / 2.0
+        if count(mid) >= target_out:
+            hi_side = mid
+        else:
+            lo_side = mid
+    rect = _centered(center, hi_side, dim)
+    return rect, count(hi_side)
+
+
+def _centered(center: Sequence[float], side: float, dim: int) -> Rect:
+    half = side / 2.0
+    return Rect(
+        [center[i] - half for i in range(dim)],
+        [center[i] + half for i in range(dim)],
+    )
+
+
+def keyword_pair_by_frequency(
+    dataset: Dataset, rank_a: int, rank_b: int
+) -> Tuple[int, int]:
+    """Pick two keywords by frequency rank (0 = most frequent)."""
+    freq = {}
+    for obj in dataset:
+        for word in obj.doc:
+            freq[word] = freq.get(word, 0) + 1
+    ranked = sorted(freq, key=lambda w: -freq[w])
+    return ranked[min(rank_a, len(ranked) - 1)], ranked[min(rank_b, len(ranked) - 1)]
+
+
+def frequent_keywords(dataset: Dataset, k: int, offset: int = 0) -> List[int]:
+    """The ``k`` keywords of frequency rank ``offset..offset+k-1``."""
+    freq = {}
+    for obj in dataset:
+        for word in obj.doc:
+            freq[word] = freq.get(word, 0) + 1
+    ranked = sorted(freq, key=lambda w: -freq[w])
+    chosen = ranked[offset : offset + k]
+    if len(chosen) < k:
+        chosen = ranked[:k]
+    return chosen

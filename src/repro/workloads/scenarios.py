@@ -1,0 +1,100 @@
+"""The paper's motivating scenario: ``Hotel(price, rating, Doc)``.
+
+§1 of the paper introduces a relation of hotels with a nightly price, a
+guest rating in ``[0, 10]``, and a tag document (``'pool'``,
+``'free-parking'``, ``'pet-friendly'``, ...).  Two query shapes are named:
+
+* **C1** — ``price ∈ [100, 200] and rating >= 8`` (an ORP-KW query);
+* **C2** — ``c1*price + c2*(10 - rating) <= c3`` (an LC-KW query).
+
+This module generates that relation synthetically and exposes helpers for
+the two conditions; the example scripts and benchmarks build on it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..dataset import Dataset, make_objects
+from ..geometry.halfspaces import HalfSpace
+from ..geometry.rectangles import Rect
+
+#: Tag vocabulary, ordered roughly by how often hotels advertise them.
+HOTEL_TAGS: Tuple[str, ...] = (
+    "wifi",
+    "parking",
+    "breakfast",
+    "pool",
+    "gym",
+    "pet-friendly",
+    "free-parking",
+    "spa",
+    "bar",
+    "airport-shuttle",
+    "ev-charging",
+    "kitchenette",
+    "rooftop",
+    "beachfront",
+    "ski-in",
+)
+
+TAG_IDS: Dict[str, int] = {tag: i + 1 for i, tag in enumerate(HOTEL_TAGS)}
+
+
+def tag_id(tag: str) -> int:
+    """Integer keyword for a named tag."""
+    return TAG_IDS[tag]
+
+
+def hotel_dataset(num_hotels: int, seed: int = 0) -> Dataset:
+    """Synthetic ``Hotel(price, rating, Doc)`` relation.
+
+    Points are ``(price, rating)`` with price log-normal around ~140 and
+    rating beta-shaped toward the top of ``[0, 10]``; tags follow a
+    popularity-decaying inclusion probability, with mild correlations
+    (expensive hotels more often have spas; cheap ones free parking).
+    """
+    rng = random.Random(seed)
+    points: List[Tuple[float, float]] = []
+    docs: List[set] = []
+    for _ in range(num_hotels):
+        price = min(max(rng.lognormvariate(4.9, 0.5), 30.0), 1200.0)
+        rating = min(10.0, max(0.0, rng.betavariate(5, 2) * 10.0))
+        doc = set()
+        for rank, tag in enumerate(HOTEL_TAGS):
+            base = 0.55 / (1.0 + 0.4 * rank)
+            if tag == "spa" and price > 250:
+                base *= 3.0
+            if tag == "free-parking" and price < 120:
+                base *= 2.5
+            if tag == "pool" and rating > 8:
+                base *= 1.5
+            if rng.random() < base:
+                doc.add(TAG_IDS[tag])
+        if not doc:
+            doc.add(TAG_IDS["wifi"])
+        points.append((price, rating))
+        docs.append(doc)
+    return Dataset(make_objects(points, docs))
+
+
+def condition_c1(
+    price_lo: float = 100.0, price_hi: float = 200.0, min_rating: float = 8.0
+) -> Rect:
+    """The paper's C1: ``price ∈ [lo, hi] and rating >= min_rating``."""
+    return Rect((price_lo, min_rating), (price_hi, 10.0))
+
+
+def condition_c2(c1: float, c2: float, c3: float) -> HalfSpace:
+    """The paper's C2: ``c1*price + c2*(10 - rating) <= c3``.
+
+    Rewritten over the stored ``(price, rating)`` coordinates:
+    ``c1*price - c2*rating <= c3 - 10*c2``.
+    """
+    return HalfSpace((c1, -c2), c3 - 10.0 * c2)
+
+
+def keywords_for(tags: Sequence[str]) -> List[int]:
+    """Integer keywords for a list of tag names."""
+    return [TAG_IDS[tag] for tag in tags]

@@ -1,0 +1,101 @@
+"""A topic-model workload: correlated keywords and geography.
+
+Real spatial-keyword data (the "real data" §2's empirical indexes excel on)
+is heavily correlated: restaurants cluster downtown and share tags; ski
+rentals cluster in the mountains with a different vocabulary.  This
+generator reproduces that structure with a simple latent-topic model:
+
+* ``num_topics`` topics, each with a geographic center and its own Zipf
+  distribution over a topic-specific keyword slice (plus a shared slice of
+  globally common keywords);
+* each object draws a topic, a location around the topic center, and a
+  document mixing topic keywords with common ones.
+
+The E1-style comparisons use it as the friendly regime; the adversarial
+generators in :mod:`repro.workloads.generators` are the unfriendly one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..dataset import Dataset, make_objects
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """Parameters of the topic workload."""
+
+    num_objects: int
+    num_topics: int = 6
+    dim: int = 2
+    keywords_per_topic: int = 12
+    common_keywords: int = 8
+    doc_min: int = 2
+    doc_max: int = 6
+    common_fraction: float = 0.3
+    spread: float = 0.06
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1 or self.num_topics < 1:
+            raise ValidationError("need at least one object and one topic")
+        if not (1 <= self.doc_min <= self.doc_max):
+            raise ValidationError("need 1 <= doc_min <= doc_max")
+        if self.doc_max > self.keywords_per_topic + self.common_keywords:
+            raise ValidationError("doc_max exceeds the available vocabulary")
+        if not 0.0 <= self.common_fraction <= 1.0:
+            raise ValidationError("common_fraction must be in [0, 1]")
+
+
+def topic_dataset(config: TopicConfig) -> Dataset:
+    """Generate the dataset; object i's topic is ``i % num_topics``-free
+    (topics are drawn uniformly at random, not round-robin)."""
+    rng = random.Random(config.seed)
+    centers = [
+        tuple(rng.uniform(0.1, 0.9) for _ in range(config.dim))
+        for _ in range(config.num_topics)
+    ]
+    # Keyword layout: [1 .. common] are shared; each topic then owns the
+    # slice [common + t*per + 1 .. common + (t+1)*per].
+    common = list(range(1, config.common_keywords + 1))
+    topic_slices: List[List[int]] = []
+    base = config.common_keywords
+    for _topic in range(config.num_topics):
+        topic_slices.append(list(range(base + 1, base + config.keywords_per_topic + 1)))
+        base += config.keywords_per_topic
+
+    common_weights = [1.0 / (rank + 1) for rank in range(len(common))]
+    topic_weights = [1.0 / (rank + 1) for rank in range(config.keywords_per_topic)]
+
+    points: List[Tuple[float, ...]] = []
+    docs: List[Set[int]] = []
+    for _ in range(config.num_objects):
+        topic = rng.randrange(config.num_topics)
+        center = centers[topic]
+        point = tuple(
+            min(max(rng.gauss(c, config.spread), 0.0), 1.0) for c in center
+        )
+        size = rng.randint(config.doc_min, config.doc_max)
+        doc: Set[int] = set()
+        while len(doc) < size:
+            if rng.random() < config.common_fraction:
+                doc.update(rng.choices(common, weights=common_weights))
+            else:
+                doc.update(
+                    rng.choices(topic_slices[topic], weights=topic_weights)
+                )
+        points.append(point)
+        docs.append(doc)
+    return Dataset(make_objects(points, docs))
+
+
+def topic_keywords(config: TopicConfig, topic: int, count: int = 2) -> List[int]:
+    """The ``count`` most popular keywords of a topic (for queries)."""
+    if not 0 <= topic < config.num_topics:
+        raise ValidationError(f"topic {topic} out of range")
+    base = config.common_keywords + topic * config.keywords_per_topic
+    return list(range(base + 1, base + count + 1))

@@ -1,0 +1,162 @@
+"""Deep coverage: higher k, cross-dimension combinations, stats plumbing."""
+
+import pytest
+
+from repro.core.lc_kw import SpKwIndex
+from repro.core.orp_kw import OrpKwIndex
+from repro.core.srp_kw import SrpKwIndex
+from repro.core.transform import QueryStats
+from repro.errors import GeometryError
+from repro.geometry.rectangles import Rect
+from repro.geometry.simplex import Simplex
+
+from helpers import random_dataset
+
+
+class TestHigherK:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_orp_kw(self, rng, k):
+        ds = random_dataset(rng, 120, vocabulary=6, doc_max=5)
+        index = OrpKwIndex(ds, k=k)
+        for _ in range(10):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 7), k)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_srp_kw(self, rng, k):
+        ds = random_dataset(rng, 90, vocabulary=6, doc_max=5)
+        index = SrpKwIndex(ds, k=k)
+        for _ in range(8):
+            center = (rng.uniform(0, 10), rng.uniform(0, 10))
+            radius = rng.uniform(1.0, 6.0)
+            words = rng.sample(range(1, 7), k)
+            got = sorted(o.oid for o in index.query(center, radius, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if sum((x - y) ** 2 for x, y in zip(o.point, center)) <= radius**2
+                and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_dim_reduction_k3_4d(self, rng):
+        from repro.core.dim_reduction import DimReductionOrpKw
+
+        ds = random_dataset(rng, 60, dim=4, vocabulary=6, doc_max=5)
+        index = DimReductionOrpKw(ds, k=3)
+        for _ in range(6):
+            ivs = [
+                sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)]) for _ in range(4)
+            ]
+            rect = Rect([iv[0] for iv in ivs], [iv[1] for iv in ivs])
+            words = rng.sample(range(1, 7), 3)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_kset_k4(self, rng):
+        from repro.ksi.cohen_porat import KSetIndex
+        from repro.ksi.naive import NaiveKSI
+
+        sets = [
+            [e for e in range(50) if rng.random() < 0.5] or [0] for _ in range(6)
+        ]
+        index = KSetIndex(sets, k=4)
+        naive = NaiveKSI(sets)
+        for _ in range(15):
+            ids = rng.sample(range(6), 4)
+            assert index.report(ids) == naive.report(ids)
+
+
+class TestSpKwStats:
+    def test_stats_through_simplex_queries(self, rng):
+        ds = random_dataset(rng, 150)
+        index = SpKwIndex(ds, k=2)
+        stats = QueryStats()
+        simplex = Simplex([(0.0, 0.0), (12.0, 0.0), (0.0, 12.0)])
+        index.query_simplex(simplex, [1, 2], stats=stats)
+        assert len(stats.visited_levels) >= 1
+        assert stats.covered_nodes + stats.crossing_nodes == len(stats.visited_levels)
+
+    def test_max_report_through_simplex(self, rng):
+        ds = random_dataset(rng, 150)
+        index = SpKwIndex(ds, k=2)
+        simplex = Simplex([(-1.0, -1.0), (25.0, -1.0), (-1.0, 25.0)])
+        full = index.query_simplex(simplex, [1, 2])
+        if len(full) >= 3:
+            partial = index.query_simplex(simplex, [1, 2], max_report=3)
+            assert len(partial) == 3
+
+
+class TestCrossDimension:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_orp_kw_all_dims(self, rng, dim):
+        ds = random_dataset(rng, 80, dim=dim)
+        index = OrpKwIndex(ds, k=2)
+        for _ in range(8):
+            ivs = [
+                sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+                for _ in range(dim)
+            ]
+            rect = Rect([iv[0] for iv in ivs], [iv[1] for iv in ivs])
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_srp_3d(self, rng):
+        ds = random_dataset(rng, 60, dim=3)
+        index = SrpKwIndex(ds, k=2)  # lifted space is 4-D
+        for _ in range(6):
+            center = tuple(rng.uniform(0, 10) for _ in range(3))
+            radius = rng.uniform(1.0, 6.0)
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(center, radius, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if sum((x - y) ** 2 for x, y in zip(o.point, center)) <= radius**2
+                and o.contains_keywords(words)
+            )
+            assert got == want
+
+
+class Test3DTriangulationCoverage:
+    def test_random_3d_polytopes_covered(self, rng):
+        from repro.geometry.halfspaces import HalfSpace
+        from repro.geometry.polytope import polytope_from_constraints
+        from repro.geometry.triangulate import decompose_polytope
+
+        for _ in range(10):
+            constraints = [
+                HalfSpace(
+                    tuple(rng.uniform(-1, 1) for _ in range(3)),
+                    rng.uniform(0.3, 2.0),
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            poly = polytope_from_constraints(
+                constraints, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0)
+            )
+            simplices = decompose_polytope(poly)
+            for _ in range(100):
+                point = tuple(rng.uniform(-0.5, 1.5) for _ in range(3))
+                if poly.contains(point):
+                    assert any(s.contains(point) for s in simplices), point

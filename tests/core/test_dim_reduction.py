@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.dim_reduction (Theorem 2 / §4)."""
+
+import math
+
+import pytest
+
+from repro.core.dim_reduction import DimReductionOrpKw, DrStats
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+
+from helpers import random_dataset
+
+
+def random_rect_3d(rng, lo=-1.0, hi=11.0):
+    ivs = [sorted([rng.uniform(lo, hi), rng.uniform(lo, hi)]) for _ in range(3)]
+    return Rect([iv[0] for iv in ivs], [iv[1] for iv in ivs])
+
+
+class TestCorrectness:
+    def test_agrees_with_brute_force_3d(self, rng):
+        ds = random_dataset(rng, 100, dim=3)
+        for k in (2, 3):
+            index = DimReductionOrpKw(ds, k=k)
+            for _ in range(12):
+                rect = random_rect_3d(rng)
+                words = rng.sample(range(1, 9), k)
+                got = sorted(o.oid for o in index.query(rect, words))
+                want = sorted(
+                    o.oid
+                    for o in ds
+                    if rect.contains_point(o.point) and o.contains_keywords(words)
+                )
+                assert got == want
+
+    def test_4d_recursion(self, rng):
+        ds = random_dataset(rng, 60, dim=4)
+        index = DimReductionOrpKw(ds, k=2)
+        for _ in range(8):
+            ivs = [sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)]) for _ in range(4)]
+            rect = Rect([iv[0] for iv in ivs], [iv[1] for iv in ivs])
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_full_space_query(self, rng):
+        ds = random_dataset(rng, 80, dim=3)
+        index = DimReductionOrpKw(ds, k=2)
+        words = rng.sample(range(1, 9), 2)
+        got = sorted(o.oid for o in index.query(Rect.full(3), words))
+        want = sorted(o.oid for o in ds.matching(words))
+        assert got == want
+
+    def test_x_slab_queries_exercise_type2_nodes(self, rng):
+        ds = random_dataset(rng, 120, dim=3)
+        index = DimReductionOrpKw(ds, k=2)
+        for _ in range(10):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, -1.0, -1.0), (b, 11.0, 11.0))
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_max_report(self, rng):
+        ds = random_dataset(rng, 80, dim=3)
+        index = DimReductionOrpKw(ds, k=2)
+        words = rng.sample(range(1, 9), 2)
+        full = index.query(Rect.full(3), words)
+        if len(full) >= 3:
+            partial = index.query(Rect.full(3), words, max_report=3)
+            assert len(partial) == 3
+
+
+class TestValidation:
+    def test_rejects_low_dimensions(self, rng):
+        ds = random_dataset(rng, 20, dim=2)
+        with pytest.raises(ValidationError):
+            DimReductionOrpKw(ds, k=2)
+
+    def test_rejects_bad_k(self, rng):
+        ds = random_dataset(rng, 20, dim=3)
+        with pytest.raises(ValidationError):
+            DimReductionOrpKw(ds, k=1)
+
+    def test_rejects_query_dim_mismatch(self, rng):
+        ds = random_dataset(rng, 20, dim=3)
+        index = DimReductionOrpKw(ds, k=2)
+        with pytest.raises(ValidationError):
+            index.query(Rect.full(2), [1, 2])
+
+
+class TestStructure:
+    def test_height_loglog(self, rng):
+        """Proposition 1: the balanced-cut tree has O(log log N) levels."""
+        ds = random_dataset(rng, 800, dim=3, vocabulary=30)
+        index = DimReductionOrpKw(ds, k=2)
+        n = index.input_size
+        assert index.height() <= math.log2(math.log2(n)) + 3
+
+    def test_fanout_bounded(self, rng):
+        """Proposition 3: every fanout is O(N^(1-1/k))."""
+        ds = random_dataset(rng, 700, dim=3, vocabulary=30)
+        index = DimReductionOrpKw(ds, k=2)
+        assert index.max_fanout() <= 8 * index.input_size ** 0.5 + 8
+
+    def test_type2_nodes_at_most_two_per_level(self, rng):
+        """Figure 2: each level has at most two type-2 nodes."""
+        ds = random_dataset(rng, 400, dim=3, vocabulary=20)
+        index = DimReductionOrpKw(ds, k=2)
+        for _ in range(10):
+            stats = DrStats()
+            rect = random_rect_3d(rng, lo=0.5, hi=9.5)
+            index.query(rect, rng.sample(range(1, 9), 2), stats=stats)
+            for level, count in stats.type2_per_level.items():
+                assert count <= 2, (level, count)
+
+    def test_space_within_loglog_factor(self, rng):
+        ds = random_dataset(rng, 600, dim=3, vocabulary=30)
+        index = DimReductionOrpKw(ds, k=2)
+        n = index.input_size
+        # O(N loglog N) with a generous constant.
+        assert index.space_units <= 40 * n * max(math.log2(math.log2(n)), 1)
+
+    def test_counter_charged(self, rng):
+        ds = random_dataset(rng, 100, dim=3)
+        index = DimReductionOrpKw(ds, k=2)
+        counter = CostCounter()
+        index.query(random_rect_3d(rng), rng.sample(range(1, 9), 2), counter=counter)
+        assert counter.total > 0

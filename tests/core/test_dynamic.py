@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.dynamic (logarithmic-method dynamization)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicOrpKw
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+
+
+def brute(reference, rect, words):
+    return sorted(
+        oid
+        for oid, (point, doc) in reference.items()
+        if rect.contains_point(point) and set(words) <= doc
+    )
+
+
+class TestInsertions:
+    def test_insert_then_query(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        oid = index.insert((1.0, 2.0), {1, 2})
+        found = index.query(Rect((0.0, 0.0), (3.0, 3.0)), [1, 2])
+        assert [o.oid for o in found] == [oid]
+
+    def test_bucket_sizes_respect_doubling(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        for _ in range(100):
+            index.insert((rng.random(), rng.random()), {rng.randint(1, 5), 7})
+        for level, size in enumerate(index.bucket_sizes):
+            assert size <= 2**level
+
+    def test_interleaved_inserts_and_queries(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        reference = {}
+        for step in range(150):
+            point = (rng.uniform(0, 10), rng.uniform(0, 10))
+            doc = frozenset(rng.sample(range(1, 7), rng.randint(1, 3)))
+            oid = index.insert(point, doc)
+            reference[oid] = (point, doc)
+            if step % 25 == 0:
+                a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+                c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+                rect = Rect((a, c), (b, d))
+                words = rng.sample(range(1, 7), 2)
+                got = sorted(o.oid for o in index.query(rect, words))
+                assert got == brute(reference, rect, words)
+
+    def test_insert_many_matches_singles(self, rng):
+        batch = DynamicOrpKw(k=2, dim=2)
+        single = DynamicOrpKw(k=2, dim=2)
+        points = [(rng.random(), rng.random()) for _ in range(50)]
+        docs = [frozenset(rng.sample(range(1, 6), 2)) for _ in range(50)]
+        batch.insert_many(points, docs)
+        for point, doc in zip(points, docs):
+            single.insert(point, doc)
+        rect = Rect((0.2, 0.2), (0.8, 0.8))
+        a = sorted(o.oid for o in batch.query(rect, [1, 2]))
+        b = sorted(o.oid for o in single.query(rect, [1, 2]))
+        assert a == b
+
+    def test_no_duplicates_across_buckets(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        for _ in range(80):
+            index.insert((rng.random(), rng.random()), {1, 2})
+        found = [o.oid for o in index.query(Rect.full(2), [1, 2])]
+        assert len(found) == len(set(found)) == 80
+
+
+class TestDeletions:
+    def test_delete_removes_from_answers(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((rng.random(), rng.random()), {1, 2}) for _ in range(20)]
+        index.delete(oids[5])
+        found = {o.oid for o in index.query(Rect.full(2), [1, 2])}
+        assert oids[5] not in found
+        assert len(found) == 19
+
+    def test_len_tracks_live_objects(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((rng.random(), rng.random()), {1, 2}) for _ in range(10)]
+        assert len(index) == 10
+        index.delete(oids[0])
+        assert len(index) == 9
+
+    def test_double_delete_rejected(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        oid = index.insert((0.0, 0.0), {1, 2})
+        # Inserting more keeps the structure from rebuilding immediately.
+        index.insert((1.0, 1.0), {1, 2})
+        index.insert((2.0, 2.0), {1, 2})
+        index.delete(oid)
+        with pytest.raises(ValidationError):
+            index.delete(oid)
+
+    def test_unknown_delete_rejected(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        index.insert((0.0, 0.0), {1})
+        with pytest.raises(ValidationError):
+            index.delete(999)
+
+    def test_rebuild_purges_tombstones(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((rng.random(), rng.random()), {1, 2}) for _ in range(32)]
+        for oid in oids[:16]:
+            index.delete(oid)  # triggers the half-dead rebuild
+        assert len(index) == 16
+        assert sum(index.bucket_sizes) == 16  # physically removed
+
+    def test_churn_consistency(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        reference = {}
+        for step in range(250):
+            if reference and rng.random() < 0.35:
+                oid = rng.choice(sorted(reference))
+                index.delete(oid)
+                del reference[oid]
+            else:
+                point = (rng.uniform(0, 10), rng.uniform(0, 10))
+                doc = frozenset(rng.sample(range(1, 7), rng.randint(1, 3)))
+                oid = index.insert(point, doc)
+                reference[oid] = (point, doc)
+            if step % 40 == 0:
+                rect = Rect((2.0, 2.0), (8.0, 8.0))
+                words = rng.sample(range(1, 7), 2)
+                got = sorted(o.oid for o in index.query(rect, words))
+                assert got == brute(reference, rect, words)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            DynamicOrpKw(k=1, dim=2)
+        with pytest.raises(ValidationError):
+            DynamicOrpKw(k=2, dim=0)
+
+    def test_dim_mismatch(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        with pytest.raises(ValidationError):
+            index.insert((1.0,), {1})
+
+    def test_counter_charged(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        for _ in range(30):
+            index.insert((rng.random(), rng.random()), {1, 2})
+        counter = CostCounter()
+        index.query(Rect.full(2), [1, 2], counter=counter)
+        assert counter.total > 0

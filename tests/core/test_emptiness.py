@@ -1,0 +1,94 @@
+"""Tests for the budgeted emptiness queries (the paper's footnote 4)."""
+
+import math
+
+from repro.core.lc_kw import LcKwIndex
+from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.rectangles import Rect
+
+from helpers import random_dataset
+
+
+class TestOrpEmptiness:
+    def test_agrees_with_reporting(self, rng):
+        ds = random_dataset(rng, 90)
+        index = OrpKwIndex(ds, k=2)
+        for _ in range(20):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 9), 2)
+            want_empty = not index.query(rect, words)
+            assert index.is_empty(rect, words) == want_empty
+
+    def test_empty_side_cost_sublinear(self, rng):
+        n = 3000
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        docs = [[1] if i % 2 == 0 else [2] for i in range(n)]
+        ds = Dataset.from_points(points, docs)
+        index = OrpKwIndex(ds, k=2)
+        counter = CostCounter()
+        assert index.is_empty(Rect.full(2), [1, 2], counter=counter)
+        assert counter.total <= 8 * math.sqrt(index.input_size)
+
+    def test_nonempty_side_terminates_fast(self, rng):
+        """With max_report=1 the probe stops at the first hit."""
+        n = 3000
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        docs = [[1, 2] for _ in range(n)]  # everything matches
+        ds = Dataset.from_points(points, docs)
+        index = OrpKwIndex(ds, k=2)
+        counter = CostCounter()
+        assert not index.is_empty(Rect.full(2), [1, 2], counter=counter)
+        assert counter.total <= 32 * math.sqrt(index.input_size)
+
+
+class TestLcEmptiness:
+    def test_agrees_with_reporting(self, rng):
+        ds = random_dataset(rng, 70)
+        index = LcKwIndex(ds, k=2)
+        for _ in range(12):
+            cons = [
+                HalfSpace(
+                    (rng.uniform(-1, 1), rng.uniform(-1, 1)), rng.uniform(-5, 15)
+                )
+                for _ in range(rng.randint(1, 2))
+            ]
+            words = rng.sample(range(1, 9), 2)
+            want_empty = not index.query(cons, words)
+            assert index.is_empty(cons, words) == want_empty
+
+    def test_infeasible_constraints_are_empty(self, rng):
+        ds = random_dataset(rng, 40)
+        index = LcKwIndex(ds, k=2)
+        cons = [HalfSpace((1.0, 0.0), 0.0), HalfSpace((-1.0, 0.0), -9.0)]
+        assert index.is_empty(cons, [1, 2])
+
+
+class TestDimReductionAndSrpEmptiness:
+    def test_dim_reduction_agrees(self, rng):
+        ds = random_dataset(rng, 60, dim=3)
+        from repro.core.dim_reduction import DimReductionOrpKw
+
+        index = DimReductionOrpKw(ds, k=2)
+        for _ in range(8):
+            ivs = [sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)]) for _ in range(3)]
+            rect = Rect([iv[0] for iv in ivs], [iv[1] for iv in ivs])
+            words = rng.sample(range(1, 9), 2)
+            assert index.is_empty(rect, words) == (not index.query(rect, words))
+
+    def test_srp_agrees(self, rng):
+        from repro.core.srp_kw import SrpKwIndex
+
+        ds = random_dataset(rng, 60)
+        index = SrpKwIndex(ds, k=2)
+        for _ in range(8):
+            center = (rng.uniform(0, 10), rng.uniform(0, 10))
+            radius = rng.uniform(0.2, 5.0)
+            words = rng.sample(range(1, 9), 2)
+            assert index.is_empty(center, radius, words) == (
+                not index.query(center, radius, words)
+            )

@@ -1,0 +1,65 @@
+"""Tests for the query-explain facility (QueryStats breakdown)."""
+
+from repro.core.orp_kw import OrpKwIndex
+from repro.core.transform import QueryStats
+from repro.geometry.rectangles import Rect
+
+from helpers import random_dataset
+
+
+class TestExplain:
+    def test_explain_returns_stats(self, rng):
+        ds = random_dataset(rng, 120)
+        index = OrpKwIndex(ds, k=2)
+        stats = index.explain(Rect((2.0, 2.0), (8.0, 8.0)), [1, 2])
+        assert isinstance(stats, QueryStats)
+        assert stats.covered_nodes + stats.crossing_nodes == len(stats.visited_levels)
+
+    def test_describe_is_readable(self, rng):
+        ds = random_dataset(rng, 120)
+        index = OrpKwIndex(ds, k=2)
+        text = index.explain(Rect((2.0, 2.0), (8.0, 8.0)), [1, 2]).describe()
+        assert "visited nodes" in text
+        assert "materialized scans" in text
+        assert "Lemma 10" in text
+
+    def test_per_level_counts_sum_to_visits(self, rng):
+        ds = random_dataset(rng, 150)
+        index = OrpKwIndex(ds, k=2)
+        stats = index.explain(Rect.full(2), [1, 2])
+        histogram = stats.per_level_counts()
+        assert sum(histogram.values()) == len(stats.visited_levels)
+
+    def test_materialized_branch_recorded(self, rng):
+        """A rare keyword goes small near the root -> materialized scan."""
+        from repro.dataset import Dataset
+
+        points = [(rng.random() * 10, rng.random() * 10) for _ in range(120)]
+        docs = [[1, 2] for _ in range(119)] + [[1, 3]]  # keyword 3 is rare
+        ds = Dataset.from_points(points, docs)
+        index = OrpKwIndex(ds, k=2)
+        stats = index.explain(Rect.full(2), [1, 3])
+        assert stats.materialized_scans >= 1
+        assert stats.materialized_objects >= 1
+
+    def test_combo_rejections_on_disjoint_keywords(self, rng):
+        from repro.dataset import Dataset
+
+        points = [(rng.random() * 10, rng.random() * 10) for _ in range(200)]
+        docs = [[1] if i % 2 == 0 else [2] for i in range(200)]
+        ds = Dataset.from_points(points, docs)
+        index = OrpKwIndex(ds, k=2)
+        stats = index.explain(Rect.full(2), [1, 2])
+        # Both large at the root, but no child combination is non-empty.
+        assert stats.combo_rejections >= 1
+        assert stats.materialized_scans == 0
+
+    def test_cell_rejections_on_selective_rect(self, rng):
+        from repro.dataset import Dataset
+
+        points = [(i / 200 * 10, (i * 7 % 200) / 200 * 10) for i in range(200)]
+        docs = [[1, 2] for _ in range(200)]
+        ds = Dataset.from_points(points, docs)
+        index = OrpKwIndex(ds, k=2)
+        stats = index.explain(Rect((4.9, 4.9), (5.1, 5.1)), [1, 2])
+        assert stats.cell_rejections >= 1

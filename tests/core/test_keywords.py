@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.keywords (large/small machinery)."""
+
+from repro.core.keywords import large_small_split, node_weight, nonempty_combinations
+from repro.dataset import KeywordObject
+
+
+def obj(oid, doc, point=(0.0, 0.0)):
+    return KeywordObject(oid=oid, point=point, doc=frozenset(doc))
+
+
+class TestNodeWeight:
+    def test_weight_is_doc_mass(self):
+        objs = [obj(0, {1, 2}), obj(1, {3})]
+        assert node_weight(objs) == 3
+
+    def test_empty(self):
+        assert node_weight([]) == 0
+
+
+class TestLargeSmallSplit:
+    def test_threshold_rule(self):
+        # weight = 16, k = 2 -> threshold = 4.
+        objs = [obj(i, {1, 2} if i < 4 else {2, 3}) for i in range(8)]
+        large, materialized = large_small_split(objs, {1, 2, 3}, 16, 2)
+        # counts: 1 -> 4, 2 -> 8, 3 -> 4; all >= 4 -> all large.
+        assert large == {1, 2, 3}
+        assert materialized == {}
+
+    def test_small_keywords_materialized(self):
+        objs = [obj(0, {1}), obj(1, {2}), *(obj(i, {3}) for i in range(2, 18))]
+        weight = node_weight(objs)  # 18, threshold = sqrt(18) ~ 4.24
+        large, materialized = large_small_split(objs, {1, 2, 3}, weight, 2)
+        assert large == {3}
+        assert set(materialized) == {1, 2}
+        assert [o.oid for o in materialized[1]] == [0]
+
+    def test_only_candidates_considered(self):
+        objs = [obj(0, {1, 2})] * 1
+        large, materialized = large_small_split(objs, {2}, 2, 2)
+        assert 1 not in large and 1 not in materialized
+
+    def test_absent_candidates_not_materialized(self):
+        objs = [obj(0, {1})]
+        large, materialized = large_small_split(objs, {1, 9}, 1, 2)
+        assert 9 not in materialized
+
+    def test_at_most_weight_pow_1_over_k_large(self, rng):
+        objs = [
+            obj(i, rng.sample(range(1, 30), rng.randint(1, 4)))
+            for i in range(200)
+        ]
+        weight = node_weight(objs)
+        large, _ = large_small_split(objs, set(range(1, 30)), weight, 2)
+        assert len(large) <= weight ** 0.5 + 1
+
+
+class TestNonemptyCombinations:
+    def test_pairs(self):
+        objs = [obj(0, {1, 2}), obj(1, {2, 3}), obj(2, {4})]
+        combos = nonempty_combinations(objs, {1, 2, 3, 4}, 2)
+        assert combos == {(1, 2), (2, 3)}
+
+    def test_respects_large_filter(self):
+        objs = [obj(0, {1, 2, 3})]
+        combos = nonempty_combinations(objs, {1, 3}, 2)
+        assert combos == {(1, 3)}
+
+    def test_triples(self):
+        objs = [obj(0, {1, 2, 3, 4})]
+        combos = nonempty_combinations(objs, {1, 2, 3, 4}, 3)
+        assert (1, 2, 3) in combos and len(combos) == 4
+
+    def test_combo_iff_shared_object(self, rng):
+        objs = [
+            obj(i, rng.sample(range(1, 10), rng.randint(1, 4)))
+            for i in range(40)
+        ]
+        large = set(range(1, 10))
+        combos = nonempty_combinations(objs, large, 2)
+        for a in range(1, 10):
+            for b in range(a + 1, 10):
+                shared = any({a, b} <= o.doc for o in objs)
+                assert ((a, b) in combos) == shared

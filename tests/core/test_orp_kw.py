@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.orp_kw (Theorem 1)."""
+
+import math
+
+import pytest
+
+from repro.core.orp_kw import OrpKwIndex
+from repro.core.transform import QueryStats
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+
+from helpers import duplicate_heavy_dataset, random_dataset
+
+
+class TestCorrectness:
+    def test_hand_example(self, tiny_dataset):
+        index = OrpKwIndex(tiny_dataset, k=2)
+        found = index.query(Rect((0.0, 0.0), (9.0, 9.0)), [1, 2])
+        assert sorted(o.oid for o in found) == [0, 3]
+        found = index.query(Rect((0.0, 0.0), (3.0, 6.0)), [1, 3])
+        assert sorted(o.oid for o in found) == [1]
+
+    def test_agrees_with_brute_force(self, rng):
+        ds = random_dataset(rng, 120)
+        for k in (2, 3):
+            index = OrpKwIndex(ds, k=k)
+            for _ in range(15):
+                a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+                c, d = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+                rect = Rect((a, c), (b, d))
+                words = rng.sample(range(1, 9), k)
+                got = sorted(o.oid for o in index.query(rect, words))
+                want = sorted(
+                    o.oid
+                    for o in ds
+                    if rect.contains_point(o.point) and o.contains_keywords(words)
+                )
+                assert got == want
+
+    def test_degenerate_positions(self, rng):
+        """§3.4: rank space removes the general-position assumption."""
+        ds = duplicate_heavy_dataset(rng, 90)
+        index = OrpKwIndex(ds, k=2)
+        for _ in range(25):
+            a, b = sorted([rng.uniform(-1, 5), rng.uniform(-1, 5)])
+            c, d = sorted([rng.uniform(-1, 5), rng.uniform(-1, 5)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_1d_data(self, rng):
+        ds = random_dataset(rng, 70, dim=1)
+        index = OrpKwIndex(ds, k=2)
+        for _ in range(15):
+            a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(Rect((a,), (b,)), words))
+            want = sorted(
+                o.oid for o in ds if a <= o.point[0] <= b and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_full_space_query_equals_pure_keyword_search(self, rng):
+        ds = random_dataset(rng, 60)
+        index = OrpKwIndex(ds, k=2)
+        words = rng.sample(range(1, 9), 2)
+        got = sorted(o.oid for o in index.query(Rect.full(2), words))
+        want = sorted(o.oid for o in ds.matching(words))
+        assert got == want
+
+    def test_returns_original_objects(self, tiny_dataset):
+        index = OrpKwIndex(tiny_dataset, k=2)
+        found = index.query(Rect.full(2), [1, 2])
+        for obj in found:
+            assert obj is tiny_dataset[obj.oid]
+
+
+class TestValidation:
+    def test_k_below_two_rejected(self, tiny_dataset):
+        with pytest.raises(ValidationError):
+            OrpKwIndex(tiny_dataset, k=1)
+
+    def test_wrong_query_dim_rejected(self, tiny_dataset):
+        index = OrpKwIndex(tiny_dataset, k=2)
+        with pytest.raises(ValidationError):
+            index.query(Rect((0.0,), (1.0,)), [1, 2])
+
+    def test_wrong_keyword_count_rejected(self, tiny_dataset):
+        index = OrpKwIndex(tiny_dataset, k=2)
+        with pytest.raises(ValidationError):
+            index.query(Rect.full(2), [1, 2, 3])
+
+
+class TestComplexityShape:
+    def test_space_linear(self, rng):
+        ds = random_dataset(rng, 600, vocabulary=40)
+        index = OrpKwIndex(ds, k=2)
+        assert index.space_units <= 12 * index.input_size
+
+    def test_pivot_sets_constant(self, rng):
+        ds = random_dataset(rng, 400)
+        index = OrpKwIndex(ds, k=2)
+        assert index.max_pivot_size() <= 4
+
+    def test_empty_output_cost_sublinear(self, rng):
+        """Two disjoint keyword populations: OUT = 0, cost ≪ N."""
+        n = 3000
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        docs = [[1] if i % 2 == 0 else [2] for i in range(n)]
+        ds = Dataset.from_points(points, docs)
+        index = OrpKwIndex(ds, k=2)
+        counter = CostCounter()
+        out = index.query(Rect.full(2), [1, 2], counter=counter)
+        assert out == []
+        assert counter.total <= 4 * math.sqrt(index.input_size)
+
+    def test_cost_within_constant_of_bound(self, rng):
+        ds = random_dataset(rng, 1500, vocabulary=12, doc_max=4)
+        index = OrpKwIndex(ds, k=2)
+        n = index.input_size
+        for side in (2.0, 6.0, 10.0):
+            counter = CostCounter()
+            rect = Rect((5 - side / 2, 5 - side / 2), (5 + side / 2, 5 + side / 2))
+            out = index.query(rect, [1, 2], counter=counter)
+            bound = math.sqrt(n) * (1 + math.sqrt(len(out)))
+            assert counter.total <= 20 * bound
+
+    def test_stats_crossing_sensitivity(self, rng):
+        """Lemma 10: crossing leaf power sum is O(N^(1-1/k))."""
+        ds = random_dataset(rng, 2000, vocabulary=10)
+        index = OrpKwIndex(ds, k=2)
+        stats = QueryStats()
+        index.query(Rect((2.0, 2.0), (8.0, 8.0)), [1, 2], stats=stats)
+        assert stats.crossing_leaf_power_sum <= 24 * math.sqrt(index.input_size)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.planner."""
+
+import pytest
+
+from repro.core.planner import STRATEGIES, HybridPlanner
+from repro.costmodel import CostCounter
+from repro.dataset import Dataset
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+
+from helpers import random_dataset
+
+
+class TestCorrectness:
+    def test_all_strategies_exact(self, rng):
+        ds = random_dataset(rng, 120)
+        planner = HybridPlanner(ds, k=2)
+        for _ in range(12):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 9), 2)
+            brute = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert sorted(o.oid for o in planner.query(rect, words)) == brute
+            for strategy in STRATEGIES:
+                got = sorted(
+                    o.oid for o in planner.query_with(strategy, rect, words)
+                )
+                assert got == brute, strategy
+
+    def test_last_plan_recorded(self, rng):
+        ds = random_dataset(rng, 60)
+        planner = HybridPlanner(ds, k=2)
+        planner.query(Rect.full(2), [1, 2])
+        assert planner.last_plan is not None
+        assert planner.last_plan["choice"] in STRATEGIES
+
+
+class TestRouting:
+    def test_fallback_prefers_short_posting_list(self, rng):
+        # Keyword 9 appears once: the shortest-posting estimate is 1.
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(300)]
+        docs = [[1, 2] for _ in range(299)] + [[1, 9]]
+        ds = Dataset.from_points(points, docs)
+        planner = HybridPlanner(ds, k=2)
+        assert planner.choose(Rect.full(2), [1, 9]) == "keywords_only"
+
+    def test_fallback_prefers_tiny_rectangle(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(300)]
+        docs = [[1, 2] for _ in range(300)]
+        ds = Dataset.from_points(points, docs)
+        planner = HybridPlanner(ds, k=2)
+        sliver = Rect((5.0, 5.0), (5.0001, 5.0001))
+        assert planner.choose(sliver, [1, 2]) == "structured_only"
+
+    def test_race_picks_fused_on_adversarial_data(self, rng):
+        """Disjoint keywords: fused finishes in O(1) — well inside budget."""
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(800)]
+        docs = [[1] if i % 2 == 0 else [2] for i in range(800)]
+        ds = Dataset.from_points(points, docs)
+        planner = HybridPlanner(ds, k=2)
+        counter = CostCounter()
+        out = planner.query(Rect.full(2), [1, 2], counter=counter)
+        assert out == []
+        assert planner.last_plan["choice"] == "fused"
+        assert counter.total < 400  # far below the naive 400-800
+
+    def test_planner_near_optimal_in_aggregate(self, rng):
+        """Across a workload, planned cost stays within ~3x the per-query
+        optimum (single queries can exceed it when the sample-based
+        selectivity estimate misfires; the race bounds the damage)."""
+        ds = random_dataset(rng, 400, vocabulary=12)
+        planner = HybridPlanner(ds, k=2)
+        total_planned = 0
+        total_best = 0
+        for _ in range(15):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 13), 2)
+            counter = CostCounter()
+            planner.query(rect, words, counter=counter)
+            total_planned += counter.total
+            total_best += min(
+                _run_cost(planner, s, rect, words) for s in STRATEGIES
+            )
+        assert total_planned <= 3 * total_best + 96, (total_planned, total_best)
+
+    def test_race_never_exceeds_fused_plus_fallback(self, rng):
+        """The structural bound of the race, per query."""
+        ds = random_dataset(rng, 300, vocabulary=10)
+        planner = HybridPlanner(ds, k=2)
+        for _ in range(10):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 11), 2)
+            counter = CostCounter()
+            planner.query(rect, words, counter=counter)
+            fallback = planner.last_plan["fallback"]
+            ceiling = (
+                _run_cost(planner, "fused", rect, words)
+                + _run_cost(planner, fallback, rect, words)
+                + 64
+            )
+            assert counter.total <= ceiling
+
+
+def _run_cost(planner, strategy, rect, words) -> int:
+    counter = CostCounter()
+    planner.query_with(strategy, rect, words, counter=counter)
+    return counter.total
+
+
+class TestValidation:
+    def test_bad_sample_size(self, rng):
+        with pytest.raises(ValidationError):
+            HybridPlanner(random_dataset(rng, 10), k=2, sample_size=0)
+
+    def test_unknown_strategy(self, rng):
+        planner = HybridPlanner(random_dataset(rng, 10), k=2)
+        with pytest.raises(ValidationError):
+            planner.query_with("oracle", Rect.full(2), [1, 2])

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.rr_kw (Corollary 3)."""
+
+import pytest
+
+from repro.core.rr_kw import RrKwIndex, _corner_point
+from repro.dataset import RectangleObject
+from repro.errors import ValidationError
+
+
+def random_rectangles(rng, count, dim, vocabulary=6):
+    rects = []
+    for i in range(count):
+        lo, hi = [], []
+        for _ in range(dim):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            lo.append(a)
+            hi.append(b)
+        rects.append(
+            RectangleObject(
+                oid=i,
+                lo=tuple(lo),
+                hi=tuple(hi),
+                doc=frozenset(rng.sample(range(1, vocabulary + 1), rng.randint(1, 3))),
+            )
+        )
+    return rects
+
+
+class TestCornerPoint:
+    def test_interleaves_corners(self):
+        rect = RectangleObject(oid=0, lo=(1.0, 3.0), hi=(2.0, 4.0), doc=frozenset({1}))
+        assert _corner_point(rect) == (1.0, 2.0, 3.0, 4.0)
+
+
+class TestIntervals:
+    """d = 1: keyword search over temporal documents."""
+
+    def test_agrees_with_brute_force(self, rng):
+        rects = random_rectangles(rng, 100, dim=1)
+        index = RrKwIndex(rects, k=2)
+        for _ in range(25):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(r.oid for r in index.query((a,), (b,), words))
+            want = sorted(
+                r.oid
+                for r in rects
+                if r.intersects((a,), (b,)) and r.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_point_stab(self, rng):
+        rects = random_rectangles(rng, 80, dim=1)
+        index = RrKwIndex(rects, k=2)
+        for _ in range(15):
+            x = rng.uniform(0, 10)
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(r.oid for r in index.query((x,), (x,), words))
+            want = sorted(
+                r.oid
+                for r in rects
+                if r.lo[0] <= x <= r.hi[0] and r.contains_keywords(words)
+            )
+            assert got == want
+
+
+class TestBoxes:
+    """d = 2: geographic MBRs."""
+
+    def test_agrees_with_brute_force(self, rng):
+        rects = random_rectangles(rng, 70, dim=2)
+        index = RrKwIndex(rects, k=2)
+        for _ in range(15):
+            lo = (rng.uniform(0, 10), rng.uniform(0, 10))
+            hi = (lo[0] + rng.uniform(0, 5), lo[1] + rng.uniform(0, 5))
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(r.oid for r in index.query(lo, hi, words))
+            want = sorted(
+                r.oid
+                for r in rects
+                if r.intersects(lo, hi) and r.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_touching_counts_as_intersecting(self):
+        rects = [
+            RectangleObject(oid=0, lo=(0.0, 0.0), hi=(1.0, 1.0), doc=frozenset({1, 2}))
+        ]
+        index = RrKwIndex(rects, k=2)
+        got = index.query((1.0, 1.0), (2.0, 2.0), [1, 2])
+        assert [r.oid for r in got] == [0]
+
+
+class TestValidation:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            RrKwIndex([], k=2)
+
+    def test_mixed_dims_rejected(self):
+        rects = [
+            RectangleObject(oid=0, lo=(0.0,), hi=(1.0,), doc=frozenset({1})),
+            RectangleObject(oid=1, lo=(0.0, 0.0), hi=(1.0, 1.0), doc=frozenset({1})),
+        ]
+        with pytest.raises(ValidationError):
+            RrKwIndex(rects, k=2)
+
+    def test_duplicate_ids_rejected(self):
+        rects = [
+            RectangleObject(oid=0, lo=(0.0,), hi=(1.0,), doc=frozenset({1})),
+            RectangleObject(oid=0, lo=(2.0,), hi=(3.0,), doc=frozenset({1})),
+        ]
+        with pytest.raises(ValidationError):
+            RrKwIndex(rects, k=2)
+
+    def test_query_dim_mismatch_rejected(self, rng):
+        rects = random_rectangles(rng, 10, dim=1)
+        index = RrKwIndex(rects, k=2)
+        with pytest.raises(ValidationError):
+            index.query((0.0, 0.0), (1.0, 1.0), [1, 2])
+
+    def test_space_linear_for_intervals(self, rng):
+        rects = random_rectangles(rng, 400, dim=1)
+        index = RrKwIndex(rects, k=2)
+        assert index.space_units <= 12 * index.input_size

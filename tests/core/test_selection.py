@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.selection (candidate radii)."""
+
+import pytest
+
+from repro.core.selection import CandidateRadii
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+
+
+def brute_candidates(points, q):
+    values = []
+    for p in points:
+        for axis in range(len(q)):
+            values.append(abs(q[axis] - p[axis]))
+    return sorted(values)
+
+
+class TestCountWithin:
+    def test_agrees_with_brute_force(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(40)]
+        radii = CandidateRadii(points)
+        q = (rng.uniform(0, 10), rng.uniform(0, 10))
+        cands = brute_candidates(points, q)
+        for r in [0.0, 0.5, 2.0, 5.0, 20.0]:
+            want = sum(1 for c in cands if c <= r)
+            assert radii.count_within(q, r) == want
+
+    def test_zero_radius_counts_exact_hits(self):
+        radii = CandidateRadii([(1.0, 2.0), (1.0, 3.0)])
+        assert radii.count_within((1.0, 0.0), 0.0) == 2  # both x-coords match
+
+    def test_counter_charged(self):
+        radii = CandidateRadii([(1.0,)])
+        counter = CostCounter()
+        radii.count_within((0.0,), 1.0, counter)
+        assert counter["comparisons"] > 0
+
+
+class TestSuccessor:
+    def test_agrees_with_brute_force(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(30)]
+        radii = CandidateRadii(points)
+        q = (rng.uniform(0, 10), rng.uniform(0, 10))
+        cands = brute_candidates(points, q)
+        for r in [0.0, 0.3, 1.7, 4.0]:
+            want = next((c for c in cands if c > r), None)
+            got = radii.successor(q, r)
+            if want is None:
+                assert got is None
+            else:
+                assert got == pytest.approx(want)
+
+    def test_beyond_max_returns_none(self):
+        radii = CandidateRadii([(1.0,), (2.0,)])
+        assert radii.successor((0.0,), 10.0) is None
+
+    def test_strictness(self):
+        radii = CandidateRadii([(3.0,)])
+        # candidate at distance 3 from q=0; successor of exactly 3 is None
+        assert radii.successor((0.0,), 3.0) is None
+        assert radii.successor((0.0,), 2.999) == pytest.approx(3.0)
+
+
+class TestMaxRadius:
+    def test_covers_all_candidates(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(30)]
+        radii = CandidateRadii(points)
+        q = (rng.uniform(-5, 15), rng.uniform(-5, 15))
+        cands = brute_candidates(points, q)
+        assert radii.max_radius(q) == pytest.approx(cands[-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            CandidateRadii([])

@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.srp_kw (Corollary 6)."""
+
+import pytest
+
+from repro.core.srp_kw import SrpKwIndex
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+
+from helpers import duplicate_heavy_dataset, random_dataset
+
+
+def in_ball(point, center, radius):
+    return sum((a - b) ** 2 for a, b in zip(point, center)) <= radius * radius
+
+
+class TestCorrectness:
+    def test_agrees_with_brute_force(self, rng):
+        ds = random_dataset(rng, 90, vocabulary=6)
+        index = SrpKwIndex(ds, k=2)
+        for _ in range(15):
+            center = (rng.uniform(0, 10), rng.uniform(0, 10))
+            radius = rng.uniform(0.5, 6.0)
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(o.oid for o in index.query(center, radius, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if in_ball(o.point, center, radius) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_k3(self, rng):
+        ds = random_dataset(rng, 70, vocabulary=6)
+        index = SrpKwIndex(ds, k=3)
+        center, radius = (5.0, 5.0), 4.0
+        words = rng.sample(range(1, 7), 3)
+        got = sorted(o.oid for o in index.query(center, radius, words))
+        want = sorted(
+            o.oid
+            for o in ds
+            if in_ball(o.point, center, radius) and o.contains_keywords(words)
+        )
+        assert got == want
+
+    def test_zero_radius(self, rng):
+        ds = duplicate_heavy_dataset(rng, 60)
+        index = SrpKwIndex(ds, k=2)
+        obj = ds.objects[0]
+        words = sorted(obj.doc)[:2]
+        if len(words) == 2:
+            got = index.query(obj.point, 0.0, words)
+            assert all(o.point == obj.point for o in got)
+            assert any(o.oid == obj.oid for o in got)
+
+    def test_tiny_and_huge_radii(self, rng):
+        ds = random_dataset(rng, 50, vocabulary=6)
+        index = SrpKwIndex(ds, k=2)
+        words = rng.sample(range(1, 7), 2)
+        assert index.query((20.0, 20.0), 0.001, words) == []
+        got = sorted(o.oid for o in index.query((5.0, 5.0), 100.0, words))
+        want = sorted(o.oid for o in ds.matching(words))
+        assert got == want
+
+    def test_1d_data(self, rng):
+        ds = random_dataset(rng, 60, dim=1, vocabulary=6)
+        index = SrpKwIndex(ds, k=2)
+        for _ in range(10):
+            center = (rng.uniform(0, 10),)
+            radius = rng.uniform(0.5, 4.0)
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(o.oid for o in index.query(center, radius, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if abs(o.point[0] - center[0]) <= radius and o.contains_keywords(words)
+            )
+            assert got == want
+
+
+class TestValidation:
+    def test_negative_radius_rejected(self, rng):
+        ds = random_dataset(rng, 20)
+        index = SrpKwIndex(ds, k=2)
+        with pytest.raises(ValidationError):
+            index.query((0.0, 0.0), -1.0, [1, 2])
+
+    def test_center_dim_mismatch_rejected(self, rng):
+        ds = random_dataset(rng, 20)
+        index = SrpKwIndex(ds, k=2)
+        with pytest.raises(ValidationError):
+            index.query((0.0,), 1.0, [1, 2])
+
+    def test_space_linear(self, rng):
+        ds = random_dataset(rng, 400, vocabulary=20)
+        index = SrpKwIndex(ds, k=2)
+        assert index.space_units <= 12 * index.input_size
+
+    def test_counter_charged(self, rng):
+        ds = random_dataset(rng, 60)
+        index = SrpKwIndex(ds, k=2)
+        counter = CostCounter()
+        index.query((5.0, 5.0), 3.0, rng.sample(range(1, 9), 2), counter=counter)
+        assert counter.total > 0

@@ -1,0 +1,89 @@
+"""Integration of the Willard partition scheme with the full keyword stack.
+
+The Willard scheme is the provable-crossing alternative substrate (see
+DESIGN.md); these tests exercise it through every layer that accepts a
+scheme: SP-KW, LC-KW, SRP-KW (which lifts to 3-D, where Willard does not
+apply and must be rejected cleanly), and the transform's statistics.
+"""
+
+import pytest
+
+from repro.core.lc_kw import LcKwIndex, SpKwIndex
+from repro.core.transform import QueryStats
+from repro.errors import GeometryError, ValidationError
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.simplex import Simplex
+from repro.partitiontree import WillardScheme
+
+from helpers import duplicate_heavy_dataset, random_dataset
+
+
+class TestWillardLcKw:
+    def test_multi_constraint_queries(self, rng):
+        ds = random_dataset(rng, 100)
+        index = LcKwIndex(ds, k=2, scheme=WillardScheme())
+        for _ in range(12):
+            cons = [
+                HalfSpace(
+                    (rng.uniform(-1, 1), rng.uniform(-1, 1)), rng.uniform(-5, 15)
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(cons, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if all(h.contains(o.point) for h in cons)
+                and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_degenerate_positions(self, rng):
+        ds = duplicate_heavy_dataset(rng, 80)
+        index = LcKwIndex(ds, k=2, scheme=WillardScheme())
+        for _ in range(10):
+            cons = [
+                HalfSpace(
+                    (rng.uniform(-1, 1), rng.uniform(-1, 1)), rng.uniform(-3, 8)
+                )
+            ]
+            words = rng.sample(range(1, 7), 2)
+            got = sorted(o.oid for o in index.query(cons, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if cons[0].contains(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_k3_willard(self, rng):
+        ds = random_dataset(rng, 80, vocabulary=6, doc_max=5)
+        index = SpKwIndex(ds, k=3, scheme=WillardScheme())
+        simplex = Simplex([(-1.0, -1.0), (22.0, -1.0), (-1.0, 22.0)])
+        words = rng.sample(range(1, 7), 3)
+        got = sorted(o.oid for o in index.query_simplex(simplex, words))
+        want = sorted(
+            o.oid
+            for o in ds
+            if simplex.contains(o.point) and o.contains_keywords(words)
+        )
+        assert got == want
+
+    def test_stats_through_willard(self, rng):
+        ds = random_dataset(rng, 120)
+        index = SpKwIndex(ds, k=2, scheme=WillardScheme())
+        stats = QueryStats()
+        simplex = Simplex([(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)])
+        index.query_simplex(simplex, [1, 2], stats=stats)
+        assert stats.covered_nodes + stats.crossing_nodes == len(stats.visited_levels)
+
+    def test_willard_rejected_in_3d(self, rng):
+        ds = random_dataset(rng, 30, dim=3)
+        with pytest.raises((ValidationError, GeometryError)):
+            SpKwIndex(ds, k=2, scheme=WillardScheme())
+
+    def test_space_linear_willard(self, rng):
+        ds = random_dataset(rng, 400, vocabulary=24)
+        index = SpKwIndex(ds, k=2, scheme=WillardScheme())
+        assert index.space_units <= 12 * index.input_size

@@ -1,0 +1,83 @@
+"""Unit tests for repro.geometry.halfspaces."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry.halfspaces import HalfSpace, rect_to_halfspaces
+
+
+class TestHalfSpace:
+    def test_membership(self):
+        h = HalfSpace((1.0, 1.0), 1.0)  # x + y <= 1
+        assert h.contains((0.0, 0.0))
+        assert h.contains((0.5, 0.5))  # boundary
+        assert not h.contains((1.0, 1.0))
+
+    def test_strict_membership(self):
+        h = HalfSpace((1.0,), 2.0)
+        assert h.strictly_contains((1.0,))
+        assert not h.strictly_contains((2.0,))
+
+    def test_on_boundary(self):
+        h = HalfSpace((2.0, 0.0), 4.0)  # 2x <= 4
+        assert h.on_boundary((2.0, 99.0))
+        assert not h.on_boundary((1.0, 0.0))
+
+    def test_boundary_tolerance_is_relative(self):
+        h = HalfSpace((1.0,), 1e9)
+        assert h.on_boundary((1e9 + 0.001,))  # within relative eps of 1e9
+
+    def test_complement_shares_boundary(self):
+        h = HalfSpace((1.0, -1.0), 0.5)
+        comp = h.complement()
+        point_on = (1.0, 0.5)  # 1*1 - 1*0.5 = 0.5
+        assert h.on_boundary(point_on)
+        assert comp.on_boundary(point_on)
+        assert comp.contains((5.0, 0.0)) != h.strictly_contains((5.0, 0.0))
+
+    def test_value(self):
+        h = HalfSpace((2.0, 3.0), 0.0)
+        assert h.value((1.0, 1.0)) == 5.0
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValidationError):
+            HalfSpace((0.0, 0.0), 1.0)
+
+    def test_empty_coeffs_rejected(self):
+        with pytest.raises(ValidationError):
+            HalfSpace((), 1.0)
+
+    def test_axis_constructors(self):
+        upper = HalfSpace.axis_upper(3, 1, 5.0)
+        lower = HalfSpace.axis_lower(3, 1, 2.0)
+        assert upper.contains((99.0, 5.0, -99.0))
+        assert not upper.contains((0.0, 5.1, 0.0))
+        assert lower.contains((0.0, 2.0, 0.0))
+        assert not lower.contains((0.0, 1.9, 0.0))
+
+    def test_hash_and_eq(self):
+        assert HalfSpace((1.0,), 2.0) == HalfSpace((1.0,), 2.0)
+        assert hash(HalfSpace((1.0,), 2.0)) == hash(HalfSpace((1.0,), 2.0))
+
+
+class TestRectToHalfspaces:
+    def test_bounded_rect_gives_2d_constraints(self):
+        spaces = rect_to_halfspaces((0.0, 1.0), (2.0, 3.0))
+        assert len(spaces) == 4
+        inside, outside = (1.0, 2.0), (3.0, 2.0)
+        assert all(h.contains(inside) for h in spaces)
+        assert not all(h.contains(outside) for h in spaces)
+
+    def test_infinite_bounds_produce_no_constraint(self):
+        import math
+
+        spaces = rect_to_halfspaces((-math.inf, 0.0), (math.inf, 1.0))
+        assert len(spaces) == 2  # only the y-axis is constrained
+
+    def test_conjunction_matches_rect_membership(self):
+        from repro.geometry.rectangles import Rect
+
+        rect = Rect((0.0, -1.0), (2.0, 4.0))
+        spaces = rect_to_halfspaces(rect.lo, rect.hi)
+        for point in [(0.0, -1.0), (1.0, 0.0), (2.1, 0.0), (1.0, 4.5)]:
+            assert rect.contains_point(point) == all(h.contains(point) for h in spaces)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.geometry.lifting (Corollary 6's reduction)."""
+
+import math
+
+import pytest
+
+from repro.geometry.lifting import lift_point, lift_sphere, lift_sphere_squared
+
+
+class TestLiftPoint:
+    def test_appends_squared_norm(self):
+        assert lift_point((3.0, 4.0)) == (3.0, 4.0, 25.0)
+
+    def test_1d(self):
+        assert lift_point((2.0,)) == (2.0, 4.0)
+
+    def test_origin(self):
+        assert lift_point((0.0, 0.0, 0.0)) == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestLiftSphere:
+    def test_membership_equivalence_random(self, rng):
+        """The defining property: p in B(c, r) iff lift(p) in halfspace."""
+        for _ in range(300):
+            dim = rng.choice([1, 2, 3])
+            center = tuple(rng.uniform(-5, 5) for _ in range(dim))
+            radius = rng.uniform(0.1, 5.0)
+            h = lift_sphere(center, radius)
+            p = tuple(rng.uniform(-6, 6) for _ in range(dim))
+            dist = math.sqrt(sum((a - b) ** 2 for a, b in zip(p, center)))
+            if abs(dist - radius) < 1e-6:
+                continue  # skip knife-edge cases
+            assert h.contains(lift_point(p)) == (dist <= radius)
+
+    def test_boundary_point_on_halfspace_boundary(self):
+        h = lift_sphere((0.0, 0.0), 2.0)
+        assert h.on_boundary(lift_point((2.0, 0.0)))
+        assert h.on_boundary(lift_point((0.0, -2.0)))
+
+    def test_squared_variant_matches(self):
+        a = lift_sphere((1.0, -2.0), 3.0)
+        b = lift_sphere_squared((1.0, -2.0), 9.0)
+        assert a.coeffs == b.coeffs
+        assert a.bound == pytest.approx(b.bound)
+
+    def test_halfspace_dimensionality(self):
+        h = lift_sphere((0.0, 0.0), 1.0)
+        assert h.dim == 3  # d+1

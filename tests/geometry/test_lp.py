@@ -1,0 +1,116 @@
+"""Unit tests for repro.geometry.lp (Seidel's algorithm)."""
+
+import itertools
+
+import pytest
+
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.lp import feasible_point, halfspaces_feasible, solve_lp
+from repro.errors import GeometryError
+
+
+class TestBaseCases:
+    def test_unconstrained_box_minimum(self):
+        point = solve_lp([], (1.0, 1.0), (0.0, 0.0), (2.0, 2.0))
+        assert point == (0.0, 0.0)
+
+    def test_maximization_via_negation(self):
+        point = solve_lp([], (-1.0,), (0.0,), (5.0,))
+        assert point == (5.0,)
+
+    def test_1d_constraint_tightens(self):
+        point = solve_lp([((1.0,), 3.0)], (-1.0,), (0.0,), (5.0,))
+        assert point == pytest.approx((3.0,))
+
+    def test_1d_infeasible(self):
+        # x <= 1 and x >= 2 within [0, 5]
+        point = solve_lp([((1.0,), 1.0), ((-1.0,), -2.0)], (1.0,), (0.0,), (5.0,))
+        assert point is None
+
+    def test_empty_box(self):
+        assert solve_lp([], (1.0,), (2.0,), (1.0,)) is None
+
+
+class TestTwoD:
+    def test_diagonal_constraint(self):
+        # minimize -x - y s.t. x + y <= 1 in [0,1]^2 -> on the line x+y=1
+        point = solve_lp([((1.0, 1.0), 1.0)], (-1.0, -1.0), (0.0, 0.0), (1.0, 1.0))
+        assert point is not None
+        assert point[0] + point[1] == pytest.approx(1.0)
+
+    def test_infeasible_pair(self):
+        cons = [((1.0, 0.0), 0.2), ((-1.0, 0.0), -0.8)]  # x <= .2 and x >= .8
+        assert feasible_point(cons, (0.0, 0.0), (1.0, 1.0)) is None
+
+    def test_feasible_point_satisfies_constraints(self):
+        cons = [((1.0, 2.0), 2.0), ((-1.0, 1.0), 0.5)]
+        point = feasible_point(cons, (0.0, 0.0), (3.0, 3.0))
+        assert point is not None
+        for coeffs, bound in cons:
+            assert sum(c * x for c, x in zip(coeffs, point)) <= bound + 1e-6
+
+    def test_optimum_value_vertex(self):
+        # minimize x s.t. x >= 0.25 encoded as -x <= -0.25
+        point = solve_lp([((-1.0, 0.0), -0.25)], (1.0, 0.0), (0.0, 0.0), (1.0, 1.0))
+        assert point[0] == pytest.approx(0.25)
+
+
+class TestAgainstGridBruteForce:
+    @pytest.mark.parametrize("dim", [2, 3, 4])
+    def test_feasibility_agrees_with_grid(self, dim, rng):
+        steps = [i / 6.0 for i in range(7)]
+        for _ in range(60):
+            cons = [
+                (
+                    tuple(rng.uniform(-1.0, 1.0) for _ in range(dim)),
+                    rng.uniform(-0.5, 1.0),
+                )
+                for _ in range(rng.randint(1, 5))
+            ]
+            lp_point = feasible_point(cons, (0.0,) * dim, (1.0,) * dim)
+            grid_feasible = any(
+                all(
+                    sum(c * x for c, x in zip(coeffs, g)) <= bound + 1e-9
+                    for coeffs, bound in cons
+                )
+                for g in itertools.product(steps, repeat=dim)
+            )
+            if grid_feasible:
+                # Grid feasibility implies LP feasibility.
+                assert lp_point is not None
+            if lp_point is not None:
+                for coeffs, bound in cons:
+                    value = sum(c * x for c, x in zip(coeffs, lp_point))
+                    assert value <= bound + 1e-6
+                assert all(-1e-9 <= x <= 1 + 1e-9 for x in lp_point)
+
+    def test_optimality_against_grid(self, rng):
+        steps = [i / 10.0 for i in range(11)]
+        for _ in range(40):
+            cons = [
+                ((rng.uniform(-1, 1), rng.uniform(-1, 1)), rng.uniform(0.2, 1.5))
+                for _ in range(3)
+            ]
+            obj = (rng.uniform(-1, 1), rng.uniform(-1, 1))
+            point = solve_lp(cons, obj, (0.0, 0.0), (1.0, 1.0))
+            grid_best = None
+            for g in itertools.product(steps, repeat=2):
+                if all(c[0] * g[0] + c[1] * g[1] <= b + 1e-9 for c, b in cons):
+                    val = obj[0] * g[0] + obj[1] * g[1]
+                    grid_best = val if grid_best is None else min(grid_best, val)
+            if point is not None and grid_best is not None:
+                lp_val = obj[0] * point[0] + obj[1] * point[1]
+                # LP optimum can only be at most the best grid value (+tol).
+                assert lp_val <= grid_best + 1e-6
+
+
+class TestHalfspacesFeasible:
+    def test_wrapper(self):
+        spaces = [HalfSpace((1.0, 0.0), 0.5), HalfSpace((0.0, 1.0), 0.5)]
+        assert halfspaces_feasible(spaces, (0.0, 0.0), (1.0, 1.0))
+        spaces.append(HalfSpace((-1.0, 0.0), -0.9))  # x >= 0.9 contradicts x <= 0.5
+        assert not halfspaces_feasible(spaces, (0.0, 0.0), (1.0, 1.0))
+
+    def test_box_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            solve_lp([], (1.0, 1.0), (0.0,), (1.0,))

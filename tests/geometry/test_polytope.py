@@ -1,0 +1,128 @@
+"""Unit tests for repro.geometry.polytope and triangulate."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.polytope import (
+    HPolytope,
+    optional_feasible_point,
+    polytope_from_constraints,
+)
+from repro.geometry.triangulate import decompose_polytope, triangulate_vertices
+
+
+class TestHPolytope:
+    def test_membership(self):
+        poly = HPolytope([HalfSpace((1.0, 0.0), 1.0), HalfSpace((0.0, 1.0), 1.0)])
+        assert poly.contains((0.5, 0.5))
+        assert not poly.contains((2.0, 0.0))
+
+    def test_unit_square_vertices(self):
+        poly = polytope_from_constraints([], (0.0, 0.0), (0.0, 0.0)).clipped_to_box(
+            (0.0, 0.0), (1.0, 1.0)
+        )
+        verts = set(poly.enumerate_vertices())
+        assert {(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)}.issubset(verts)
+
+    def test_triangle_vertices(self):
+        # x >= 0, y >= 0, x + y <= 1
+        poly = HPolytope(
+            [
+                HalfSpace((-1.0, 0.0), 0.0),
+                HalfSpace((0.0, -1.0), 0.0),
+                HalfSpace((1.0, 1.0), 1.0),
+            ]
+        )
+        verts = poly.enumerate_vertices()
+        assert len(verts) == 3
+        for expected in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]:
+            assert any(
+                abs(v[0] - expected[0]) < 1e-9 and abs(v[1] - expected[1]) < 1e-9
+                for v in verts
+            )
+
+    def test_feasible(self):
+        poly = HPolytope([HalfSpace((1.0, 1.0), 1.0)])
+        assert poly.feasible((0.0, 0.0), (1.0, 1.0))
+        assert not poly.feasible((2.0, 2.0), (3.0, 3.0))
+
+    def test_empty_polytope_has_no_vertices(self):
+        poly = HPolytope(
+            [HalfSpace((1.0, 0.0), 0.0), HalfSpace((-1.0, 0.0), -1.0)]
+        ).clipped_to_box((-5.0, -5.0), (5.0, 5.0))
+        assert poly.enumerate_vertices() == []
+
+    def test_no_halfspaces_rejected(self):
+        with pytest.raises(GeometryError):
+            HPolytope([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(GeometryError):
+            HPolytope([HalfSpace((1.0,), 0.0), HalfSpace((1.0, 0.0), 0.0)])
+
+
+class TestPolytopeFromConstraints:
+    def test_clip_box_encloses_data(self):
+        poly = polytope_from_constraints(
+            [HalfSpace((1.0, 0.0), 100.0)], (0.0, 0.0), (10.0, 10.0)
+        )
+        # Every data-range point must stay inside the clipped polytope.
+        assert poly.contains((0.0, 0.0))
+        assert poly.contains((10.0, 10.0))
+
+    def test_empty_constraint_list_gives_box(self):
+        poly = polytope_from_constraints([], (0.0,), (1.0,))
+        assert poly.contains((0.5,))
+        assert not poly.contains((99.0,))
+
+
+class TestTriangulate:
+    def test_1d_interval(self):
+        simplices = triangulate_vertices([(0.0,), (2.0,), (1.0,)], 1)
+        assert len(simplices) == 1
+        assert simplices[0].contains((1.5,))
+
+    def test_square_decomposes_into_triangles(self):
+        verts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]
+        simplices = triangulate_vertices(verts, 2)
+        assert len(simplices) == 2
+        total_area = sum(s.volume() for s in simplices)
+        assert total_area == pytest.approx(1.0)
+
+    def test_degenerate_returns_empty(self):
+        assert triangulate_vertices([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)], 2) == []
+        assert triangulate_vertices([(0.0, 0.0)], 2) == []
+
+    def test_decomposition_covers_polytope(self, rng):
+        constraints = [
+            HalfSpace((rng.uniform(-1, 1), rng.uniform(-1, 1)), rng.uniform(0.2, 2))
+            for _ in range(3)
+        ]
+        poly = polytope_from_constraints(constraints, (0.0, 0.0), (1.0, 1.0))
+        simplices = decompose_polytope(poly)
+        for _ in range(200):
+            p = (rng.uniform(-0.5, 1.5), rng.uniform(-0.5, 1.5))
+            in_poly = poly.contains(p)
+            in_simplices = any(s.contains(p) for s in simplices)
+            if in_poly:
+                assert in_simplices, p
+
+    def test_3d_cube_decomposition(self):
+        poly = polytope_from_constraints([], (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)).clipped_to_box(
+            (0.0, 0.0, 0.0), (1.0, 1.0, 1.0)
+        )
+        simplices = decompose_polytope(poly)
+        assert simplices
+        assert sum(s.volume() for s in simplices) == pytest.approx(1.0)
+
+
+class TestOptionalFeasiblePoint:
+    def test_returns_point_or_none(self):
+        point = optional_feasible_point(
+            [HalfSpace((1.0,), 0.5)], (0.0,), (1.0,)
+        )
+        assert point is not None and point[0] <= 0.5 + 1e-9
+        assert (
+            optional_feasible_point([HalfSpace((1.0,), -1.0)], (0.0,), (1.0,)) is None
+        )

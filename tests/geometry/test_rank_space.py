@@ -1,0 +1,88 @@
+"""Unit tests for repro.geometry.rank_space (§3.4)."""
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.geometry.rank_space import RankSpaceMap
+from repro.geometry.rectangles import Rect
+
+
+class TestRankAssignment:
+    def test_distinct_coordinates(self):
+        m = RankSpaceMap([(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+        assert m.to_rank_point(0) == (2, 0)
+        assert m.to_rank_point(1) == (0, 2)
+        assert m.to_rank_point(2) == (1, 1)
+
+    def test_ties_broken_by_id(self):
+        m = RankSpaceMap([(5.0,), (5.0,), (5.0,)])
+        assert [m.to_rank_point(i) for i in range(3)] == [(0,), (1,), (2,)]
+
+    def test_ranks_are_a_permutation_per_axis(self, rng):
+        points = [(rng.choice([1.0, 2.0, 3.0]), rng.uniform(0, 1)) for _ in range(50)]
+        m = RankSpaceMap(points)
+        for axis in range(2):
+            ranks = sorted(m.to_rank_point(i)[axis] for i in range(50))
+            assert ranks == list(range(50))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            RankSpaceMap([])
+
+
+class TestIntervalConversion:
+    def test_interval_covers_matching_ranks(self):
+        m = RankSpaceMap([(1.0,), (2.0,), (3.0,), (4.0,)])
+        lo, hi = m.rank_interval(0, 1.5, 3.5)
+        assert (lo, hi) == (1.0, 2.0)  # ranks of 2.0 and 3.0
+
+    def test_empty_interval(self):
+        m = RankSpaceMap([(1.0,), (2.0,)])
+        lo, hi = m.rank_interval(0, 5.0, 6.0)
+        assert lo > hi
+
+    def test_interval_closed_at_boundaries(self):
+        m = RankSpaceMap([(1.0,), (2.0,), (3.0,)])
+        lo, hi = m.rank_interval(0, 2.0, 2.0)
+        assert (lo, hi) == (1.0, 1.0)
+
+    def test_counter_charged(self):
+        m = RankSpaceMap([(1.0,)])
+        counter = CostCounter()
+        m.rank_interval(0, 0.0, 2.0, counter)
+        assert counter["comparisons"] > 0
+
+
+class TestRectConversion:
+    def test_preserves_membership(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(40)]
+        m = RankSpaceMap(points)
+        for _ in range(50):
+            a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            c, d = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            rect = Rect((a, c), (b, d))
+            rank_rect = m.rect_to_rank(rect)
+            for i, p in enumerate(points):
+                assert rect.contains_point(p) == rank_rect.contains_point(
+                    m.to_rank_point(i)
+                )
+
+    def test_preserves_membership_with_duplicates(self, rng):
+        points = [(float(rng.randint(0, 3)), float(rng.randint(0, 3))) for _ in range(30)]
+        m = RankSpaceMap(points)
+        for _ in range(40):
+            a, b = sorted([rng.uniform(-1, 4), rng.uniform(-1, 4)])
+            c, d = sorted([rng.uniform(-1, 4), rng.uniform(-1, 4)])
+            rect = Rect((a, c), (b, d))
+            rank_rect = m.rect_to_rank(rect)
+            for i, p in enumerate(points):
+                assert rect.contains_point(p) == rank_rect.contains_point(
+                    m.to_rank_point(i)
+                )
+
+    def test_empty_axis_empties_whole_query(self):
+        m = RankSpaceMap([(1.0, 1.0), (2.0, 2.0)])
+        rank_rect = m.rect_to_rank(Rect((10.0, 0.0), (11.0, 5.0)))
+        for i in range(2):
+            assert not rank_rect.contains_point(m.to_rank_point(i))

@@ -1,0 +1,135 @@
+"""Unit tests for repro.geometry.rectangles."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+
+
+class TestConstruction:
+    def test_basic(self):
+        rect = Rect((0.0, 1.0), (2.0, 3.0))
+        assert rect.dim == 2
+        assert rect.interval(1) == (1.0, 3.0)
+
+    def test_full_space(self):
+        rect = Rect.full(3)
+        assert rect.dim == 3
+        assert not rect.is_bounded()
+        assert rect.contains_point((1e18, -1e18, 0.0))
+
+    def test_from_intervals(self):
+        rect = Rect.from_intervals([(0.0, 1.0), (2.0, 3.0)])
+        assert rect == Rect((0.0, 2.0), (1.0, 3.0))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect((1.0,), (0.0,))
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect((0.0, 0.0), (1.0,))
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect((), ())
+
+    def test_degenerate_allowed(self):
+        rect = Rect((1.0,), (1.0,))
+        assert rect.contains_point((1.0,))
+
+
+class TestPredicates:
+    def test_contains_is_closed(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        assert rect.contains_point((0.0, 1.0))
+        assert rect.contains_point((0.5, 0.5))
+        assert not rect.contains_point((1.0001, 0.5))
+
+    def test_interior_is_open(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        assert rect.interior_contains((0.5, 0.5))
+        assert not rect.interior_contains((0.0, 0.5))
+
+    def test_boundary(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        assert rect.boundary_contains((0.0, 0.5))
+        assert rect.boundary_contains((1.0, 1.0))
+        assert not rect.boundary_contains((0.5, 0.5))
+        assert not rect.boundary_contains((2.0, 0.5))
+
+    def test_unbounded_sides_have_no_boundary(self):
+        rect = Rect.full(2)
+        assert not rect.boundary_contains((0.0, 0.0))
+
+    def test_intersects_symmetric(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, 1.0), (3.0, 3.0))
+        c = Rect((5.0, 5.0), (6.0, 6.0))
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c) and not c.intersects(a)
+
+    def test_touching_rectangles_intersect(self):
+        a = Rect((0.0, 0.0), (1.0, 1.0))
+        b = Rect((1.0, 0.0), (2.0, 1.0))
+        assert a.intersects(b)
+
+    def test_covers(self):
+        outer = Rect((0.0, 0.0), (4.0, 4.0))
+        inner = Rect((1.0, 1.0), (2.0, 2.0))
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+        assert outer.covers(outer)
+
+
+class TestConstructions:
+    def test_clip(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((1.0, -1.0), (3.0, 1.0))
+        assert a.clip(b) == Rect((1.0, 0.0), (2.0, 1.0))
+
+    def test_clip_empty_raises(self):
+        a = Rect((0.0,), (1.0,))
+        b = Rect((2.0,), (3.0,))
+        with pytest.raises(ValidationError):
+            a.clip(b)
+
+    def test_split_shares_boundary(self):
+        rect = Rect((0.0, 0.0), (4.0, 4.0))
+        left, right = rect.split(0, 1.5)
+        assert left == Rect((0.0, 0.0), (1.5, 4.0))
+        assert right == Rect((1.5, 0.0), (4.0, 4.0))
+        # The halves share the splitting hyperplane (closed cells).
+        assert left.contains_point((1.5, 2.0))
+        assert right.contains_point((1.5, 2.0))
+
+    def test_split_outside_extent_rejected(self):
+        rect = Rect((0.0,), (1.0,))
+        with pytest.raises(ValidationError):
+            rect.split(0, 2.0)
+
+    def test_vertices_of_square(self):
+        rect = Rect((0.0, 0.0), (1.0, 1.0))
+        assert set(rect.vertices()) == {
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+        }
+
+    def test_vertices_of_degenerate(self):
+        rect = Rect((0.0, 1.0), (1.0, 1.0))
+        assert set(rect.vertices()) == {(0.0, 1.0), (1.0, 1.0)}
+
+    def test_vertices_of_unbounded_raises(self):
+        with pytest.raises(ValidationError):
+            Rect.full(2).vertices()
+
+    def test_hash_and_eq(self):
+        a = Rect((0.0,), (1.0,))
+        b = Rect((0.0,), (1.0,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rect((0.0,), (2.0,))

@@ -1,0 +1,145 @@
+"""Unit tests for repro.geometry.regions."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.rectangles import Rect
+from repro.geometry.regions import ConvexRegion, EverythingRegion, RectRegion
+from repro.geometry.simplex import Simplex
+from repro.partitiontree.cells import ConvexCell
+
+
+@pytest.fixture
+def unit_cell():
+    return Rect((0.0, 0.0), (1.0, 1.0))
+
+
+@pytest.fixture
+def polygon_cell():
+    return ConvexCell.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+
+
+class TestRectRegion:
+    def test_contains_point(self):
+        region = RectRegion(Rect((0.0, 0.0), (2.0, 2.0)))
+        assert region.contains_point((1.0, 1.0))
+        assert not region.contains_point((3.0, 0.0))
+
+    def test_rect_cell_fast_paths(self, unit_cell):
+        region = RectRegion(Rect((0.5, 0.5), (2.0, 2.0)))
+        assert region.intersects(unit_cell)
+        assert not region.covers(unit_cell)
+        assert RectRegion(Rect((-1.0, -1.0), (2.0, 2.0))).covers(unit_cell)
+
+    def test_disjoint_rect_cell(self, unit_cell):
+        region = RectRegion(Rect((2.0, 2.0), (3.0, 3.0)))
+        assert not region.intersects(unit_cell)
+
+    def test_polygon_cell(self, polygon_cell):
+        assert RectRegion(Rect((0.5, 0.5), (2.0, 2.0))).intersects(polygon_cell)
+        assert not RectRegion(Rect((2.0, 2.0), (3.0, 3.0))).intersects(polygon_cell)
+        assert RectRegion(Rect((-1.0, -1.0), (2.0, 2.0))).covers(polygon_cell)
+        assert not RectRegion(Rect((0.5, 0.5), (2.0, 2.0))).covers(polygon_cell)
+
+    def test_polygon_cell_corner_overlap_via_lp(self):
+        # Rotated-square cell vs rect overlapping only through an edge,
+        # with no vertex of either inside the other: needs the LP fallback.
+        cell = ConvexCell(
+            [(0.0, -1.0), (1.0, 0.0), (0.0, 1.0), (-1.0, 0.0)],
+            [
+                HalfSpace((1.0, 1.0), 1.0),
+                HalfSpace((1.0, -1.0), 1.0),
+                HalfSpace((-1.0, 1.0), 1.0),
+                HalfSpace((-1.0, -1.0), 1.0),
+            ],
+        )
+        thin = RectRegion(Rect((0.4, -2.0), (0.6, 2.0)))
+        assert thin.intersects(cell)
+
+
+class TestConvexRegion:
+    def test_from_simplex(self):
+        tri = Simplex([(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)])
+        region = ConvexRegion.from_simplex(tri)
+        assert region.contains_point((0.5, 0.5))
+        assert not region.contains_point((2.0, 2.0))
+
+    def test_intersects_rect_cell(self, unit_cell):
+        region = ConvexRegion([HalfSpace((1.0, 1.0), 0.5)])  # x+y <= .5
+        assert region.intersects(unit_cell)
+        far = ConvexRegion([HalfSpace((1.0, 1.0), -5.0)])
+        assert not far.intersects(unit_cell)
+
+    def test_covers_rect_cell(self, unit_cell):
+        assert ConvexRegion([HalfSpace((1.0, 1.0), 5.0)]).covers(unit_cell)
+        assert not ConvexRegion([HalfSpace((1.0, 1.0), 1.5)]).covers(unit_cell)
+
+    def test_lp_fallback_needed_case(self, unit_cell):
+        # A thin diagonal band crossing the cell without containing any
+        # cell vertex; vertex filters alone cannot decide.
+        band = ConvexRegion(
+            [HalfSpace((1.0, -1.0), 0.05), HalfSpace((-1.0, 1.0), 0.05)]
+        )
+        assert band.intersects(unit_cell)
+
+    def test_infeasible_region(self, unit_cell):
+        empty = ConvexRegion(
+            [HalfSpace((1.0, 0.0), 0.2), HalfSpace((-1.0, 0.0), -0.8)]
+        )
+        assert not empty.intersects(unit_cell)
+
+    def test_empty_halfspace_list_rejected(self):
+        with pytest.raises(ValidationError):
+            ConvexRegion([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            ConvexRegion([HalfSpace((1.0,), 0.0), HalfSpace((1.0, 0.0), 0.0)])
+
+    def test_polygon_cell(self, polygon_cell):
+        region = ConvexRegion([HalfSpace((1.0, 1.0), 0.5)])
+        assert region.intersects(polygon_cell)
+        assert not region.covers(polygon_cell)
+        assert ConvexRegion([HalfSpace((1.0, 1.0), 10.0)]).covers(polygon_cell)
+
+
+class TestEverythingRegion:
+    def test_everything(self, unit_cell):
+        region = EverythingRegion(2)
+        assert region.contains_point((99.0, -99.0))
+        assert region.intersects(unit_cell)
+        assert region.covers(unit_cell)
+
+
+class TestAgainstBruteForce:
+    def test_intersects_agrees_with_sampling(self, rng):
+        """Randomized regions/cells: sampled containment implies intersects."""
+        for _ in range(60):
+            cell = Rect(
+                sorted([rng.uniform(0, 1), rng.uniform(0, 1)]),
+                sorted([rng.uniform(1, 2), rng.uniform(1, 2)]),
+            )
+            cell = Rect(
+                (min(cell.lo[0], cell.hi[0]), min(cell.lo[1], cell.hi[1])),
+                (max(cell.lo[0], cell.hi[0]), max(cell.lo[1], cell.hi[1])),
+            )
+            region = ConvexRegion(
+                [
+                    HalfSpace(
+                        (rng.uniform(-1, 1), rng.uniform(-1, 1)), rng.uniform(-1, 2)
+                    )
+                    for _ in range(rng.randint(1, 3))
+                ]
+            )
+            hit = False
+            for _ in range(50):
+                p = (
+                    rng.uniform(cell.lo[0], cell.hi[0]),
+                    rng.uniform(cell.lo[1], cell.hi[1]),
+                )
+                if region.contains_point(p):
+                    hit = True
+                    break
+            if hit:
+                assert region.intersects(cell)

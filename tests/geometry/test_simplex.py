@@ -1,0 +1,94 @@
+"""Unit tests for repro.geometry.simplex."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.simplex import Simplex, hyperplane_through
+
+import numpy as np
+
+
+class TestHyperplaneThrough:
+    def test_2d_line(self):
+        normal, offset = hyperplane_through(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        # Line y = x: normal proportional to (1, -1).
+        assert abs(normal @ np.array([2.0, 2.0]) - offset) < 1e-9
+        assert abs(abs(normal[0]) - abs(normal[1])) < 1e-9
+
+    def test_1d_point(self):
+        normal, offset = hyperplane_through(np.array([[3.0]]))
+        assert abs(normal[0] * 3.0 - offset) < 1e-12
+
+    def test_3d_plane(self):
+        pts = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        normal, offset = hyperplane_through(pts)
+        for p in pts:
+            assert abs(normal @ p - offset) < 1e-9
+
+    def test_dependent_points_rejected(self):
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        with pytest.raises(GeometryError):
+            hyperplane_through(pts)
+
+
+class TestSimplex:
+    def test_triangle_membership(self):
+        tri = Simplex([(0.0, 0.0), (4.0, 0.0), (0.0, 4.0)])
+        assert tri.contains((1.0, 1.0))
+        assert tri.contains((0.0, 0.0))  # vertex
+        assert tri.contains((2.0, 0.0))  # edge
+        assert not tri.contains((3.0, 3.0))
+
+    def test_triangle_has_three_facets(self):
+        tri = Simplex([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)])
+        assert len(tri.halfspaces) == 3
+
+    def test_segment_1d(self):
+        seg = Simplex([(1.0,), (3.0,)])
+        assert seg.contains((2.0,))
+        assert seg.contains((1.0,))
+        assert not seg.contains((3.5,))
+
+    def test_tetrahedron_3d(self):
+        tet = Simplex([(0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert tet.contains((0.1, 0.1, 0.1))
+        assert not tet.contains((0.5, 0.5, 0.5))
+
+    def test_volume(self):
+        tri = Simplex([(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)])
+        assert tri.volume() == pytest.approx(2.0)
+        tet = Simplex([(0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1)])
+        assert tet.volume() == pytest.approx(1.0 / 6.0)
+
+    def test_bounding_box(self):
+        tri = Simplex([(0.0, 5.0), (2.0, 0.0), (-1.0, 2.0)])
+        lo, hi = tri.bounding_box()
+        assert lo == (-1.0, 0.0)
+        assert hi == (2.0, 5.0)
+
+    def test_wrong_vertex_count_rejected(self):
+        with pytest.raises(GeometryError):
+            Simplex([(0.0, 0.0), (1.0, 0.0)])  # 2 vertices in 2-D
+
+    def test_collinear_2d_simplex_degenerates_to_segment(self):
+        # The paper explicitly allows "degenerated simplices" (Appendix D
+        # remark); a collinear triangle behaves as the segment it spans.
+        seg = Simplex([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        assert seg.volume() == pytest.approx(0.0)
+        assert seg.contains((1.5, 1.5))
+        assert not seg.contains((1.0, 2.0))
+
+    def test_dependent_facet_points_rejected(self):
+        # In 3-D, three collinear facet points define no unique hyperplane.
+        with pytest.raises(GeometryError):
+            Simplex([(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 2.0), (0.0, 1.0, 0.0)])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(GeometryError):
+            Simplex([(0.0, 0.0), (1.0,), (0.0, 1.0)])
+
+    def test_membership_matches_halfspace_conjunction(self, rng):
+        tri = Simplex([(0.0, 0.0), (4.0, 1.0), (1.0, 4.0)])
+        for _ in range(100):
+            p = (rng.uniform(-1, 5), rng.uniform(-1, 5))
+            assert tri.contains(p) == all(h.contains(p) for h in tri.halfspaces)

@@ -1,0 +1,43 @@
+"""Shared dataset builders used across test modules."""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset import Dataset, make_objects
+
+
+def random_dataset(
+    rng: random.Random,
+    num_objects: int,
+    dim: int = 2,
+    vocabulary: int = 8,
+    doc_max: int = 4,
+    integer_coords: bool = False,
+    coord_range: float = 10.0,
+) -> Dataset:
+    """Small random dataset for brute-force comparison tests."""
+    points = []
+    docs = []
+    for _ in range(num_objects):
+        if integer_coords:
+            points.append(
+                tuple(float(rng.randint(0, int(coord_range))) for _ in range(dim))
+            )
+        else:
+            points.append(tuple(rng.uniform(0.0, coord_range) for _ in range(dim)))
+        docs.append(rng.sample(range(1, vocabulary + 1), rng.randint(1, doc_max)))
+    return Dataset(make_objects(points, docs))
+
+
+def duplicate_heavy_dataset(rng: random.Random, num_objects: int, dim: int = 2) -> Dataset:
+    """Dataset with many coincident points (degenerate positions)."""
+    points = []
+    docs = []
+    for _ in range(num_objects):
+        if rng.random() < 0.5:
+            points.append(tuple(float(rng.randint(0, 3)) for _ in range(dim)))
+        else:
+            points.append(tuple(rng.uniform(0.0, 4.0) for _ in range(dim)))
+        docs.append(rng.sample(range(1, 7), rng.randint(1, 3)))
+    return Dataset(make_objects(points, docs))

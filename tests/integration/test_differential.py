@@ -1,0 +1,121 @@
+"""Differential testing: every applicable index answers every query alike.
+
+One randomized harness, many seeds: build all rectangle-capable indexes on
+the same dataset, fire the same queries, demand identical answers.  This is
+the strongest cross-implementation check in the suite — a divergence in any
+of seven independent code paths fails loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from repro.core.dynamic import DynamicOrpKw
+from repro.core.lc_kw import LcKwIndex
+from repro.core.multi_k import MultiKOrpIndex
+from repro.core.orp_kw import OrpKwIndex
+from repro.dataset import Dataset, make_objects
+from repro.geometry.halfspaces import rect_to_halfspaces
+from repro.geometry.rectangles import Rect
+from repro.irtree import IrTree
+
+
+def build_dataset(seed: int) -> Dataset:
+    rng = random.Random(seed)
+    count = rng.randint(40, 140)
+    points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(count)]
+    docs = [rng.sample(range(1, 9), rng.randint(1, 4)) for _ in range(count)]
+    return Dataset(make_objects(points, docs))
+
+
+def random_query(rng):
+    a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+    c, d = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+    return Rect((a, c), (b, d)), rng.sample(range(1, 9), 2)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_all_rectangle_indexes_agree(seed):
+    dataset = build_dataset(seed)
+    rng = random.Random(seed + 1000)
+
+    orp = OrpKwIndex(dataset, k=2)
+    lc = LcKwIndex(dataset, k=2)
+    multi = MultiKOrpIndex(dataset, max_k=2)
+    irtree = IrTree(dataset)
+    structured = StructuredOnlyIndex(dataset)
+    keywords_only = KeywordsOnlyIndex(dataset)
+    dynamic = DynamicOrpKw(k=2, dim=2)
+    oid_map = dynamic.insert_many(
+        [o.point for o in dataset.objects], [o.doc for o in dataset.objects]
+    )
+    back = {new: old for new, old in zip(oid_map, range(len(dataset)))}
+
+    for _ in range(12):
+        rect, words = random_query(rng)
+        brute = sorted(
+            o.oid
+            for o in dataset
+            if rect.contains_point(o.point) and o.contains_keywords(words)
+        )
+        answers = {
+            "orp": sorted(o.oid for o in orp.query(rect, words)),
+            "lc": sorted(
+                o.oid
+                for o in lc.query(list(rect_to_halfspaces(rect.lo, rect.hi)), words)
+            ),
+            "multi_k": sorted(o.oid for o in multi.query(rect, words)),
+            "irtree": sorted(o.oid for o in irtree.query(rect, words)),
+            "structured": sorted(
+                o.oid for o in structured.query_rect(rect, words)
+            ),
+            "keywords": sorted(
+                o.oid for o in keywords_only.query_rect(rect, words)
+            ),
+            "dynamic": sorted(back[o.oid] for o in dynamic.query(rect, words)),
+        }
+        for name, got in answers.items():
+            assert got == brute, (seed, name, rect, words, got, brute)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_ksi_indexes_agree(seed):
+    rng = random.Random(seed)
+    sets = [
+        [e for e in range(60) if rng.random() < rng.uniform(0.05, 0.5)] or [0]
+        for _ in range(7)
+    ]
+    from repro.ksi import BitsetKSI, KSetIndex, NaiveKSI
+    from repro.ksi.ksi_index import OrpBackedKsi
+
+    naive = NaiveKSI(sets)
+    kset = KSetIndex(sets, k=2)
+    bits = BitsetKSI(sets)
+    backed = OrpBackedKsi(sets, k=2)
+    for _ in range(15):
+        ids = rng.sample(range(7), 2)
+        expected = naive.report(ids)
+        assert kset.report(ids) == expected
+        assert bits.report(ids) == expected
+        assert backed.report(ids) == expected
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_nn_indexes_agree_on_distances(seed):
+    from repro.core.baselines import ScanAllNn, linf_distance
+    from repro.core.nn_linf import LinfNnIndex
+
+    dataset = build_dataset(seed + 50)
+    rng = random.Random(seed + 99)
+    nn = LinfNnIndex(dataset, k=2)
+    scan = ScanAllNn(dataset)
+    for _ in range(6):
+        q = (rng.uniform(0, 10), rng.uniform(0, 10))
+        t = rng.randint(1, 5)
+        words = rng.sample(range(1, 9), 2)
+        got = nn.query(q, t, words)
+        want = scan.nearest(q, t, words, linf_distance)
+        got_d = sorted(round(linf_distance(q, o.point), 9) for o in got)
+        want_d = sorted(round(linf_distance(q, o.point), 9) for o in want)
+        assert got_d == want_d, (seed, q, t, words)

@@ -1,0 +1,170 @@
+"""Integration tests: the hotel scenario of §1 through every index."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostCounter,
+    Dataset,
+    L2NnIndex,
+    LcKwIndex,
+    LinfNnIndex,
+    OrpKwIndex,
+    Rect,
+    SrpKwIndex,
+)
+from repro.core.baselines import (
+    KeywordsOnlyIndex,
+    StructuredOnlyIndex,
+    linf_distance,
+)
+from repro.workloads.generators import grid_snap
+from repro.workloads.scenarios import (
+    condition_c1,
+    condition_c2,
+    hotel_dataset,
+    keywords_for,
+)
+
+
+@pytest.fixture(scope="module")
+def hotels():
+    return hotel_dataset(500, seed=11)
+
+
+@pytest.fixture(scope="module")
+def query_tags():
+    return keywords_for(["pool", "free-parking"])
+
+
+class TestConditionC1:
+    """price ∈ [100, 200] and rating >= 8, plus keywords (an ORP-KW query)."""
+
+    def test_all_solutions_agree(self, hotels, query_tags):
+        rect = condition_c1()
+        expected = sorted(
+            o.oid
+            for o in hotels
+            if rect.contains_point(o.point) and o.contains_keywords(query_tags)
+        )
+        index = OrpKwIndex(hotels, k=2)
+        structured = StructuredOnlyIndex(hotels)
+        keywords = KeywordsOnlyIndex(hotels)
+        assert sorted(o.oid for o in index.query(rect, query_tags)) == expected
+        assert sorted(o.oid for o in structured.query_rect(rect, query_tags)) == expected
+        assert sorted(o.oid for o in keywords.query_rect(rect, query_tags)) == expected
+
+    def test_index_cost_beats_naive_when_selective(self, hotels):
+        """Rare tag pair + narrow range: the index should beat both naives."""
+        tags = keywords_for(["beachfront", "ski-in"])  # nearly disjoint
+        rect = condition_c1(1000.0, 1100.0, 9.5)  # nearly empty range
+        index = OrpKwIndex(hotels, k=2)
+        c_index, c_struct, c_kw = CostCounter(), CostCounter(), CostCounter()
+        index.query(rect, tags, counter=c_index)
+        StructuredOnlyIndex(hotels).query_rect(rect, tags, c_struct)
+        KeywordsOnlyIndex(hotels).query_rect(rect, tags, c_kw)
+        assert c_index.total <= max(c_struct.total, c_kw.total)
+
+
+class TestConditionC2:
+    """c1*price + c2*(10-rating) <= c3, plus keywords (an LC-KW query)."""
+
+    def test_lc_kw_agrees_with_brute_force(self, hotels, query_tags):
+        constraint = condition_c2(1.0, 40.0, 300.0)
+        expected = sorted(
+            o.oid
+            for o in hotels
+            if constraint.contains(o.point) and o.contains_keywords(query_tags)
+        )
+        index = LcKwIndex(hotels, k=2)
+        got = sorted(o.oid for o in index.query([constraint], query_tags))
+        assert got == expected
+
+    def test_combined_constraints(self, hotels, query_tags):
+        cons = [condition_c2(1.0, 40.0, 300.0), condition_c2(2.0, 10.0, 500.0)]
+        expected = sorted(
+            o.oid
+            for o in hotels
+            if all(h.contains(o.point) for h in cons)
+            and o.contains_keywords(query_tags)
+        )
+        index = LcKwIndex(hotels, k=2)
+        got = sorted(o.oid for o in index.query(cons, query_tags))
+        assert got == expected
+
+
+class TestNearestHotel:
+    def test_linf_nearest_agrees(self, hotels, query_tags):
+        index = LinfNnIndex(hotels, k=2)
+        q = (150.0, 9.0)
+        got = index.query(q, 3, query_tags)
+        matches = sorted(
+            (o for o in hotels if o.contains_keywords(query_tags)),
+            key=lambda o: (linf_distance(q, o.point), o.oid),
+        )
+        got_d = sorted(round(linf_distance(q, o.point), 6) for o in got)
+        want_d = sorted(round(linf_distance(q, o.point), 6) for o in matches[:3])
+        assert got_d == want_d
+
+    def test_l2_nearest_on_snapped_grid(self, hotels, query_tags):
+        # L2NN needs integer coordinates (the paper's N^d domain).
+        snapped = grid_snap([o.point for o in hotels.objects], 256)
+        ds = Dataset.from_points(snapped, [o.doc for o in hotels.objects])
+        index = L2NnIndex(ds, k=2)
+        q = (40.0, 200.0)
+        got = index.query(q, 2, query_tags)
+        assert len(got) == min(2, len(ds.matching(query_tags)))
+
+    def test_srp_within_distance(self, hotels, query_tags):
+        index = SrpKwIndex(hotels, k=2)
+        center, radius = (150.0, 8.0), 50.0
+        got = sorted(o.oid for o in index.query(center, radius, query_tags))
+        want = sorted(
+            o.oid
+            for o in hotels
+            if sum((a - b) ** 2 for a, b in zip(o.point, center)) <= radius**2
+            and o.contains_keywords(query_tags)
+        )
+        assert got == want
+
+
+class TestCrossIndexConsistency:
+    def test_orp_and_lc_agree_on_rectangles(self, hotels, query_tags):
+        from repro.geometry.halfspaces import rect_to_halfspaces
+
+        rect = condition_c1(80.0, 300.0, 6.0)
+        orp = OrpKwIndex(hotels, k=2)
+        lc = LcKwIndex(hotels, k=2)
+        a = sorted(o.oid for o in orp.query(rect, query_tags))
+        b = sorted(
+            o.oid
+            for o in lc.query(list(rect_to_halfspaces(rect.lo, rect.hi)), query_tags)
+        )
+        assert a == b
+
+    def test_full_space_equals_inverted_index(self, hotels, query_tags):
+        from repro.ksi.inverted import InvertedIndex
+
+        orp = OrpKwIndex(hotels, k=2)
+        inv = InvertedIndex(hotels)
+        a = sorted(o.oid for o in orp.query(Rect.full(2), query_tags))
+        b = sorted(o.oid for o in inv.matching_objects(query_tags))
+        assert a == b
+
+
+class TestScalingSmoke:
+    def test_query_cost_grows_sublinearly(self):
+        """Doubling N should multiply empty-output cost by ~sqrt(2), not 2."""
+        costs = {}
+        for n in (1000, 4000):
+            points = [((i * 37 % n) / n * 10, (i * 61 % n) / n * 10) for i in range(n)]
+            docs = [[1] if i % 2 == 0 else [2] for i in range(n)]
+            ds = Dataset.from_points(points, docs)
+            index = OrpKwIndex(ds, k=2)
+            counter = CostCounter()
+            index.query(Rect.full(2), [1, 2], counter=counter)
+            costs[n] = counter.total
+        # cost(4000)/cost(1000) should be near 2 (sqrt scaling), far from 4.
+        ratio = costs[4000] / max(costs[1000], 1)
+        assert ratio < 3.0

@@ -1,0 +1,170 @@
+"""Unit tests for repro.irtree (R-tree + IR-tree)."""
+
+import math
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+from repro.irtree import IrTree, RTree
+from repro.workloads.generators import WorkloadConfig, zipf_dataset
+
+from helpers import random_dataset
+
+
+def random_rects(rng, n):
+    rects = []
+    for _ in range(n):
+        lo = (rng.uniform(0, 10), rng.uniform(0, 10))
+        hi = (lo[0] + rng.uniform(0, 2), lo[1] + rng.uniform(0, 2))
+        rects.append(Rect(lo, hi))
+    return rects
+
+
+class TestRTree:
+    def test_range_query_agrees_with_brute_force(self, rng):
+        rects = random_rects(rng, 150)
+        tree = RTree(rects)
+        for _ in range(25):
+            lo = (rng.uniform(0, 10), rng.uniform(0, 10))
+            hi = (lo[0] + rng.uniform(0, 4), lo[1] + rng.uniform(0, 4))
+            query = Rect(lo, hi)
+            got = sorted(tree.range_query(query))
+            want = sorted(i for i, r in enumerate(rects) if query.intersects(r))
+            assert got == want
+
+    def test_point_entries(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(120)]
+        tree = RTree.from_points(points)
+        query = Rect((2.0, 2.0), (7.0, 7.0))
+        got = sorted(tree.range_query(query))
+        want = sorted(i for i, p in enumerate(points) if query.contains_point(p))
+        assert got == want
+
+    def test_mbrs_cover_children(self, rng):
+        rects = random_rects(rng, 100)
+        tree = RTree(rects)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry_id in node.entry_ids:
+                    assert node.mbr.covers(rects[entry_id])
+            else:
+                for child in node.children:
+                    assert node.mbr.covers(child.mbr)
+                    stack.append(child)
+
+    def test_every_entry_in_exactly_one_leaf(self, rng):
+        rects = random_rects(rng, 90)
+        tree = RTree(rects)
+        seen = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            seen.extend(node.entry_ids)
+            stack.extend(node.children)
+        assert sorted(seen) == list(range(90))
+
+    def test_height_logarithmic(self, rng):
+        rects = random_rects(rng, 1000)
+        tree = RTree(rects, fanout=16)
+        assert tree.height() <= math.ceil(math.log(1000, 16)) + 2
+
+    def test_fanout_respected(self, rng):
+        rects = random_rects(rng, 200)
+        tree = RTree(rects, fanout=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node.children) <= 8
+            assert len(node.entry_ids) <= 8
+            stack.extend(node.children)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RTree([])
+        with pytest.raises(ValidationError):
+            RTree([Rect((0.0,), (1.0,))], fanout=1)
+        with pytest.raises(ValidationError):
+            RTree([Rect((0.0,), (1.0,)), Rect((0.0, 0.0), (1.0, 1.0))])
+
+    def test_1d_entries(self, rng):
+        rects = [Rect((rng.uniform(0, 10),), (rng.uniform(10, 20),)) for _ in range(60)]
+        tree = RTree(rects)
+        query = Rect((5.0,), (6.0,))
+        got = sorted(tree.range_query(query))
+        want = sorted(i for i, r in enumerate(rects) if query.intersects(r))
+        assert got == want
+
+
+class TestIrTree:
+    def test_agrees_with_brute_force(self, rng):
+        ds = random_dataset(rng, 150)
+        index = IrTree(ds)
+        for _ in range(25):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 9), 2)
+            got = sorted(o.oid for o in index.query(rect, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if rect.contains_point(o.point) and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_keyword_pruning_fires_on_absent_keyword(self, rng):
+        ds = random_dataset(rng, 300)
+        index = IrTree(ds)
+        counter = CostCounter()
+        out = index.query(Rect.full(2), [98, 99], counter=counter)
+        assert out == []
+        assert counter["nodes_visited"] == 1  # pruned at the root
+
+    def test_no_pruning_on_adversarial_data(self):
+        """The §2 story: ubiquitous keywords defeat summary pruning."""
+        from repro.dataset import Dataset
+
+        n = 512
+        points = [((i * 37 % n) / n * 10, (i * 61 % n) / n * 10) for i in range(n)]
+        docs = [[1] if i % 2 == 0 else [2] for i in range(n)]
+        ds = Dataset.from_points(points, docs)
+        index = IrTree(ds)
+        counter = CostCounter()
+        out = index.query(Rect.full(2), [1, 2], counter=counter)
+        assert out == []
+        # Every leaf visited: cost Θ(N) despite empty output.
+        assert counter["objects_examined"] == n
+
+    def test_fast_on_clustered_correlated_data(self):
+        """...but on correlated data the pruning is very effective."""
+        config = WorkloadConfig(num_objects=600, vocabulary=40, seed=4)
+        ds = zipf_dataset(config, clustered=True)
+        index = IrTree(ds)
+        counter = CostCounter()
+        index.query(Rect((0.4, 0.4), (0.6, 0.6)), [30, 31], counter=counter)
+        assert counter["objects_examined"] < len(ds) / 2
+
+    def test_agrees_with_orp_index(self, rng):
+        from repro.core.orp_kw import OrpKwIndex
+
+        ds = random_dataset(rng, 120)
+        ir = IrTree(ds)
+        orp = OrpKwIndex(ds, k=2)
+        for _ in range(10):
+            a, b = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 9), 2)
+            assert sorted(o.oid for o in ir.query(rect, words)) == sorted(
+                o.oid for o in orp.query(rect, words)
+            )
+
+    def test_requires_keywords(self, rng):
+        ds = random_dataset(rng, 20)
+        index = IrTree(ds)
+        with pytest.raises(ValidationError):
+            index.query(Rect.full(2), [])

@@ -1,0 +1,141 @@
+"""Unit tests for repro.ksi.bitset (the word-parallel line of §2)."""
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.ksi.bitset import (
+    BitsetIntervalIndex,
+    BitsetKSI,
+    WORD_LENGTH,
+    words_touched,
+)
+from repro.ksi.naive import NaiveKSI
+
+from helpers import random_dataset
+
+
+class TestBitsetKSI:
+    def test_hand_example(self):
+        index = BitsetKSI([[1, 2, 3], [2, 3, 4], [3, 5]])
+        assert index.report([0, 1]) == [2, 3]
+        assert index.report([0, 1, 2]) == [3]
+        assert index.report([0, 2]) == [3]
+
+    def test_agrees_with_naive(self, rng):
+        sets = [
+            [e for e in range(100) if rng.random() < 0.3] or [0] for _ in range(8)
+        ]
+        index = BitsetKSI(sets)
+        naive = NaiveKSI(sets)
+        for _ in range(30):
+            ids = rng.sample(range(8), rng.choice([2, 3, 4]))
+            assert index.report(ids) == naive.report(ids)
+
+    def test_emptiness(self):
+        index = BitsetKSI([[1, 2], [3, 4], [2, 3]])
+        assert index.is_empty([0, 1])
+        assert not index.is_empty([0, 2])
+
+    def test_works_for_any_k(self, rng):
+        """Unlike the tree indexes, k is per-query, not fixed at build."""
+        sets = [[1, 2, 3, 4, 5]] * 6
+        index = BitsetKSI(sets)
+        for k in range(2, 7):
+            assert index.report(list(range(k))) == [1, 2, 3, 4, 5]
+
+    def test_cost_is_word_count(self):
+        universe = 1000
+        sets = [list(range(universe)) for _ in range(4)]
+        index = BitsetKSI(sets)
+        counter = CostCounter()
+        out = index.report([0, 1], counter)
+        expected_words = 2 * ((universe + WORD_LENGTH - 1) // WORD_LENGTH)
+        assert counter["structure_probes"] == expected_words
+        assert counter["objects_examined"] == len(out) == universe
+
+    def test_duplicates_in_sets_collapse(self):
+        index = BitsetKSI([[5, 5, 7], [7, 7]])
+        assert index.report([0, 1]) == [7]
+
+    def test_sparse_element_ids(self):
+        index = BitsetKSI([[10**9, 3], [3, 10**9, 17]])
+        assert index.report([0, 1]) == [3, 10**9]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BitsetKSI([])
+        index = BitsetKSI([[1], [2]])
+        with pytest.raises(ValidationError):
+            index.report([0, 9])
+        with pytest.raises(ValidationError):
+            index.report([])
+
+    def test_words_touched_helper(self):
+        assert words_touched(3, 64) == 3
+        assert words_touched(3, 65) == 6
+
+    def test_space_accounting(self):
+        index = BitsetKSI([[1, 2], [2, 3]])
+        # 2 masks x 1 word + universe of 3 elements.
+        assert index.space_units == 2 + 3
+
+
+class TestBitsetIntervalIndex:
+    def test_agrees_with_brute_force(self, rng):
+        ds = random_dataset(rng, 120, dim=1)
+        index = BitsetIntervalIndex(ds)
+        for _ in range(30):
+            a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            words = rng.sample(range(1, 9), rng.choice([2, 3]))
+            got = sorted(o.oid for o in index.query(a, b, words))
+            want = sorted(
+                o.oid
+                for o in ds
+                if a <= o.point[0] <= b and o.contains_keywords(words)
+            )
+            assert got == want
+
+    def test_duplicate_coordinates(self, rng):
+        from repro.dataset import Dataset
+
+        points = [(float(rng.randint(0, 4)),) for _ in range(60)]
+        docs = [rng.sample(range(1, 6), rng.randint(1, 3)) for _ in range(60)]
+        ds = Dataset.from_points(points, docs)
+        index = BitsetIntervalIndex(ds)
+        got = sorted(o.oid for o in index.query(2.0, 2.0, [1, 2]))
+        want = sorted(
+            o.oid for o in ds if o.point[0] == 2.0 and o.contains_keywords([1, 2])
+        )
+        assert got == want
+
+    def test_unknown_keyword(self, rng):
+        ds = random_dataset(rng, 30, dim=1)
+        index = BitsetIntervalIndex(ds)
+        assert index.query(0.0, 10.0, [99, 100]) == []
+
+    def test_empty_interval(self, rng):
+        ds = random_dataset(rng, 30, dim=1)
+        index = BitsetIntervalIndex(ds)
+        assert index.query(50.0, 60.0, [1, 2]) == []
+
+    def test_rejects_2d(self, rng):
+        ds = random_dataset(rng, 10, dim=2)
+        with pytest.raises(ValidationError):
+            BitsetIntervalIndex(ds)
+
+    def test_rejects_no_keywords(self, rng):
+        ds = random_dataset(rng, 10, dim=1)
+        index = BitsetIntervalIndex(ds)
+        with pytest.raises(ValidationError):
+            index.query(0.0, 1.0, [])
+
+    def test_cost_word_parallel(self, rng):
+        """Cost per query ~ k * |D| / wlen + OUT: sublinear word work."""
+        ds = random_dataset(rng, 640, dim=1, vocabulary=4)
+        index = BitsetIntervalIndex(ds)
+        counter = CostCounter()
+        out = index.query(-1.0, 11.0, [1, 2], counter=counter)
+        expected_words = 2 * ((640 + WORD_LENGTH - 1) // WORD_LENGTH)
+        assert counter["structure_probes"] == expected_words
+        assert counter["objects_examined"] == len(out)

@@ -1,0 +1,153 @@
+"""Unit tests for repro.ksi.cohen_porat (the KSetIndex)."""
+
+import math
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.ksi.cohen_porat import KSetIndex
+from repro.ksi.naive import NaiveKSI
+
+
+def random_family(rng, num_sets, universe, density):
+    sets = [
+        [e for e in range(universe) if rng.random() < density] or [0]
+        for _ in range(num_sets)
+    ]
+    return sets
+
+
+class TestCorrectness:
+    def test_small_hand_example(self):
+        index = KSetIndex([[1, 2, 3], [2, 3, 4], [3, 5]], k=2)
+        assert index.report([0, 1]) == [2, 3]
+        assert index.report([0, 2]) == [3]
+        assert index.report([1, 2]) == [3]
+
+    def test_k3(self):
+        index = KSetIndex([[1, 2], [2, 3], [2, 4]], k=3)
+        assert index.report([0, 1, 2]) == [2]
+
+    def test_agrees_with_naive_k2(self, rng):
+        for density in (0.1, 0.4):
+            sets = random_family(rng, 8, 60, density)
+            index = KSetIndex(sets, k=2)
+            naive = NaiveKSI(sets)
+            for _ in range(25):
+                ids = rng.sample(range(8), 2)
+                assert index.report(ids) == naive.report(ids)
+
+    def test_agrees_with_naive_k3(self, rng):
+        sets = random_family(rng, 7, 50, 0.35)
+        index = KSetIndex(sets, k=3)
+        naive = NaiveKSI(sets)
+        for _ in range(25):
+            ids = rng.sample(range(7), 3)
+            assert index.report(ids) == naive.report(ids)
+
+    def test_emptiness_agrees(self, rng):
+        sets = random_family(rng, 8, 40, 0.2)
+        index = KSetIndex(sets, k=2)
+        naive = NaiveKSI(sets)
+        for _ in range(25):
+            ids = rng.sample(range(8), 2)
+            assert index.is_empty(ids) == naive.is_empty(ids)
+
+
+class TestValidation:
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValidationError):
+            KSetIndex([[1], [2]], k=1)
+
+    def test_wrong_query_arity_rejected(self):
+        index = KSetIndex([[1], [2], [3]], k=2)
+        with pytest.raises(ValidationError):
+            index.report([0])
+        with pytest.raises(ValidationError):
+            index.report([0, 1, 2])
+
+    def test_duplicate_query_ids_rejected(self):
+        index = KSetIndex([[1], [2]], k=2)
+        with pytest.raises(ValidationError):
+            index.report([1, 1])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValidationError):
+            KSetIndex([[], []], k=2)
+
+
+class TestComplexityShape:
+    def test_empty_intersection_cost_is_sublinear(self):
+        """Disjoint large sets: the combo table kills the query at the root."""
+        per = 400
+        sets = [[i * per + j for j in range(per)] for i in range(50)]
+        index = KSetIndex(sets, k=2)
+        counter = CostCounter()
+        out = index.report([0, 1], counter)
+        assert out == []
+        assert counter.total < math.sqrt(index.input_size)
+
+    def test_space_is_linear(self, rng):
+        sets = random_family(rng, 20, 2000, 0.05)
+        index = KSetIndex(sets, k=2)
+        assert index.space_units < 12 * index.input_size
+
+    def test_tree_height_logarithmic(self, rng):
+        sets = random_family(rng, 10, 500, 0.2)
+        index = KSetIndex(sets, k=2)
+        assert index.height() <= 2 * math.log2(index.input_size) + 4
+
+    def test_planted_output_cost_scales_with_out(self):
+        """Cost follows sqrt(N)*sqrt(OUT) as planted intersections grow."""
+        per = 300
+        shared = 64
+        sets = []
+        base = shared
+        for i in range(20):
+            sets.append(list(range(shared)) + list(range(base, base + per)))
+            base += per
+        index = KSetIndex(sets, k=2)
+        counter = CostCounter()
+        out = index.report([3, 7], counter)
+        assert len(out) == shared
+        n = index.input_size
+        bound = math.sqrt(n) * (1 + math.sqrt(shared))
+        assert counter.total <= 12 * bound
+
+
+class TestThresholdExponentTradeoff:
+    """The Kopelowitz-Pettie-Porat smooth trade-off (§2, [38])."""
+
+    def test_custom_exponent_still_correct(self, rng):
+        sets = random_family(rng, 8, 60, 0.3)
+        naive = NaiveKSI(sets)
+        for alpha in (0.3, 0.5, 0.8):
+            index = KSetIndex(sets, k=2, threshold_exponent=alpha)
+            for _ in range(15):
+                ids = rng.sample(range(8), 2)
+                assert index.report(ids) == naive.report(ids)
+
+    def test_default_exponent_matches_paper(self):
+        index = KSetIndex([[1, 2], [2, 3]], k=2)
+        assert index.threshold_exponent == pytest.approx(0.5)
+        index3 = KSetIndex([[1, 2], [2, 3], [3]], k=3)
+        assert index3.threshold_exponent == pytest.approx(2.0 / 3.0)
+
+    def test_exponent_bounds_enforced(self):
+        with pytest.raises(ValidationError):
+            KSetIndex([[1], [2]], k=2, threshold_exponent=0.0)
+        with pytest.raises(ValidationError):
+            KSetIndex([[1], [2]], k=2, threshold_exponent=1.0)
+
+    def test_tradeoff_direction(self):
+        """Smaller alpha => more space, cheaper empty-intersection queries."""
+        per = 400
+        sets = [[i * per + j for j in range(per)] for i in range(20)]
+        lo = KSetIndex(sets, k=2, threshold_exponent=0.35)
+        hi = KSetIndex(sets, k=2, threshold_exponent=0.75)
+        assert lo.space_units >= hi.space_units
+        c_lo, c_hi = CostCounter(), CostCounter()
+        lo.report([0, 1], c_lo)
+        hi.report([0, 1], c_hi)
+        assert c_lo.total <= c_hi.total + 8

@@ -1,0 +1,56 @@
+"""Unit tests for repro.ksi.inverted."""
+
+from repro.costmodel import CostCounter
+from repro.ksi.inverted import InvertedIndex
+
+
+class TestPostingLists:
+    def test_posting_lists_sorted_by_id(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert index.posting_list(1) == [0, 1, 3]
+        assert index.posting_list(2) == [0, 2, 3]
+        assert index.posting_list(3) == [1, 2, 3]
+
+    def test_unknown_keyword_empty(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert index.posting_list(99) == []
+        assert index.frequency(99) == 0
+
+    def test_space_equals_input_size(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert index.space_units == tiny_dataset.total_doc_size
+
+
+class TestMatching:
+    def test_intersection(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        ids = sorted(o.oid for o in index.matching_objects([1, 2]))
+        assert ids == [0, 3]
+
+    def test_three_keywords(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        ids = [o.oid for o in index.matching_objects([1, 2, 3])]
+        assert ids == [3]
+
+    def test_unknown_keyword_gives_empty(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert index.matching_objects([1, 99]) == []
+
+    def test_no_keywords_returns_all(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        assert len(index.matching_objects([])) == 4
+
+    def test_agrees_with_brute_force(self, rng, small_dataset):
+        index = InvertedIndex(small_dataset)
+        for _ in range(30):
+            words = rng.sample(range(1, 9), rng.randint(1, 3))
+            got = sorted(o.oid for o in index.matching_objects(words))
+            want = sorted(o.oid for o in small_dataset.matching(words))
+            assert got == want
+
+    def test_cost_tracks_shortest_posting_list(self, tiny_dataset):
+        index = InvertedIndex(tiny_dataset)
+        counter = CostCounter()
+        index.matching_objects([1, 2], counter)
+        # Shortest posting list has 3 entries.
+        assert counter["objects_examined"] == 3

@@ -1,0 +1,55 @@
+"""Unit tests for repro.ksi.ksi_index (the §1.2 reduction to ORP-KW)."""
+
+import math
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.ksi.ksi_index import OrpBackedKsi
+from repro.ksi.naive import NaiveKSI
+
+
+class TestOrpBackedKsi:
+    def test_hand_example(self):
+        ksi = OrpBackedKsi([[1, 2, 3], [2, 3, 4], [5]], k=2)
+        assert ksi.report([0, 1]) == [2, 3]
+        assert ksi.report([0, 2]) == []
+
+    def test_agrees_with_naive(self, rng):
+        sets = [
+            [e for e in range(40) if rng.random() < 0.3] or [0] for _ in range(6)
+        ]
+        backed = OrpBackedKsi(sets, k=2)
+        naive = NaiveKSI(sets)
+        for _ in range(20):
+            ids = rng.sample(range(6), 2)
+            assert backed.report(ids) == naive.report(ids)
+
+    def test_k3(self, rng):
+        sets = [
+            [e for e in range(30) if rng.random() < 0.5] or [0] for _ in range(5)
+        ]
+        backed = OrpBackedKsi(sets, k=3)
+        naive = NaiveKSI(sets)
+        for _ in range(15):
+            ids = rng.sample(range(5), 3)
+            assert backed.report(ids) == naive.report(ids)
+
+    def test_sublinear_on_disjoint_sets(self):
+        per = 300
+        sets = [[i * per + j for j in range(per)] for i in range(30)]
+        ksi = OrpBackedKsi(sets, k=2)
+        counter = CostCounter()
+        assert ksi.report([0, 1], counter) == []
+        assert counter.total < math.sqrt(ksi.input_size)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            OrpBackedKsi([[1]], k=1)
+        with pytest.raises(ValidationError):
+            OrpBackedKsi([[], []], k=2)
+
+    def test_non_contiguous_element_ids(self):
+        ksi = OrpBackedKsi([[100, 5], [5, 999]], k=2)
+        assert ksi.report([0, 1]) == [5]

@@ -1,0 +1,68 @@
+"""Unit tests for repro.ksi.naive."""
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.ksi.naive import NaiveKSI, sets_to_documents
+
+
+class TestNaiveKSI:
+    def test_report(self):
+        ksi = NaiveKSI([[1, 2, 3], [2, 3, 4], [3, 4, 5]])
+        assert ksi.report([0, 1]) == [2, 3]
+        assert ksi.report([0, 1, 2]) == [3]
+        assert ksi.report([0, 2]) == [3]
+
+    def test_is_empty(self):
+        ksi = NaiveKSI([[1, 2], [3, 4], [2, 3]])
+        assert ksi.is_empty([0, 1])
+        assert not ksi.is_empty([0, 2])
+
+    def test_input_size(self):
+        ksi = NaiveKSI([[1, 2], [3]])
+        assert ksi.input_size == 3
+        assert ksi.num_sets == 2
+
+    def test_cost_is_smallest_set(self):
+        ksi = NaiveKSI([list(range(100)), [1, 2]])
+        counter = CostCounter()
+        ksi.report([0, 1], counter)
+        assert counter["objects_examined"] == 2
+
+    def test_invalid_set_id(self):
+        ksi = NaiveKSI([[1], [2]])
+        with pytest.raises(ValidationError):
+            ksi.report([0, 7])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValidationError):
+            NaiveKSI([])
+
+    def test_duplicates_inside_sets_collapse(self):
+        ksi = NaiveKSI([[1, 1, 2], [2, 2]])
+        assert ksi.report([0, 1]) == [2]
+
+
+class TestSetsToDocuments:
+    def test_reduction(self):
+        docs = sets_to_documents([[1, 2], [2, 3]])
+        assert docs == {
+            1: frozenset({0}),
+            2: frozenset({0, 1}),
+            3: frozenset({1}),
+        }
+
+    def test_round_trip_intersection(self, rng):
+        """e in S_i ∩ S_j  iff  {i, j} ⊆ e.Doc (the §1.2 equivalence)."""
+        sets = [
+            [e for e in range(30) if rng.random() < 0.4] or [0] for _ in range(5)
+        ]
+        docs = sets_to_documents(sets)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                via_docs = sorted(
+                    e for e, doc in docs.items() if {i, j} <= doc
+                )
+                direct = sorted(set(sets[i]) & set(sets[j]))
+                assert via_docs == direct

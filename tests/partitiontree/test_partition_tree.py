@@ -1,0 +1,179 @@
+"""Unit tests for repro.partitiontree (tree + schemes + cells)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import GeometryError, ValidationError
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.rectangles import Rect
+from repro.geometry.regions import ConvexRegion, EverythingRegion, RectRegion
+from repro.geometry.simplex import Simplex
+from repro.partitiontree import (
+    ConvexCell,
+    KdBoxScheme,
+    PartitionTree,
+    WillardScheme,
+)
+
+
+def random_points(rng, n, d=2):
+    return np.array([[rng.random() for _ in range(d)] for _ in range(n)])
+
+
+class TestConvexCell:
+    def test_from_rect(self):
+        cell = ConvexCell.from_rect(Rect((0.0, 0.0), (2.0, 1.0)))
+        assert cell.contains_point((1.0, 0.5))
+        assert not cell.contains_point((3.0, 0.5))
+        assert cell.lo == (0.0, 0.0)
+        assert cell.hi == (2.0, 1.0)
+
+    def test_boundary(self):
+        cell = ConvexCell.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+        assert cell.boundary_contains((0.0, 0.5))
+        assert not cell.boundary_contains((0.5, 0.5))
+
+    def test_clip_halves_a_square(self):
+        cell = ConvexCell.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+        half = cell.clip(HalfSpace((1.0, 0.0), 0.5))
+        assert half.contains_point((0.25, 0.5))
+        assert not half.contains_point((0.75, 0.5))
+        assert half.hi[0] == pytest.approx(0.5)
+
+    def test_clip_to_empty_raises(self):
+        cell = ConvexCell.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+        with pytest.raises(GeometryError):
+            cell.clip(HalfSpace((1.0, 0.0), -5.0))
+
+    def test_diagonal_clip(self):
+        cell = ConvexCell.from_rect(Rect((0.0, 0.0), (1.0, 1.0)))
+        tri = cell.clip(HalfSpace((1.0, 1.0), 1.0))
+        assert tri.contains_point((0.2, 0.2))
+        assert not tri.contains_point((0.9, 0.9))
+        # Triangle with vertices (0,0), (1,0), (0,1).
+        assert len(tri.vertices) == 3
+
+    def test_3d_clip_unsupported(self):
+        cell = ConvexCell.from_rect(Rect((0.0,) * 3, (1.0,) * 3))
+        with pytest.raises(GeometryError):
+            cell.clip(HalfSpace((1.0, 0.0, 0.0), 0.5))
+
+
+class TestKdBoxScheme:
+    def test_tree_builds_and_balances(self, rng):
+        pts = random_points(rng, 128)
+        tree = PartitionTree(pts, scheme=KdBoxScheme())
+        for node in tree.nodes():
+            assert node.size <= math.ceil(128 / 2**node.level)
+
+    def test_simplex_query_agrees_with_brute_force(self, rng):
+        pts = random_points(rng, 140)
+        tree = PartitionTree(pts, scheme=KdBoxScheme())
+        for _ in range(20):
+            verts = [(rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)) for _ in range(3)]
+            try:
+                simplex = Simplex(verts)
+            except GeometryError:
+                continue
+            region = ConvexRegion.from_simplex(simplex)
+            got = sorted(tree.region_query(region))
+            want = sorted(i for i in range(140) if simplex.contains(pts[i]))
+            assert got == want
+
+    def test_3d_supported(self, rng):
+        pts = random_points(rng, 60, d=3)
+        tree = PartitionTree(pts, scheme=KdBoxScheme())
+        region = ConvexRegion([HalfSpace((1.0, 1.0, 1.0), 1.5)])
+        got = sorted(tree.region_query(region))
+        want = sorted(i for i in range(60) if sum(pts[i]) <= 1.5 + 1e-9)
+        assert got == want
+
+
+class TestWillardScheme:
+    def test_tree_builds_with_polygon_cells(self, rng):
+        pts = random_points(rng, 100)
+        tree = PartitionTree(pts, scheme=WillardScheme())
+        assert isinstance(tree.root.cell, ConvexCell)
+        # Points stay within their node cells all the way down.
+        for node in tree.nodes():
+            if node.is_leaf:
+                for idx in node.indices:
+                    assert node.cell.contains_point(pts[idx])
+
+    def test_queries_agree_with_brute_force(self, rng):
+        pts = random_points(rng, 120)
+        tree = PartitionTree(pts, scheme=WillardScheme())
+        for _ in range(15):
+            verts = [(rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)) for _ in range(3)]
+            try:
+                simplex = Simplex(verts)
+            except GeometryError:
+                continue
+            region = ConvexRegion.from_simplex(simplex)
+            got = sorted(tree.region_query(region))
+            want = sorted(i for i in range(120) if simplex.contains(pts[i]))
+            assert got == want
+
+    def test_fanout_shrinks_levels(self, rng):
+        pts = random_points(rng, 256)
+        tree = PartitionTree(pts, scheme=WillardScheme())
+        # 4-way fanout: height about log4(256) = 4, allow generous slack.
+        assert tree.height() <= 10
+
+    def test_line_crossing_sublinear(self, rng):
+        """The Willard guarantee: an oblique line crosses O(n^0.79) cells."""
+        n = 2048
+        pts = random_points(rng, n)
+        tree = PartitionTree(pts, scheme=WillardScheme())
+        # A thin oblique band standing in for a line.
+        band = ConvexRegion(
+            [HalfSpace((1.0, -1.0), 0.002), HalfSpace((-1.0, 1.0), 0.002)]
+        )
+        crossing = tree.count_crossing_nodes(band)
+        assert crossing <= 14 * n ** (math.log(3) / math.log(4))
+
+    def test_duplicate_points_fall_back_gracefully(self):
+        pts = np.array([[0.5, 0.5]] * 40)
+        tree = PartitionTree(pts, scheme=WillardScheme())
+        assert sorted(tree.region_query(EverythingRegion(2))) == list(range(40))
+
+    def test_rejects_non_2d(self, rng):
+        pts = random_points(rng, 20, d=3)
+        with pytest.raises(ValidationError):
+            PartitionTree(pts, scheme=WillardScheme(), root_cell=ConvexCell.from_rect(Rect((0.0,)*3, (1.0,)*3)))
+
+
+class TestPartitionTreeGeneric:
+    def test_everything_region_reports_all(self, rng):
+        pts = random_points(rng, 70)
+        tree = PartitionTree(pts)
+        assert sorted(tree.region_query(EverythingRegion(2))) == list(range(70))
+
+    def test_rect_region(self, rng):
+        pts = random_points(rng, 90)
+        tree = PartitionTree(pts)
+        rect = Rect((0.25, 0.25), (0.75, 0.75))
+        got = sorted(tree.region_query(RectRegion(rect)))
+        want = sorted(i for i in range(90) if rect.contains_point(pts[i]))
+        assert got == want
+
+    def test_counter_charged(self, rng):
+        pts = random_points(rng, 50)
+        tree = PartitionTree(pts)
+        counter = CostCounter()
+        tree.region_query(EverythingRegion(2), counter)
+        assert counter["objects_examined"] == 50
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            PartitionTree(np.empty((0, 2)))
+        with pytest.raises(ValidationError):
+            PartitionTree(np.zeros((5, 2)), leaf_size=0)
+
+    def test_coincident_points_become_fat_leaf(self):
+        pts = np.array([[1.0, 1.0]] * 10)
+        tree = PartitionTree(pts, scheme=KdBoxScheme())
+        assert sorted(tree.region_query(EverythingRegion(2))) == list(range(10))

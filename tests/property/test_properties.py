@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orp_kw import OrpKwIndex
+from repro.dataset import Dataset, make_objects
+from repro.geometry.lp import feasible_point
+from repro.geometry.rank_space import RankSpaceMap
+from repro.geometry.rectangles import Rect
+from repro.ksi.cohen_porat import KSetIndex
+from repro.ksi.naive import NaiveKSI
+
+# -- strategies -----------------------------------------------------------------
+
+coordinate = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects_2d(draw):
+    a, b = sorted([draw(coordinate), draw(coordinate)])
+    c, d = sorted([draw(coordinate), draw(coordinate)])
+    return Rect((a, c), (b, d))
+
+
+@st.composite
+def datasets_2d(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    points = [
+        (draw(coordinate), draw(coordinate)) for _ in range(count)
+    ]
+    docs = [
+        draw(st.sets(st.integers(min_value=1, max_value=6), min_size=1, max_size=4))
+        for _ in range(count)
+    ]
+    return Dataset(make_objects(points, docs))
+
+
+@st.composite
+def set_families(draw):
+    num_sets = draw(st.integers(min_value=2, max_value=6))
+    return [
+        sorted(
+            draw(
+                st.sets(st.integers(min_value=0, max_value=30), min_size=1, max_size=20)
+            )
+        )
+        for _ in range(num_sets)
+    ]
+
+
+# -- rectangle algebra ------------------------------------------------------------
+
+
+@given(rects_2d(), rects_2d())
+def test_rect_intersection_symmetric(a, b):
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(rects_2d(), rects_2d())
+def test_rect_covers_implies_intersects(a, b):
+    if a.covers(b):
+        assert a.intersects(b)
+
+
+@given(rects_2d(), st.tuples(coordinate, coordinate))
+def test_rect_cover_transfers_membership(a, point):
+    big = Rect((-200.0, -200.0), (200.0, 200.0))
+    assert big.covers(a)
+    if a.contains_point(point):
+        assert big.contains_point(point)
+
+
+@given(rects_2d(), coordinate)
+def test_rect_split_partitions_membership(rect, fraction):
+    axis = 0
+    value = min(max(fraction, rect.lo[axis]), rect.hi[axis])
+    left, right = rect.split(axis, value)
+    probe = ((rect.lo[0] + rect.hi[0]) / 2, (rect.lo[1] + rect.hi[1]) / 2)
+    if rect.contains_point(probe):
+        assert left.contains_point(probe) or right.contains_point(probe)
+
+
+# -- rank space -------------------------------------------------------------------
+
+
+@given(datasets_2d(), rects_2d())
+@settings(max_examples=60)
+def test_rank_space_preserves_rect_membership(dataset, rect):
+    points = [obj.point for obj in dataset.objects]
+    mapping = RankSpaceMap(points)
+    rank_rect = mapping.rect_to_rank(rect)
+    for i, p in enumerate(points):
+        assert rect.contains_point(p) == rank_rect.contains_point(
+            mapping.to_rank_point(i)
+        )
+
+
+@given(datasets_2d())
+def test_rank_space_is_permutation(dataset):
+    points = [obj.point for obj in dataset.objects]
+    mapping = RankSpaceMap(points)
+    n = len(points)
+    for axis in range(2):
+        ranks = sorted(mapping.to_rank_point(i)[axis] for i in range(n))
+        assert ranks == list(range(n))
+
+
+# -- LP ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.tuples(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+            ),
+            st.floats(min_value=-2, max_value=2, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_lp_returns_feasible_points_only(constraints):
+    constraints = [(c, b) for c, b in constraints if any(abs(x) > 1e-9 for x in c)]
+    if not constraints:
+        return
+    point = feasible_point(constraints, (0.0, 0.0), (1.0, 1.0))
+    if point is not None:
+        for coeffs, bound in constraints:
+            assert sum(c * x for c, x in zip(coeffs, point)) <= bound + 1e-6
+        assert all(-1e-9 <= x <= 1 + 1e-9 for x in point)
+
+
+# -- k-SI -------------------------------------------------------------------------
+
+
+@given(set_families(), st.randoms(use_true_random=False))
+@settings(max_examples=50, deadline=None)
+def test_kset_index_matches_naive(sets, rnd):
+    index = KSetIndex(sets, k=2)
+    naive = NaiveKSI(sets)
+    ids = rnd.sample(range(len(sets)), 2)
+    assert index.report(ids) == naive.report(ids)
+    assert index.is_empty(ids) == naive.is_empty(ids)
+
+
+@given(set_families())
+@settings(max_examples=30, deadline=None)
+def test_kset_index_space_linear(sets):
+    index = KSetIndex(sets, k=2)
+    assert index.space_units <= 16 * max(index.input_size, 1)
+
+
+# -- ORP-KW -----------------------------------------------------------------------
+
+
+@given(datasets_2d(), rects_2d(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_orp_kw_matches_brute_force(dataset, rect, rnd):
+    index = OrpKwIndex(dataset, k=2)
+    words = rnd.sample(range(1, 7), 2)
+    got = sorted(o.oid for o in index.query(rect, words))
+    want = sorted(
+        o.oid
+        for o in dataset
+        if rect.contains_point(o.point) and o.contains_keywords(words)
+    )
+    assert got == want
+
+
+@given(datasets_2d())
+@settings(max_examples=30, deadline=None)
+def test_orp_kw_space_linear(dataset):
+    index = OrpKwIndex(dataset, k=2)
+    assert index.space_units <= 24 * index.input_size

@@ -1,0 +1,169 @@
+"""Unit tests for repro.cli."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_jsonl_dataset, main
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def dataset_file(tmp_path, rng):
+    path = tmp_path / "data.jsonl"
+    with open(path, "w") as handle:
+        for _ in range(120):
+            record = {
+                "point": [rng.uniform(0, 100), rng.uniform(0, 10)],
+                "doc": rng.sample(range(1, 7), rng.randint(1, 3)),
+            }
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+class TestDatasetLoading:
+    def test_loads_records(self, dataset_file):
+        ds = load_jsonl_dataset(str(dataset_file))
+        assert len(ds) == 120
+        assert ds.dim == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"point": [1.0], "doc": [1]}\n\n{"point": [2.0], "doc": [2]}\n')
+        assert len(load_jsonl_dataset(str(path))) == 2
+
+    def test_bad_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"point": [1.0], "doc": [1]}\n{"nope": true}\n')
+        with pytest.raises(ValidationError, match="bad.jsonl:2"):
+            load_jsonl_dataset(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_jsonl_dataset(str(path))
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        lines = [json.loads(line) for line in out.strip().splitlines()]
+        assert all("oid" in rec for rec in lines)
+
+    def test_build_query_round_trip(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.bin"
+        assert main(["build", str(dataset_file), str(index_path), "--kind", "orp"]) == 0
+        assert index_path.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                str(index_path),
+                "--rect", "0", "0", "100", "10",
+                "--keywords", "1", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            record = json.loads(line)
+            assert {1, 2} <= set(record["doc"])
+
+    def test_info(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.bin"
+        main(["build", str(dataset_file), str(index_path)])
+        capsys.readouterr()
+        assert main(["info", str(index_path)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["class"] == "OrpKwIndex"
+        assert info["k"] == 2
+
+    def test_nearest(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "nn.bin"
+        main(["build", str(dataset_file), str(index_path), "--kind", "linf-nn"])
+        capsys.readouterr()
+        code = main(
+            [
+                "nearest",
+                str(index_path),
+                "--point", "50", "5",
+                "--t", "3",
+                "--keywords", "1", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_wrong_index_kind_is_a_clean_error(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "nn.bin"
+        main(["build", str(dataset_file), str(index_path), "--kind", "linf-nn"])
+        capsys.readouterr()
+        code = main(
+            ["query", str(index_path), "--rect", "0", "0", "1", "1", "--keywords", "1", "2"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_without_shape_is_an_error(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "idx.bin"
+        main(["build", str(dataset_file), str(index_path)])
+        capsys.readouterr()
+        assert main(["query", str(index_path), "--keywords", "1", "2"]) == 2
+
+    def test_ball_query(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "srp.bin"
+        main(["build", str(dataset_file), str(index_path), "--kind", "srp"])
+        capsys.readouterr()
+        code = main(
+            ["query", str(index_path), "--ball", "50", "5", "20", "--keywords", "1", "2"]
+        )
+        assert code == 0
+
+    def test_parser_rejects_unknown_kind(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["build", "a", "b", "--kind", "nonsense"])
+
+
+class TestRectangleIndexCommands:
+    @pytest.fixture
+    def rect_file(self, tmp_path, rng):
+        path = tmp_path / "rects.jsonl"
+        with open(path, "w") as handle:
+            for _ in range(60):
+                lo = rng.uniform(0, 10)
+                handle.write(
+                    json.dumps(
+                        {
+                            "lo": [lo],
+                            "hi": [lo + rng.uniform(0, 2)],
+                            "doc": rng.sample(range(1, 6), rng.randint(1, 3)),
+                        }
+                    )
+                    + "\n"
+                )
+        return path
+
+    def test_build_and_query_rr(self, rect_file, tmp_path, capsys):
+        index_path = tmp_path / "rr.bin"
+        assert main(["build", str(rect_file), str(index_path), "--kind", "rr"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["query", str(index_path), "--rect", "2", "5", "--keywords", "1", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            record = json.loads(line)
+            assert record["lo"][0] <= 5.0 and record["hi"][0] >= 2.0
+            assert {1, 2} <= set(record["doc"])
+
+    def test_bad_rectangle_record(self, tmp_path):
+        from repro.cli import load_jsonl_rectangles
+        from repro.errors import ValidationError as VE
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"lo": [1.0], "doc": [1]}\n')
+        with pytest.raises(VE, match="bad.jsonl:1"):
+            load_jsonl_rectangles(str(path))

@@ -1,0 +1,131 @@
+"""Unit tests for repro.dataset."""
+
+import pytest
+
+from repro.dataset import (
+    Dataset,
+    KeywordObject,
+    RectangleObject,
+    make_objects,
+    validate_query_keywords,
+)
+from repro.errors import ValidationError
+
+
+class TestKeywordObject:
+    def test_basic_fields(self):
+        obj = KeywordObject(oid=3, point=(1.0, 2.0), doc=frozenset({5, 7}))
+        assert obj.dim == 2
+        assert obj.contains_keywords([5])
+        assert obj.contains_keywords([5, 7])
+        assert not obj.contains_keywords([5, 6])
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValidationError):
+            KeywordObject(oid=0, point=(0.0,), doc=frozenset())
+
+    def test_empty_point_rejected(self):
+        with pytest.raises(ValidationError):
+            KeywordObject(oid=0, point=(), doc=frozenset({1}))
+
+    def test_frozen(self):
+        obj = KeywordObject(oid=0, point=(0.0,), doc=frozenset({1}))
+        with pytest.raises(AttributeError):
+            obj.oid = 5
+
+
+class TestRectangleObject:
+    def test_intersection(self):
+        rect = RectangleObject(oid=0, lo=(0.0, 0.0), hi=(2.0, 2.0), doc=frozenset({1}))
+        assert rect.intersects((1.0, 1.0), (3.0, 3.0))
+        assert rect.intersects((2.0, 2.0), (3.0, 3.0))  # touching counts
+        assert not rect.intersects((2.1, 0.0), (3.0, 1.0))
+
+    def test_degenerate_rectangle_allowed(self):
+        rect = RectangleObject(oid=0, lo=(1.0,), hi=(1.0,), doc=frozenset({1}))
+        assert rect.intersects((0.0,), (1.0,))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            RectangleObject(oid=0, lo=(2.0,), hi=(1.0,), doc=frozenset({1}))
+
+    def test_mixed_corner_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            RectangleObject(oid=0, lo=(0.0, 0.0), hi=(1.0,), doc=frozenset({1}))
+
+
+class TestMakeObjects:
+    def test_assigns_sequential_ids(self):
+        objs = make_objects([(0.0,), (1.0,)], [[1], [2]])
+        assert [obj.oid for obj in objs] == [0, 1]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            make_objects([(0.0,)], [[1], [2]])
+
+    def test_coerces_coordinates_to_float(self):
+        objs = make_objects([(1, 2)], [[1]])
+        assert objs[0].point == (1.0, 2.0)
+
+
+class TestDataset:
+    def test_input_size_is_total_doc_mass(self, tiny_dataset):
+        # Docs: {1,2},{1,3},{2,3},{1,2,3} -> N = 2+2+2+3 = 9
+        assert tiny_dataset.total_doc_size == 9
+
+    def test_vocabulary(self, tiny_dataset):
+        assert tiny_dataset.vocabulary == [1, 2, 3]
+        assert tiny_dataset.num_keywords == 3
+
+    def test_matching_computes_equation_1(self, tiny_dataset):
+        ids = sorted(o.oid for o in tiny_dataset.matching([1, 2]))
+        assert ids == [0, 3]
+
+    def test_objects_with_single_keyword(self, tiny_dataset):
+        assert sorted(o.oid for o in tiny_dataset.objects_with(3)) == [1, 2, 3]
+
+    def test_weight_helper(self, tiny_dataset):
+        assert Dataset.weight(tiny_dataset.objects) == 9
+        assert Dataset.weight([]) == 0
+
+    def test_lookup_by_id(self, tiny_dataset):
+        assert tiny_dataset[2].point == (6.0, 3.0)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset([])
+
+    def test_mixed_dimensions_rejected(self):
+        objs = [
+            KeywordObject(oid=0, point=(0.0,), doc=frozenset({1})),
+            KeywordObject(oid=1, point=(0.0, 1.0), doc=frozenset({1})),
+        ]
+        with pytest.raises(ValidationError):
+            Dataset(objs)
+
+    def test_duplicate_ids_rejected(self):
+        objs = [
+            KeywordObject(oid=0, point=(0.0,), doc=frozenset({1})),
+            KeywordObject(oid=0, point=(1.0,), doc=frozenset({1})),
+        ]
+        with pytest.raises(ValidationError):
+            Dataset(objs)
+
+    def test_iteration_and_len(self, tiny_dataset):
+        assert len(tiny_dataset) == 4
+        assert len(list(tiny_dataset)) == 4
+
+
+class TestValidateQueryKeywords:
+    def test_accepts_exactly_k_distinct(self):
+        assert validate_query_keywords([3, 1], 2) == (3, 1)
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ValidationError):
+            validate_query_keywords([1], 2)
+        with pytest.raises(ValidationError):
+            validate_query_keywords([1, 2, 3], 2)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            validate_query_keywords([1, 1], 2)

@@ -1,0 +1,137 @@
+"""Failure injection: malformed inputs and hard budgets across the library.
+
+Every index must reject malformed data loudly (never garble silently), and
+every query path must propagate :class:`BudgetExceeded` rather than swallow
+it (the NN drivers depend on that contract).
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    BudgetExceeded,
+    CostCounter,
+    Dataset,
+    HalfSpace,
+    LcKwIndex,
+    OrpKwIndex,
+    Rect,
+    SrpKwIndex,
+    ValidationError,
+)
+from repro.dataset import KeywordObject, make_objects
+from repro.ksi.cohen_porat import KSetIndex
+
+from helpers import random_dataset
+
+
+class TestNonFiniteInputs:
+    def test_nan_coordinates_rejected(self):
+        with pytest.raises(ValidationError):
+            make_objects([(float("nan"), 1.0)], [[1]])
+
+    def test_inf_coordinates_rejected(self):
+        with pytest.raises(ValidationError):
+            make_objects([(math.inf, 1.0)], [[1]])
+
+    def test_nan_query_rect_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect((float("nan"),), (1.0,))
+
+    def test_inf_query_rect_allowed(self):
+        # Unbounded query rectangles are legitimate (q = R^d in §1.2).
+        rect = Rect.full(2)
+        assert rect.contains_point((1e300, -1e300))
+
+    def test_nan_halfspace_rejected(self):
+        with pytest.raises(ValidationError):
+            HalfSpace((float("nan"), 1.0), 0.0)
+        with pytest.raises(ValidationError):
+            HalfSpace((1.0,), float("nan"))
+
+    def test_inf_halfspace_coefficient_rejected(self):
+        with pytest.raises(ValidationError):
+            HalfSpace((math.inf, 1.0), 0.0)
+
+
+class TestBudgetPropagation:
+    """A budget of ~zero must abort every index's query path."""
+
+    def test_orp(self, rng):
+        index = OrpKwIndex(random_dataset(rng, 200), k=2)
+        with pytest.raises(BudgetExceeded):
+            index.query(Rect.full(2), [1, 2], counter=CostCounter(budget=2))
+
+    def test_lc(self, rng):
+        index = LcKwIndex(random_dataset(rng, 200), k=2)
+        with pytest.raises(BudgetExceeded):
+            index.query(
+                [HalfSpace((1.0, 1.0), 15.0)],
+                [1, 2],
+                counter=CostCounter(budget=2),
+            )
+
+    def test_srp(self, rng):
+        index = SrpKwIndex(random_dataset(rng, 200), k=2)
+        with pytest.raises(BudgetExceeded):
+            index.query((5.0, 5.0), 4.0, [1, 2], counter=CostCounter(budget=2))
+
+    def test_kset(self, rng):
+        sets = [[e for e in range(50)] for _ in range(4)]
+        index = KSetIndex(sets, k=2)
+        with pytest.raises(BudgetExceeded):
+            index.report([0, 1], counter=CostCounter(budget=2))
+
+    def test_budget_not_triggered_when_large_enough(self, rng):
+        index = OrpKwIndex(random_dataset(rng, 50), k=2)
+        counter = CostCounter(budget=10**9)
+        index.query(Rect.full(2), [1, 2], counter=counter)  # must not raise
+
+
+class TestDegenerateDatasets:
+    def test_single_object_all_indexes(self):
+        ds = Dataset.from_points([(1.0, 2.0)], [{1, 2, 3}])
+        orp = OrpKwIndex(ds, k=2)
+        assert [o.oid for o in orp.query(Rect.full(2), [1, 2])] == [0]
+        assert orp.query(Rect.full(2), [1, 9]) == []
+        lc = LcKwIndex(ds, k=2)
+        assert [o.oid for o in lc.query([HalfSpace((1.0, 0.0), 5.0)], [1, 2])] == [0]
+
+    def test_all_objects_identical(self):
+        ds = Dataset.from_points([(3.0, 3.0)] * 20, [[1, 2]] * 20)
+        orp = OrpKwIndex(ds, k=2)
+        found = orp.query(Rect((3.0, 3.0), (3.0, 3.0)), [1, 2])
+        assert len(found) == 20
+
+    def test_single_keyword_vocabulary(self):
+        ds = Dataset.from_points([(float(i), 0.5) for i in range(10)], [[7]] * 10)
+        orp = OrpKwIndex(ds, k=2)
+        # k=2 queries need 2 distinct keywords; one of them cannot exist.
+        assert orp.query(Rect.full(2), [7, 8]) == []
+
+    def test_huge_document_object(self, rng):
+        """One object carrying half the input mass must not break balance."""
+        objs = [KeywordObject(oid=0, point=(0.5, 0.5), doc=frozenset(range(1, 101)))]
+        for i in range(1, 40):
+            objs.append(
+                KeywordObject(
+                    oid=i,
+                    point=(rng.random() * 10, rng.random() * 10),
+                    doc=frozenset(rng.sample(range(1, 8), 2)),
+                )
+            )
+        ds = Dataset(objs)
+        orp = OrpKwIndex(ds, k=2)
+        got = sorted(o.oid for o in orp.query(Rect.full(2), [1, 2]))
+        want = sorted(o.oid for o in ds.matching([1, 2]))
+        assert got == want
+
+    def test_extreme_coordinate_magnitudes(self):
+        ds = Dataset.from_points(
+            [(1e-12, 1e12), (2e-12, 2e12), (1e12, 1e-12)],
+            [[1, 2], [1, 2], [1, 2]],
+        )
+        orp = OrpKwIndex(ds, k=2)
+        found = orp.query(Rect((0.0, 0.0), (1e13, 1e13)), [1, 2])
+        assert len(found) == 3

@@ -1,0 +1,89 @@
+"""Unit tests for repro.intervaltree."""
+
+import math
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.intervaltree import IntervalTree
+
+
+def random_intervals(rng, n, span=10.0):
+    intervals = []
+    for _ in range(n):
+        lo = rng.uniform(0.0, span)
+        intervals.append((lo, lo + rng.uniform(0.0, span / 4)))
+    return intervals
+
+
+class TestOverlapQuery:
+    def test_agrees_with_brute_force(self, rng):
+        intervals = random_intervals(rng, 200)
+        tree = IntervalTree(intervals)
+        for _ in range(40):
+            a, b = sorted([rng.uniform(-1, 13), rng.uniform(-1, 13)])
+            got = sorted(tree.overlap_query(a, b))
+            want = sorted(
+                i for i, (lo, hi) in enumerate(intervals) if lo <= b and a <= hi
+            )
+            assert got == want
+
+    def test_stabbing_query(self, rng):
+        intervals = random_intervals(rng, 150)
+        tree = IntervalTree(intervals)
+        for _ in range(30):
+            x = rng.uniform(-1, 13)
+            got = sorted(tree.stabbing_query(x))
+            want = sorted(
+                i for i, (lo, hi) in enumerate(intervals) if lo <= x <= hi
+            )
+            assert got == want
+
+    def test_touching_counts(self):
+        tree = IntervalTree([(0.0, 1.0), (1.0, 2.0)])
+        assert sorted(tree.overlap_query(1.0, 1.0)) == [0, 1]
+
+    def test_no_duplicates(self, rng):
+        intervals = random_intervals(rng, 100)
+        tree = IntervalTree(intervals)
+        found = tree.overlap_query(-1.0, 20.0)
+        assert len(found) == len(set(found)) == 100
+
+    def test_degenerate_intervals(self):
+        tree = IntervalTree([(1.0, 1.0), (2.0, 2.0), (1.0, 3.0)])
+        assert sorted(tree.stabbing_query(1.0)) == [0, 2]
+        assert sorted(tree.stabbing_query(2.0)) == [1, 2]
+
+    def test_identical_intervals(self):
+        tree = IntervalTree([(1.0, 2.0)] * 10)
+        assert len(tree.stabbing_query(1.5)) == 10
+
+
+class TestComplexity:
+    def test_space_linear(self, rng):
+        n = 1000
+        tree = IntervalTree(random_intervals(rng, n))
+        assert tree.space_units <= 4 * n
+
+    def test_stab_cost_log_plus_out(self, rng):
+        n = 4096
+        # Short intervals so a stab hits few.
+        intervals = []
+        for _ in range(n):
+            lo = rng.uniform(0.0, 100.0)
+            intervals.append((lo, lo + 0.01))
+        tree = IntervalTree(intervals)
+        counter = CostCounter()
+        out = tree.stabbing_query(50.0, counter)
+        non_output = counter.total - 2 * len(out)
+        assert non_output <= 24 * math.log2(n)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            IntervalTree([])
+        with pytest.raises(ValidationError):
+            IntervalTree([(2.0, 1.0)])
+        tree = IntervalTree([(0.0, 1.0)])
+        with pytest.raises(ValidationError):
+            tree.overlap_query(2.0, 1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.persist."""
+
+import pickle
+
+import pytest
+
+from repro.core.lc_kw import LcKwIndex
+from repro.core.orp_kw import OrpKwIndex
+from repro.errors import ValidationError
+from repro.geometry.halfspaces import HalfSpace
+from repro.geometry.rectangles import Rect
+from repro.persist import FORMAT_VERSION, load_index, save_index
+
+from helpers import random_dataset
+
+
+class TestRoundTrip:
+    def test_orp_round_trip(self, rng, tmp_path):
+        ds = random_dataset(rng, 80)
+        index = OrpKwIndex(ds, k=2)
+        path = tmp_path / "orp.idx"
+        save_index(index, path)
+        loaded = load_index(path)
+        rect = Rect((2.0, 2.0), (8.0, 8.0))
+        for _ in range(10):
+            words = rng.sample(range(1, 9), 2)
+            assert sorted(o.oid for o in loaded.query(rect, words)) == sorted(
+                o.oid for o in index.query(rect, words)
+            )
+
+    def test_lc_round_trip(self, rng, tmp_path):
+        ds = random_dataset(rng, 60)
+        index = LcKwIndex(ds, k=2)
+        path = tmp_path / "lc.idx"
+        save_index(index, path)
+        loaded = load_index(path, expected_class=LcKwIndex)
+        h = HalfSpace((1.0, 1.0), 10.0)
+        assert sorted(o.oid for o in loaded.query([h], [1, 2])) == sorted(
+            o.oid for o in index.query([h], [1, 2])
+        )
+
+    def test_expected_class_enforced(self, rng, tmp_path):
+        ds = random_dataset(rng, 20)
+        index = OrpKwIndex(ds, k=2)
+        path = tmp_path / "x.idx"
+        save_index(index, path)
+        with pytest.raises(ValidationError):
+            load_index(path, expected_class=LcKwIndex)
+
+
+class TestEnvelopeValidation:
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(ValidationError):
+            load_index(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "foreign.idx"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ValidationError):
+            load_index(path)
+
+    def test_wrong_format_version_rejected(self, rng, tmp_path):
+        ds = random_dataset(rng, 10)
+        index = OrpKwIndex(ds, k=2)
+        envelope = {
+            "magic": "repro-index",
+            "format": FORMAT_VERSION + 1,
+            "library_version": "9.9.9",
+            "index_class": "OrpKwIndex",
+            "index": index,
+        }
+        path = tmp_path / "future.idx"
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(ValidationError):
+            load_index(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope.idx")

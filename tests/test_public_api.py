@@ -1,0 +1,58 @@
+"""Public API surface checks."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_every_index_class_exposed(self):
+        for name in (
+            "OrpKwIndex",
+            "DimReductionOrpKw",
+            "LcKwIndex",
+            "SpKwIndex",
+            "RrKwIndex",
+            "LinfNnIndex",
+            "SrpKwIndex",
+            "L2NnIndex",
+            "KSetIndex",
+            "BitsetKSI",
+            "DynamicOrpKw",
+            "IrTree",
+            "MultiKOrpIndex",
+            "HybridPlanner",
+        ):
+            assert name in repro.__all__, name
+
+    def test_docstrings_everywhere(self):
+        """Every public module and exported class carries a docstring."""
+        import importlib
+        import pkgutil
+
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, missing
+
+    def test_exported_classes_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert (obj.__doc__ or "").strip(), name
+
+    def test_quickstart_docstring_example(self):
+        """The package docstring's doctest must stay true."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0

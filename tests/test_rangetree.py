@@ -1,0 +1,81 @@
+"""Unit tests for repro.rangetree."""
+
+import math
+
+import pytest
+
+from repro.costmodel import CostCounter
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+from repro.rangetree import RangeTree2D
+
+
+class TestCorrectness:
+    def test_agrees_with_brute_force(self, rng):
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(200)]
+        tree = RangeTree2D(points)
+        for _ in range(40):
+            a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            c, d = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            rect = Rect((a, c), (b, d))
+            got = sorted(tree.range_query(rect))
+            want = sorted(
+                i for i, p in enumerate(points) if rect.contains_point(p)
+            )
+            assert got == want
+
+    def test_duplicate_coordinates(self, rng):
+        points = [
+            (float(rng.randint(0, 3)), float(rng.randint(0, 3))) for _ in range(80)
+        ]
+        tree = RangeTree2D(points)
+        for _ in range(30):
+            a, b = sorted([rng.uniform(-1, 4), rng.uniform(-1, 4)])
+            c, d = sorted([rng.uniform(-1, 4), rng.uniform(-1, 4)])
+            rect = Rect((a, c), (b, d))
+            got = sorted(tree.range_query(rect))
+            want = sorted(
+                i for i, p in enumerate(points) if rect.contains_point(p)
+            )
+            assert got == want
+
+    def test_no_duplicates_reported(self, rng):
+        points = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(100)]
+        tree = RangeTree2D(points)
+        found = tree.range_query(Rect((0.0, 0.0), (1.0, 1.0)))
+        assert len(found) == len(set(found)) == 100
+
+    def test_single_point(self):
+        tree = RangeTree2D([(1.0, 2.0)])
+        assert tree.range_query(Rect((0.0, 0.0), (2.0, 3.0))) == [0]
+        assert tree.range_query(Rect((5.0, 5.0), (6.0, 6.0))) == []
+
+    def test_boundary_inclusive(self):
+        tree = RangeTree2D([(1.0, 1.0), (2.0, 2.0)])
+        assert sorted(tree.range_query(Rect((1.0, 1.0), (2.0, 2.0)))) == [0, 1]
+
+
+class TestComplexity:
+    def test_space_n_log_n(self, rng):
+        n = 512
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        tree = RangeTree2D(points)
+        assert tree.space_units <= 2 * n * (math.log2(n) + 2)
+
+    def test_query_cost_polylog_plus_out(self, rng):
+        n = 2048
+        points = [(rng.random(), rng.random()) for _ in range(n)]
+        tree = RangeTree2D(points)
+        counter = CostCounter()
+        out = tree.range_query(Rect((0.4, 0.4), (0.6, 0.6)), counter)
+        non_output = counter.total - len(out)
+        assert non_output <= 12 * math.log2(n) ** 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RangeTree2D([])
+        with pytest.raises(ValidationError):
+            RangeTree2D([(1.0,)])
+        tree = RangeTree2D([(0.0, 0.0)])
+        with pytest.raises(ValidationError):
+            tree.range_query(Rect((0.0,), (1.0,)))

@@ -1,0 +1,116 @@
+"""Unit tests for repro.text."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.text import (
+    DEFAULT_STOPWORDS,
+    Vocabulary,
+    dataset_from_texts,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_keeps_hyphenated_compounds(self):
+        assert tokenize("pet-friendly rooms") == ["pet-friendly", "rooms"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("pool, gym; spa!") == ["pool", "gym", "spa"]
+
+    def test_digits_kept(self):
+        assert tokenize("open 24h") == ["open", "24h"]
+
+    def test_empty_text(self):
+        assert tokenize("...") == []
+
+
+class TestVocabulary:
+    def test_ids_dense_and_stable(self):
+        vocab = Vocabulary(["pool", "gym"])
+        assert vocab.id_of("pool") == 1
+        assert vocab.id_of("gym") == 2
+        assert vocab.token_of(2) == "gym"
+        assert len(vocab) == 2
+
+    def test_build_orders_by_frequency(self):
+        docs = [["a", "b"], ["a", "b"], ["a", "c"]]
+        vocab = Vocabulary.build(docs, stopwords=())
+        assert vocab.id_of("a") == 1  # most frequent
+
+    def test_build_min_count(self):
+        docs = [["rare", "common"], ["common"]]
+        vocab = Vocabulary.build(docs, min_count=2, stopwords=())
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_build_max_fraction(self):
+        docs = [["everywhere", "x"], ["everywhere", "y"], ["everywhere", "z"]]
+        vocab = Vocabulary.build(docs, max_fraction=0.9, stopwords=())
+        assert "everywhere" not in vocab
+        assert "x" in vocab
+
+    def test_build_drops_stopwords(self):
+        docs = [["the", "pool"], ["the", "gym"]]
+        vocab = Vocabulary.build(docs)  # default stopwords
+        assert "the" not in vocab
+        assert "pool" in vocab
+
+    def test_encode_decode_round_trip(self):
+        vocab = Vocabulary(["pool", "gym", "spa"])
+        ids = vocab.encode(["gym", "spa", "unknown"])
+        assert vocab.decode(ids) == {"gym", "spa"}
+
+    def test_unknown_token_raises(self):
+        vocab = Vocabulary(["pool"])
+        with pytest.raises(ValidationError):
+            vocab.id_of("sauna")
+        with pytest.raises(ValidationError):
+            vocab.token_of(99)
+
+    def test_query_keywords(self):
+        vocab = Vocabulary(["pool", "gym"])
+        assert vocab.query_keywords("gym", "pool") == [2, 1]
+        with pytest.raises(ValidationError):
+            vocab.query_keywords("gym", "sauna")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Vocabulary([])
+        with pytest.raises(ValidationError):
+            Vocabulary(["a", "a"])
+        with pytest.raises(ValidationError):
+            Vocabulary.build([["the"]], stopwords=DEFAULT_STOPWORDS)
+
+
+class TestDatasetFromTexts:
+    def test_end_to_end_with_index(self):
+        from repro.core.orp_kw import OrpKwIndex
+        from repro.geometry.rectangles import Rect
+
+        points = [(120.0, 8.5), (180.0, 9.1), (90.0, 7.0)]
+        texts = [
+            "Pool and free parking, pet-friendly",
+            "pool with a view",
+            "free parking, pool",
+        ]
+        vocab, data = dataset_from_texts(points, texts)
+        index = OrpKwIndex(data, k=2)
+        words = vocab.query_keywords("pool", "parking")
+        hits = index.query(Rect((80.0, 6.0), (200.0, 10.0)), words)
+        assert sorted(o.oid for o in hits) == [0, 2]
+
+    def test_empty_document_gets_oov_keyword(self):
+        points = [(0.0,), (1.0,)]
+        texts = ["the a of", "pool"]  # first is all stopwords
+        vocab, data = dataset_from_texts(points, texts)
+        assert len(data[0].doc) == 1
+        oov = next(iter(data[0].doc))
+        assert oov == len(vocab) + 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            dataset_from_texts([(0.0,)], ["a", "b"])

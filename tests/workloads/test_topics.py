@@ -1,0 +1,74 @@
+"""Unit tests for repro.workloads.topics."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.topics import TopicConfig, topic_dataset, topic_keywords
+
+
+class TestTopicDataset:
+    def test_shape(self):
+        config = TopicConfig(num_objects=200, seed=1)
+        ds = topic_dataset(config)
+        assert len(ds) == 200
+        assert ds.dim == 2
+        for obj in ds:
+            assert all(0.0 <= c <= 1.0 for c in obj.point)
+            assert config.doc_min <= len(obj.doc) <= config.doc_max
+
+    def test_deterministic(self):
+        config = TopicConfig(num_objects=60, seed=9)
+        a, b = topic_dataset(config), topic_dataset(config)
+        assert [o.point for o in a] == [o.point for o in b]
+        assert [o.doc for o in a] == [o.doc for o in b]
+
+    def test_vocabulary_layout(self):
+        config = TopicConfig(
+            num_objects=400, num_topics=3, keywords_per_topic=10, common_keywords=5, seed=2
+        )
+        ds = topic_dataset(config)
+        max_keyword = 5 + 3 * 10
+        assert all(1 <= w <= max_keyword for w in ds.vocabulary)
+
+    def test_topic_keywords_are_disjoint_across_topics(self):
+        config = TopicConfig(num_objects=10, num_topics=4, seed=0)
+        slices = [set(topic_keywords(config, t, config.keywords_per_topic)) for t in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not slices[i] & slices[j]
+
+    def test_correlation_geography_vs_keywords(self):
+        """Same-topic keyword pairs co-occur; cross-topic pairs are rare."""
+        config = TopicConfig(
+            num_objects=800, num_topics=4, common_fraction=0.1, seed=3
+        )
+        ds = topic_dataset(config)
+        same = topic_keywords(config, 0, 2)
+        cross = [topic_keywords(config, 0, 1)[0], topic_keywords(config, 1, 1)[0]]
+        same_count = len(ds.matching(same))
+        cross_count = len(ds.matching(cross))
+        assert same_count > cross_count
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TopicConfig(num_objects=0)
+        with pytest.raises(ValidationError):
+            TopicConfig(num_objects=5, doc_min=4, doc_max=2)
+        with pytest.raises(ValidationError):
+            TopicConfig(num_objects=5, doc_max=100, keywords_per_topic=3, common_keywords=3)
+        config = TopicConfig(num_objects=5)
+        with pytest.raises(ValidationError):
+            topic_keywords(config, 99)
+
+    def test_indexable(self):
+        """The generated data feeds the indexes without friction."""
+        from repro.core.orp_kw import OrpKwIndex
+        from repro.geometry.rectangles import Rect
+
+        config = TopicConfig(num_objects=150, seed=4)
+        ds = topic_dataset(config)
+        index = OrpKwIndex(ds, k=2)
+        words = topic_keywords(config, 0, 2)
+        got = sorted(o.oid for o in index.query(Rect.full(2), words))
+        want = sorted(o.oid for o in ds.matching(words))
+        assert got == want

@@ -1,0 +1,160 @@
+"""Unit tests for repro.workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.generators import (
+    WorkloadConfig,
+    adversarial_ksi_sets,
+    clustered_points,
+    grid_snap,
+    planted_dataset,
+    uniform_points,
+    zipf_dataset,
+    zipf_document,
+)
+from repro.workloads.queries import (
+    frequent_keywords,
+    keyword_pair_by_frequency,
+    random_rect,
+    rect_with_target_out,
+)
+from repro.workloads.scenarios import (
+    HOTEL_TAGS,
+    condition_c1,
+    condition_c2,
+    hotel_dataset,
+    keywords_for,
+    tag_id,
+)
+
+
+class TestGenerators:
+    def test_zipf_document_size_and_range(self, rng):
+        weights = [1.0 / w for w in range(1, 21)]
+        doc = zipf_document(rng, 20, 5, weights)
+        assert len(doc) == 5
+        assert all(1 <= w <= 20 for w in doc)
+
+    def test_zipf_skew(self, rng):
+        weights = [1.0 / w**1.5 for w in range(1, 51)]
+        counts = {}
+        for _ in range(500):
+            for w in zipf_document(rng, 50, 3, weights):
+                counts[w] = counts.get(w, 0) + 1
+        assert counts.get(1, 0) > counts.get(50, 0)
+
+    def test_uniform_points_in_range(self, rng):
+        pts = uniform_points(rng, 50, 3, extent=2.0)
+        assert len(pts) == 50
+        assert all(0.0 <= c <= 2.0 for p in pts for c in p)
+
+    def test_clustered_points_in_range(self, rng):
+        pts = clustered_points(rng, 50, 2)
+        assert all(0.0 <= c <= 1.0 for p in pts for c in p)
+
+    def test_zipf_dataset_shape(self):
+        config = WorkloadConfig(num_objects=100, vocabulary=20, seed=7)
+        ds = zipf_dataset(config)
+        assert len(ds) == 100
+        assert ds.dim == 2
+        assert ds.total_doc_size >= 100
+
+    def test_zipf_dataset_deterministic(self):
+        config = WorkloadConfig(num_objects=50, seed=3)
+        a, b = zipf_dataset(config), zipf_dataset(config)
+        assert [o.point for o in a] == [o.point for o in b]
+        assert [o.doc for o in a] == [o.doc for o in b]
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(num_objects=0)
+        with pytest.raises(ValidationError):
+            WorkloadConfig(num_objects=5, doc_min=3, doc_max=2)
+
+    def test_planted_dataset_controls_out(self):
+        ds = planted_dataset(200, 2, keywords=[1, 2], planted_fraction=0.1, seed=5)
+        matches = ds.matching([1, 2])
+        assert len(matches) == 20
+
+    def test_planted_zero_fraction(self):
+        ds = planted_dataset(100, 2, keywords=[1, 2], planted_fraction=0.0, seed=5)
+        assert ds.matching([1, 2]) == []
+
+    def test_adversarial_ksi(self):
+        sets = adversarial_ksi_sets(5, 100, planted=7, seed=1)
+        assert len(sets) == 5
+        inter = set(sets[0]) & set(sets[1])
+        assert len(inter) == 7
+        assert all(len(s) == 107 for s in sets)
+
+    def test_adversarial_validation(self):
+        with pytest.raises(ValidationError):
+            adversarial_ksi_sets(1, 10)
+
+    def test_grid_snap(self):
+        snapped = grid_snap([(0.49, 0.99)], 10)
+        assert snapped == [(4.0, 9.0)]
+        assert all(c == int(c) for p in snapped for c in p)
+
+
+class TestQueries:
+    def test_random_rect_inside_extent(self, rng):
+        for _ in range(20):
+            rect = random_rect(rng, 2, side=0.3)
+            assert all(0.0 <= lo and hi <= 1.0 for lo, hi in zip(rect.lo, rect.hi))
+
+    def test_rect_with_target_out(self, rng):
+        ds = planted_dataset(300, 2, keywords=[1, 2], planted_fraction=0.5, seed=2)
+        rect, actual = rect_with_target_out(ds, [1, 2], 40, rng)
+        matches = [o for o in ds.matching([1, 2]) if rect.contains_point(o.point)]
+        assert len(matches) == actual
+        assert actual >= 40
+
+    def test_rect_with_zero_target(self, rng):
+        ds = planted_dataset(100, 2, keywords=[1, 2], planted_fraction=0.5, seed=2)
+        rect, actual = rect_with_target_out(ds, [1, 2], 0, rng)
+        assert actual == 0
+
+    def test_frequency_helpers(self, rng):
+        config = WorkloadConfig(num_objects=300, vocabulary=20, zipf_s=1.2, seed=9)
+        ds = zipf_dataset(config)
+        a, b = keyword_pair_by_frequency(ds, 0, 1)
+        assert a != b
+        top3 = frequent_keywords(ds, 3)
+        assert len(top3) == 3
+        freq = {w: len(ds.objects_with(w)) for w in top3}
+        assert freq[top3[0]] >= freq[top3[2]]
+
+
+class TestHotelScenario:
+    def test_dataset_shape(self):
+        ds = hotel_dataset(200, seed=1)
+        assert len(ds) == 200
+        assert ds.dim == 2
+        for obj in ds:
+            price, rating = obj.point
+            assert 30.0 <= price <= 1200.0
+            assert 0.0 <= rating <= 10.0
+
+    def test_deterministic(self):
+        a, b = hotel_dataset(50, seed=4), hotel_dataset(50, seed=4)
+        assert [o.point for o in a] == [o.point for o in b]
+
+    def test_tags_resolve(self):
+        assert tag_id("pool") == HOTEL_TAGS.index("pool") + 1
+        assert keywords_for(["pool", "spa"]) == [tag_id("pool"), tag_id("spa")]
+
+    def test_condition_c1_semantics(self):
+        rect = condition_c1(100.0, 200.0, 8.0)
+        assert rect.contains_point((150.0, 9.0))
+        assert not rect.contains_point((250.0, 9.0))
+        assert not rect.contains_point((150.0, 7.0))
+
+    def test_condition_c2_semantics(self):
+        # price + 50*(10 - rating) <= 400
+        h = condition_c2(1.0, 50.0, 400.0)
+        assert h.contains((100.0, 9.0))  # 100 + 50 = 150
+        assert not h.contains((300.0, 5.0))  # 300 + 250 = 550
