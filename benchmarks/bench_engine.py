@@ -1,0 +1,136 @@
+"""Experiment S1 — the serving layer's cache and fallback behaviour.
+
+A Zipf-keyword dataset is served through :class:`repro.service.QueryEngine`
+under two regimes:
+
+* **cold vs warm** — a skewed workload (Zipf over a query template pool, the
+  shape of real traffic) is replayed twice; the warm pass should convert the
+  repeated templates into cache hits and slash the charged cost.
+* **budget sweep** — the same workload under progressively tighter per-query
+  budgets; fallbacks and degraded serves should rise as the budget drops,
+  while the engine never raises ``BudgetExceeded`` and the answers stay
+  exact (asserted against brute force on a sample).
+"""
+
+import random
+
+from repro.costmodel import CostCounter
+from repro.geometry.rectangles import Rect
+from repro.service import QueryEngine
+
+from common import standard_dataset, summarize_sweep
+
+
+def _zipf_workload(dataset, num_queries, num_templates=40, seed=11):
+    """Queries drawn Zipf-style from a fixed template pool (hot queries repeat)."""
+    rng = random.Random(seed)
+    templates = []
+    for _ in range(num_templates):
+        side = rng.choice([0.1, 0.3, 0.6])
+        a = rng.uniform(0, 1 - side)
+        c = rng.uniform(0, 1 - side)
+        rect = Rect((a, c), (a + side, c + side))
+        words = rng.sample(range(1, 25), rng.randint(1, 3))
+        templates.append((rect, words))
+    # Zipf ranks: template i drawn with weight 1/(i+1).
+    weights = [1.0 / (i + 1) for i in range(num_templates)]
+    return [templates[rng.choices(range(num_templates), weights)[0]]
+            for _ in range(num_queries)]
+
+
+def _serve(engine, workload, budget):
+    counter = CostCounter()
+    start_records = len(engine.records)
+    engine.batch(workload, budget=budget, counter=counter)
+    traces = engine.records[start_records:]
+    return {
+        "cost": counter.total,
+        "fallbacks": sum(len(t.fallbacks) for t in traces),
+        "degraded": sum(1 for t in traces if t.degraded),
+        "hits": sum(1 for t in traces if t.cache == "hit"),
+    }
+
+
+def _cold_warm_rows():
+    rows = []
+    for num_objects in (1000, 2000, 4000):
+        dataset = standard_dataset(num_objects)
+        workload = _zipf_workload(dataset, 120)
+        engine = QueryEngine(dataset, max_k=3, cache_size=256)
+        cold = _serve(engine, workload, budget=None)
+        warm = _serve(engine, workload, budget=None)
+        rows.append(
+            {
+                "objects": num_objects,
+                "cold_cost": cold["cost"],
+                "warm_cost": warm["cost"],
+                "cold_hits": cold["hits"],
+                "warm_hits": warm["hits"],
+                "warm_hit_rate": round(warm["hits"] / len(workload), 2),
+                "saving": round(1.0 - warm["cost"] / max(cold["cost"], 1), 2),
+            }
+        )
+    return rows
+
+
+def _budget_rows():
+    dataset = standard_dataset(2000)
+    workload = _zipf_workload(dataset, 80, seed=23)
+    brute = [
+        sorted(
+            o.oid
+            for o in dataset
+            if rect.contains_point(o.point) and o.contains_keywords(words)
+        )
+        for rect, words in workload[:20]
+    ]
+    rows = []
+    for budget in (None, 2048, 512, 128, 32):
+        engine = QueryEngine(dataset, max_k=3, cache_size=0)  # isolate budgeting
+        served = _serve(engine, workload, budget=budget)
+        # Exactness survives every fallback/degradation.
+        for (rect, words), want in zip(workload[:20], brute):
+            got = sorted(o.oid for o in engine.query(rect, words, budget=budget))
+            assert got == want, (budget, words)
+        rows.append(
+            {
+                "budget": budget if budget is not None else "inf",
+                "cost": served["cost"],
+                "fallbacks": served["fallbacks"],
+                "degraded": served["degraded"],
+                "degraded_pct": round(100.0 * served["degraded"] / len(workload), 1),
+            }
+        )
+    return rows
+
+
+def run() -> None:
+    summarize_sweep(
+        "s1_engine_cache",
+        _cold_warm_rows(),
+        columns=[
+            "objects", "cold_cost", "warm_cost", "cold_hits",
+            "warm_hits", "warm_hit_rate", "saving",
+        ],
+        title="S1a: QueryEngine cache — replayed Zipf workload (120 queries)",
+    )
+    summarize_sweep(
+        "s1_engine_budget",
+        _budget_rows(),
+        columns=["budget", "cost", "fallbacks", "degraded", "degraded_pct"],
+        title="S1b: QueryEngine budget sweep — fallbacks instead of errors",
+    )
+
+
+def test_engine_bench_smoke(benchmark):
+    """Wall-clock sanity check: one warm-cache batch."""
+    dataset = standard_dataset(1000)
+    workload = _zipf_workload(dataset, 30)
+    engine = QueryEngine(dataset, max_k=3, cache_size=256)
+    engine.batch(workload)  # warm the cache
+
+    benchmark(lambda: engine.batch(workload))
+
+
+if __name__ == "__main__":
+    run()

@@ -21,6 +21,7 @@ import bench_ablation_verbose
 import bench_build
 import bench_dim_reduction
 import bench_dynamic
+import bench_engine
 import bench_fig1_crossing
 import bench_fig2_dimred
 import bench_irtree
@@ -150,6 +151,12 @@ EXPERIMENTS = {
     "b1": [
         (bench_build._rows, "b1_build", None,
          "B1 construction cost and space"),
+    ],
+    "s1": [
+        (bench_engine._cold_warm_rows, "s1_engine_cache", None,
+         "S1a QueryEngine cache — replayed Zipf workload"),
+        (bench_engine._budget_rows, "s1_engine_budget", None,
+         "S1b QueryEngine budget sweep — fallbacks instead of errors"),
     ],
     "w1": [
         (bench_vocab._rows, "w1_vocab", None,

@@ -50,6 +50,7 @@ from .ksi import BitsetKSI, InvertedIndex, KSetIndex, NaiveKSI
 from .core.dynamic import DynamicOrpKw
 from .irtree import IrTree
 from .persist import load_index, save_index
+from .service import LRUCache, QueryEngine, QueryRecord
 
 __version__ = "1.0.0"
 
@@ -90,5 +91,8 @@ __all__ = [
     "tokenize",
     "save_index",
     "load_index",
+    "QueryEngine",
+    "QueryRecord",
+    "LRUCache",
     "__version__",
 ]

@@ -13,6 +13,18 @@ Usage examples::
     python -m repro.cli info   index.bin
     python -m repro.cli demo
 
+The serving layer (``--kind engine``) adds batched, budget-bounded queries:
+
+    python -m repro.cli build data.jsonl engine.bin --kind engine --k 3
+    python -m repro.cli batch engine.bin --queries q.jsonl --budget 64 --save
+    python -m repro.cli stats engine.bin
+
+where ``q.jsonl`` holds one query per line, e.g.
+``{"rect": [100, 8, 200, 10], "keywords": [1, 3]}`` (lo coords then hi
+coords).  ``batch`` prints one JSON trace per query; ``--results`` prints the
+matches too; ``--save`` writes the engine (with its updated cache and stats)
+back to the index file.
+
 All query commands print one JSON object per reported match plus a summary
 line (count + RAM-model cost units) on stderr.
 """
@@ -34,14 +46,17 @@ from .core.orp_kw import OrpKwIndex
 from .core.rr_kw import RrKwIndex
 from .core.srp_kw import SrpKwIndex
 from .persist import load_index, save_index
+from .service import QueryEngine
 
-#: --kind values accepted by `build` (rr reads {lo, hi, doc} records).
+#: --kind values accepted by `build` (rr reads {lo, hi, doc} records;
+#: engine builds the QueryEngine serving layer, --k becomes its max_k).
 INDEX_KINDS = {
     "orp": OrpKwIndex,
     "lc": LcKwIndex,
     "linf-nn": LinfNnIndex,
     "srp": SrpKwIndex,
     "rr": RrKwIndex,
+    "engine": QueryEngine,
 }
 
 
@@ -109,6 +124,10 @@ def cmd_build(args: argparse.Namespace) -> int:
         rectangles = load_jsonl_rectangles(args.dataset)
         index = index_cls(rectangles, k=args.k)
         described = f"{len(rectangles)} rectangles (N={index.input_size})"
+    elif args.kind == "engine":
+        dataset = load_jsonl_dataset(args.dataset)
+        index = QueryEngine(dataset, max_k=args.k, default_budget=args.budget)
+        described = f"{len(dataset)} objects (N={dataset.total_doc_size})"
     else:
         dataset = load_jsonl_dataset(args.dataset)
         index = index_cls(dataset, k=args.k)
@@ -118,6 +137,62 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"# built {index_cls.__name__} over {described}, saved to {args.index}",
         file=sys.stderr,
     )
+    return 0
+
+
+def load_jsonl_queries(path: str):
+    """Read a JSONL query workload: ``{"rect": [lo..., hi...], "keywords": [...]}``."""
+    queries = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                coords = [float(c) for c in record["rect"]]
+                keywords = [int(w) for w in record["keywords"]]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"{path}:{line_number}: bad query record ({exc})"
+                ) from exc
+            queries.append((coords, keywords))
+    if not queries:
+        raise ValidationError(f"{path}: no queries")
+    return queries
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    engine = load_index(args.index, expected_class=QueryEngine)
+    queries = load_jsonl_queries(args.queries)
+    results = engine.batch(queries, budget=args.budget)
+    traces = engine.records[-len(queries):]
+    for found, record in zip(results, traces):
+        print(record.to_json())
+        if args.results:
+            for obj in found:
+                print(
+                    json.dumps(
+                        {"oid": obj.oid, "point": list(obj.point), "doc": sorted(obj.doc)}
+                    )
+                )
+    if args.save:
+        save_index(engine, args.index)
+    cache = engine.cache.stats()
+    fallbacks = sum(len(record.fallbacks) for record in traces)
+    degraded = sum(1 for record in traces if record.degraded)
+    print(
+        f"# {len(queries)} quer{'y' if len(queries) == 1 else 'ies'}, "
+        f"{cache['hits']} cache hit(s), {fallbacks} fallback(s), "
+        f"{degraded} degraded, {engine.counter.total} lifetime cost units",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    engine = load_index(args.index, expected_class=QueryEngine)
+    print(engine.export_stats_json())
     return 0
 
 
@@ -182,7 +257,7 @@ def cmd_info(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     info = {
         "class": type(index).__name__,
-        "k": getattr(index, "k", None),
+        "k": getattr(index, "k", getattr(index, "max_k", None)),
         "dim": getattr(index, "dim", None),
         "input_size": getattr(index, "input_size", None),
         "space_units": getattr(index, "space_units", None),
@@ -215,7 +290,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("index", help="output index file")
     p_build.add_argument("--kind", choices=sorted(INDEX_KINDS), default="orp")
     p_build.add_argument("--k", type=int, default=2, help="query keywords per query")
+    p_build.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="default per-query cost budget (engine kind only)",
+    )
     p_build.set_defaults(func=cmd_build)
+
+    p_batch = sub.add_parser(
+        "batch", help="serve a JSONL query workload through a saved engine"
+    )
+    p_batch.add_argument("index", help="index file built with --kind engine")
+    p_batch.add_argument(
+        "--queries", required=True, help="JSONL file of {rect, keywords} queries"
+    )
+    p_batch.add_argument(
+        "--budget", type=int, default=None, help="per-query cost budget override"
+    )
+    p_batch.add_argument(
+        "--results", action="store_true", help="print matches after each trace"
+    )
+    p_batch.add_argument(
+        "--save",
+        action="store_true",
+        help="write the engine (updated cache/stats) back to the index file",
+    )
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_stats = sub.add_parser("stats", help="print a saved engine's statistics")
+    p_stats.add_argument("index", help="index file built with --kind engine")
+    p_stats.set_defaults(func=cmd_stats)
 
     p_query = sub.add_parser("query", help="run a reporting query")
     p_query.add_argument("index")
@@ -253,7 +358,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

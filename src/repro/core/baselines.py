@@ -17,7 +17,12 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..costmodel import CostCounter, ensure_counter
-from ..dataset import Dataset, KeywordObject, RectangleObject
+from ..dataset import (
+    Dataset,
+    KeywordObject,
+    RectangleObject,
+    validate_nonempty_keywords,
+)
 from ..geometry.halfspaces import HalfSpace
 from ..geometry.rectangles import Rect
 from ..geometry.regions import ConvexRegion
@@ -30,8 +35,12 @@ class StructuredOnlyIndex:
 
     def __init__(self, dataset: Dataset, leaf_size: int = 8):
         self.dataset = dataset
-        self._tree = KdTree(
-            [obj.point for obj in dataset.objects], leaf_size=leaf_size
+        # A kd-tree needs at least one point; an empty dataset simply has no
+        # tree and every query reports nothing (after the usual validation).
+        self._tree = (
+            KdTree([obj.point for obj in dataset.objects], leaf_size=leaf_size)
+            if dataset.objects
+            else None
         )
 
     def query_rect(
@@ -39,6 +48,9 @@ class StructuredOnlyIndex:
     ) -> List[KeywordObject]:
         """ORP-KW the naive way: range query, then keyword filter."""
         counter = ensure_counter(counter)
+        if self._tree is None:
+            validate_nonempty_keywords(keywords)
+            return []
         hits = self._tree.range_query(rect, counter)
         return self._filter(hits, keywords, counter)
 
@@ -47,6 +59,9 @@ class StructuredOnlyIndex:
     ) -> List[KeywordObject]:
         """LC/SP/SRP-KW the naive way: region query, then keyword filter."""
         counter = ensure_counter(counter)
+        if self._tree is None:
+            validate_nonempty_keywords(keywords)
+            return []
         hits = self._tree.region_query(region, counter)
         return self._filter(hits, keywords, counter)
 
@@ -62,7 +77,7 @@ class StructuredOnlyIndex:
     def _filter(
         self, hits: Sequence[int], keywords: Sequence[int], counter: CostCounter
     ) -> List[KeywordObject]:
-        words = tuple(keywords)
+        words = tuple(validate_nonempty_keywords(keywords))
         result = []
         for idx in hits:
             counter.charge("structure_probes", len(words))
@@ -75,9 +90,9 @@ class StructuredOnlyIndex:
 class KeywordsOnlyIndex:
     """Inverted-index intersection + geometric post-filter."""
 
-    def __init__(self, dataset: Dataset):
+    def __init__(self, dataset: Dataset, inverted: Optional[InvertedIndex] = None):
         self.dataset = dataset
-        self._inverted = InvertedIndex(dataset)
+        self._inverted = inverted if inverted is not None else InvertedIndex(dataset)
 
     def query_rect(
         self, rect: Rect, keywords: Sequence[int], counter: Optional[CostCounter] = None
@@ -142,7 +157,7 @@ class ScanAllNn:
         counter: Optional[CostCounter] = None,
     ) -> List[KeywordObject]:
         counter = ensure_counter(counter)
-        words = tuple(keywords)
+        words = tuple(validate_nonempty_keywords(keywords))
         scored = []
         for obj in self.dataset.objects:
             counter.charge("objects_examined")
@@ -176,7 +191,7 @@ class NaiveRectangleIndex:
         counter: Optional[CostCounter] = None,
     ) -> List[RectangleObject]:
         counter = ensure_counter(counter)
-        words = tuple(keywords)
+        words = tuple(validate_nonempty_keywords(keywords))
         result = []
         for rect_obj in self.rectangles:
             counter.charge("objects_examined")
@@ -192,9 +207,10 @@ class NaiveRectangleIndex:
         counter: Optional[CostCounter] = None,
     ) -> List[RectangleObject]:
         counter = ensure_counter(counter)
-        words = sorted(keywords, key=lambda w: len(self._postings.get(w, ())))
-        if not words:
-            return []
+        words = sorted(
+            validate_nonempty_keywords(keywords),
+            key=lambda w: len(self._postings.get(w, ())),
+        )
         shortest = self._postings.get(words[0], ())
         rest = words[1:]
         result = []

@@ -54,8 +54,31 @@ class MultiKOrpIndex:
             )
         if len(words) == 1:
             matches = self._inverted.matching_objects(words, counter)
-            return [obj for obj in matches if rect.contains_point(obj.point)]
+            # Each containment test is a RAM-model step the Table-1
+            # benchmarks measure; leaving it un-charged under-counts the
+            # k = 1 route by exactly |D(w)| comparisons.
+            result = []
+            for obj in matches:
+                counter.charge("comparisons")
+                if rect.contains_point(obj.point):
+                    result.append(obj)
+            return result
         return self._by_k[len(words)].query(rect, words, counter)
+
+    # -- component access (used by the serving layer) --------------------------
+
+    @property
+    def inverted(self) -> InvertedIndex:
+        """The shared inverted index (the ``k = 1`` route)."""
+        return self._inverted
+
+    def fused_for(self, k: int) -> OrpKwIndex:
+        """The Theorem-1 index serving exactly ``k`` keywords (``k >= 2``)."""
+        if k not in self._by_k:
+            raise ValidationError(
+                f"no fused index for k={k} (this index serves k in 2..{self.max_k})"
+            )
+        return self._by_k[k]
 
     @property
     def input_size(self) -> int:

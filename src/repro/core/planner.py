@@ -27,7 +27,7 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from ..costmodel import CostCounter, ensure_counter
-from ..dataset import Dataset, KeywordObject
+from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 from ..errors import ValidationError
 from ..geometry.rectangles import Rect
 from ..ksi.inverted import InvertedIndex
@@ -40,15 +40,41 @@ STRATEGIES = ("fused", "keywords_only", "structured_only")
 class HybridPlanner:
     """Cost-based routing between the three §1 strategies."""
 
-    def __init__(self, dataset: Dataset, k: int, sample_size: int = 256, seed: int = 0):
+    def __init__(
+        self,
+        dataset: Dataset,
+        k: int,
+        sample_size: int = 256,
+        seed: int = 0,
+        fused_index: Optional[OrpKwIndex] = None,
+        inverted: Optional[InvertedIndex] = None,
+        structured: Optional[StructuredOnlyIndex] = None,
+        keywords_index: Optional[KeywordsOnlyIndex] = None,
+    ):
+        """The optional ``fused_index`` / ``inverted`` / ``structured`` /
+        ``keywords_index`` parameters let a caller that already built those
+        structures (e.g. :class:`repro.service.QueryEngine`, which keeps one
+        planner per ``k``) share them instead of paying for duplicates.
+        """
         if sample_size < 1:
             raise ValidationError("sample_size must be >= 1")
         self.dataset = dataset
         self.k = k
-        self._fused = OrpKwIndex(dataset, k)
-        self._structured = StructuredOnlyIndex(dataset)
-        self._keywords = KeywordsOnlyIndex(dataset)
-        self._inverted = InvertedIndex(dataset)
+        # The fused index cannot be built over zero objects; an empty dataset
+        # gets a fused-less planner whose every strategy reports nothing.
+        if fused_index is not None:
+            self._fused: Optional[OrpKwIndex] = fused_index
+        elif dataset.objects:
+            self._fused = OrpKwIndex(dataset, k)
+        else:
+            self._fused = None
+        self._structured = (
+            structured if structured is not None else StructuredOnlyIndex(dataset)
+        )
+        self._keywords = (
+            keywords_index if keywords_index is not None else KeywordsOnlyIndex(dataset)
+        )
+        self._inverted = inverted if inverted is not None else InvertedIndex(dataset)
         rng = random.Random(seed)
         population = [obj.point for obj in dataset.objects]
         count = min(sample_size, len(population))
@@ -58,12 +84,14 @@ class HybridPlanner:
     # -- estimation -----------------------------------------------------------
 
     def _selectivity(self, rect: Rect) -> float:
+        if not self._sample:
+            return 0.0
         hits = sum(1 for p in self._sample if rect.contains_point(p))
         return hits / len(self._sample)
 
     def estimate(self, rect: Rect, keywords: Sequence[int]) -> Dict[str, float]:
         """Per-strategy cost estimates (cost-model units)."""
-        words = list(keywords)
+        words = validate_nonempty_keywords(keywords)
         postings = sorted(self._inverted.frequency(w) for w in words)
         shortest = postings[0] if postings else 0
         second = postings[1] if len(postings) > 1 else shortest
@@ -94,6 +122,20 @@ class HybridPlanner:
         self.last_plan = dict(estimates, fallback=choice)
         return choice
 
+    def strategies_by_cost(self, rect: Rect, keywords: Sequence[int]) -> List[str]:
+        """All three strategies, cheapest estimate first.
+
+        The serving layer's fallback chain: try each in turn under the
+        remaining budget.  Ties break toward the fused index (its estimate is
+        a worst-case bound, the naives' are expectations).
+        """
+        estimates = self.estimate(rect, keywords)
+        order = sorted(
+            STRATEGIES, key=lambda s: (estimates[s], STRATEGIES.index(s))
+        )
+        self.last_plan = dict(estimates, fallback=order[0])
+        return order
+
     # -- execution ----------------------------------------------------------------
 
     def query(
@@ -115,16 +157,17 @@ class HybridPlanner:
 
         counter = ensure_counter(counter)
         fallback = self.choose(rect, keywords)
-        naive_estimate = self.last_plan[fallback]
-        budget = int(naive_estimate) + 32
-        probe = CostCounter(budget=budget)
-        try:
-            result = self._fused.query(rect, keywords, counter=probe)
-            counter.charge("objects_examined", probe.total)
-            self.last_plan["choice"] = "fused"
-            return result
-        except BudgetExceeded:
-            counter.charge("objects_examined", probe.total)
+        if self._fused is not None:
+            naive_estimate = self.last_plan[fallback]
+            budget = int(naive_estimate) + 32
+            probe = CostCounter(budget=budget)
+            try:
+                result = self._fused.query(rect, keywords, counter=probe)
+                counter.charge("objects_examined", probe.total)
+                self.last_plan["choice"] = "fused"
+                return result
+            except BudgetExceeded:
+                counter.charge("objects_examined", probe.total)
         self.last_plan["choice"] = fallback
         if fallback == "keywords_only":
             return self._keywords.query_rect(rect, keywords, counter)
@@ -142,6 +185,9 @@ class HybridPlanner:
             raise ValidationError(f"unknown strategy {strategy!r}")
         counter = ensure_counter(counter)
         if strategy == "fused":
+            if self._fused is None:
+                validate_nonempty_keywords(keywords)
+                return []
             return self._fused.query(rect, keywords, counter)
         if strategy == "keywords_only":
             return self._keywords.query_rect(rect, keywords, counter)
@@ -150,4 +196,5 @@ class HybridPlanner:
     @property
     def space_units(self) -> int:
         """Fused index + baselines + the sample."""
-        return self._fused.space_units + self._inverted.space_units + len(self._sample)
+        fused = self._fused.space_units if self._fused is not None else 0
+        return fused + self._inverted.space_units + len(self._sample)

@@ -67,6 +67,26 @@ class CostCounter:
         if self.budget is not None and self._total > self.budget:
             raise BudgetExceeded(self._total, self.budget)
 
+    def merge(self, other: "CostCounter") -> None:
+        """Fold another counter's per-category counts into this one.
+
+        Used by layered execution (planner races, the serving layer's
+        fallback chain): a probe runs under its own budgeted counter, and the
+        spent units are rolled up here *per category* instead of being
+        lumped into a single bucket.  Charges go through :meth:`charge`, so
+        this counter's own budget still applies.
+        """
+        for category, units in other.counts.items():
+            if units:
+                self.charge(category, units)
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Budget units left (never negative), or ``None`` when unbudgeted."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self._total, 0)
+
     @property
     def total(self) -> int:
         """Total units charged across all categories."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import ValidationError
 
@@ -149,17 +149,24 @@ class Dataset:
         (``W = len(vocabulary)``).
     """
 
-    def __init__(self, objects: Sequence[KeywordObject]):
-        if not objects:
-            raise ValidationError("a dataset must contain at least one object")
+    def __init__(self, objects: Sequence[KeywordObject], dim: Optional[int] = None):
+        if not objects and dim is None:
+            raise ValidationError(
+                "a dataset must contain at least one object "
+                "(pass dim=... or use Dataset.empty(dim) for an explicitly empty one)"
+            )
         dims = {obj.dim for obj in objects}
-        if len(dims) != 1:
+        if len(dims) > 1:
             raise ValidationError(f"mixed dimensionalities in dataset: {sorted(dims)}")
+        if dims and dim is not None and dims != {dim}:
+            raise ValidationError(
+                f"dataset declared dim={dim} but objects are {dims.pop()}-dimensional"
+            )
         oids = [obj.oid for obj in objects]
         if len(set(oids)) != len(oids):
             raise ValidationError("duplicate object ids in dataset")
         self.objects: List[KeywordObject] = list(objects)
-        self.dim: int = dims.pop()
+        self.dim: int = dims.pop() if dims else dim
         self.total_doc_size: int = sum(len(obj.doc) for obj in self.objects)
         self._by_id: Dict[int, KeywordObject] = {o.oid: o for o in self.objects}
         vocab = set()
@@ -208,6 +215,33 @@ class Dataset:
     ) -> "Dataset":
         """Convenience constructor from parallel point/document sequences."""
         return cls(make_objects(points, docs))
+
+    @classmethod
+    def empty(cls, dim: int) -> "Dataset":
+        """An explicitly empty dataset of dimensionality ``dim``.
+
+        A bare ``Dataset([])`` is still rejected (almost always a data-loading
+        bug); deliberately empty corpora — a freshly provisioned tenant, a
+        shard that has not received data yet — must declare their
+        dimensionality so queries can still be validated against it.
+        """
+        if dim < 1:
+            raise ValidationError(f"dim must be >= 1, got {dim}")
+        return cls([], dim=dim)
+
+
+def validate_nonempty_keywords(keywords: Sequence[int]) -> List[int]:
+    """Reject an empty keyword list; return the keywords as a list.
+
+    Every query in the paper carries ``k >= 1`` keywords; an empty list is a
+    malformed query, not a "match everything" wildcard.  All query entry
+    points (inverted index, baselines, planner, engine) share this check so
+    the contract is uniform.
+    """
+    words = list(keywords)
+    if not words:
+        raise ValidationError("need at least one keyword")
+    return words
 
 
 def validate_query_keywords(keywords: Sequence[int], k: int) -> Tuple[int, ...]:

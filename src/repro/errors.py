@@ -30,6 +30,11 @@ class BudgetExceeded(ReproError):
     budget, the candidate count must be at least ``t`` and the probe is
     abandoned.  This exception implements the "terminate the query manually"
     step of the paper's footnote 4.
+
+    The serving layer (:class:`repro.service.QueryEngine`) treats it the same
+    way: a strategy that blows its budget is abandoned and the next-cheapest
+    strategy takes over, so the exception never escapes to engine callers —
+    it appears in the per-query trace as a recorded fallback instead.
     """
 
     def __init__(self, spent: int, budget: int):

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..costmodel import CostCounter, ensure_counter
-from ..dataset import Dataset, KeywordObject
+from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 
 
 class InvertedIndex:
@@ -53,11 +53,14 @@ class InvertedIndex:
         Cost: one ``objects_examined`` unit per entry of the shortest list,
         plus an O(1) ``structure_probes`` doc-membership test per candidate
         per remaining keyword.
+
+        An empty keyword list raises :class:`ValidationError` — the old
+        behaviour (return the whole dataset at zero charged cost) silently
+        corrupted the RAM-model accounting and disagreed with every other
+        query entry point.
         """
         counter = ensure_counter(counter)
-        words = list(keywords)
-        if not words:
-            return list(self.dataset.objects)
+        words = validate_nonempty_keywords(keywords)
         lists = [self._postings.get(w) for w in words]
         if any(plist is None for plist in lists):
             return []

@@ -1,0 +1,19 @@
+"""Serving layer: a hardened query service above the index structures.
+
+Robust CAS-style systems put a single query-service layer above their index
+structures rather than letting every caller wire planner, indexes, and cost
+accounting together by hand.  This package is that layer for :mod:`repro`:
+
+* :class:`QueryEngine` — fronts :class:`~repro.core.multi_k.MultiKOrpIndex`
+  and :class:`~repro.core.planner.HybridPlanner`, executes single and batched
+  queries under an explicit cost budget, and degrades gracefully (budget
+  blow-ups become recorded fallbacks, never exceptions);
+* :class:`LRUCache` — bounded result cache with hit/miss accounting;
+* :class:`QueryRecord` — per-query observability record (strategy chosen,
+  fallbacks taken, cost snapshot, cache status), exportable as JSON.
+"""
+
+from .cache import LRUCache
+from .engine import QueryEngine, QueryRecord
+
+__all__ = ["LRUCache", "QueryEngine", "QueryRecord"]

@@ -1,0 +1,96 @@
+"""Bounded LRU result cache with hit/miss accounting.
+
+Keyword+range workloads are heavily skewed in practice (Zipf over keywords,
+hot regions over space), so a small exact-match cache absorbs a large share
+of a repeated workload.  The cache is deliberately simple: exact key match on
+``(rect corners, frozenset(keywords))``, least-recently-used eviction, and
+counters the engine surfaces in its stats.  Entries are whatever the engine
+stores (lists of result objects); the cache never copies — callers must not
+mutate what they get back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..errors import ValidationError
+
+#: Sentinel distinguishing "not cached" from a cached empty result.
+_MISSING = object()
+
+
+class LRUCache:
+    """An ordered-dict LRU with hit/miss/eviction counters.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; ``0`` disables caching (every lookup is a
+        miss, nothing is stored).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValidationError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Any:
+        """Return the cached value (refreshing recency) or ``None`` on miss.
+
+        Use :meth:`lookup` when cached values may legitimately be ``None``.
+        """
+        value, hit = self.lookup(key)
+        return value if hit else None
+
+    def lookup(self, key: Hashable) -> Tuple[Any, bool]:
+        """Return ``(value, True)`` on a hit, ``(None, False)`` on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None, False
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value, True
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``; evict the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits / lookups, or ``None`` before the first lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else None
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the engine's stats export (JSON-safe)."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

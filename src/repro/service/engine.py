@@ -1,0 +1,386 @@
+"""The budget-bounded query engine.
+
+:class:`QueryEngine` is the single entry point a deployment talks to.  It
+owns a :class:`~repro.core.multi_k.MultiKOrpIndex` (one Theorem-1 index per
+keyword count), one :class:`~repro.core.planner.HybridPlanner` per ``k``
+(sharing the fused indexes, inverted index, and baselines — nothing is built
+twice), an LRU result cache, and a lifetime cost counter.
+
+Execution contract
+------------------
+Every query runs the planner's strategies **cheapest estimate first**, each
+under the per-query budget.  A strategy that raises
+:class:`~repro.errors.BudgetExceeded` is abandoned — its spent units are
+still accounted — and the next strategy takes over, recorded as a fallback.
+If every strategy blows the budget, the cheapest one is re-run *unbudgeted*
+(the query is served no matter what; the record is marked ``degraded``).
+``BudgetExceeded`` therefore never escapes the engine; the per-query
+:class:`QueryRecord` is the observable trace of what happened.
+
+All strategies are exact, so fallbacks and degradation never change the
+answer — only the cost of producing it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
+from ..errors import BudgetExceeded, ValidationError
+from ..geometry.rectangles import Rect
+from ..core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from ..core.multi_k import MultiKOrpIndex
+from ..core.planner import HybridPlanner
+
+#: A query as the batch API accepts it: a (rect, keywords) pair, where the
+#: rectangle may be a Rect or a flat [lo..., hi...] coordinate list.
+QuerySpec = Tuple[Union[Rect, Sequence[float]], Sequence[int]]
+
+
+@dataclass
+class QueryRecord:
+    """Per-query observability record (JSON-safe via :meth:`to_dict`)."""
+
+    query_id: int
+    rect_lo: Tuple[float, ...]
+    rect_hi: Tuple[float, ...]
+    keywords: Tuple[int, ...]
+    strategy: str
+    cache: str  # "hit" | "miss" | "bypass"
+    budget: Optional[int]
+    degraded: bool = False
+    fallbacks: List[Dict[str, Any]] = field(default_factory=list)
+    cost: Dict[str, int] = field(default_factory=dict)
+    estimates: Dict[str, float] = field(default_factory=dict)
+    result_count: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON rendering of the record."""
+        return {
+            "query_id": self.query_id,
+            "rect": {"lo": list(self.rect_lo), "hi": list(self.rect_hi)},
+            "keywords": list(self.keywords),
+            "strategy": self.strategy,
+            "cache": self.cache,
+            "budget": self.budget,
+            "degraded": self.degraded,
+            "fallbacks": list(self.fallbacks),
+            "cost": dict(self.cost),
+            "estimates": dict(self.estimates),
+            "result_count": self.result_count,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+
+class QueryEngine:
+    """Budget-bounded, cached, observable serving layer.
+
+    Parameters
+    ----------
+    dataset:
+        The corpus.  An explicitly empty dataset (:meth:`Dataset.empty`) is
+        served too: every query validates and reports nothing.
+    max_k:
+        Serve queries with ``1..max_k`` distinct keywords.
+    default_budget:
+        Per-query cost budget (cost-model units) applied when a call does not
+        pass its own; ``None`` means unbudgeted.
+    cache_size:
+        LRU result-cache capacity; ``0`` disables caching.
+    keep_records:
+        How many most-recent :class:`QueryRecord` traces to retain.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        max_k: int = 4,
+        default_budget: Optional[int] = None,
+        cache_size: int = 128,
+        sample_size: int = 256,
+        seed: int = 0,
+        keep_records: int = 1024,
+    ):
+        from .cache import LRUCache
+
+        if default_budget is not None and default_budget < 1:
+            raise ValidationError(f"default_budget must be >= 1, got {default_budget}")
+        if keep_records < 1:
+            raise ValidationError(f"keep_records must be >= 1, got {keep_records}")
+        self.dataset = dataset
+        self.max_k = max_k
+        self.default_budget = default_budget
+        self.counter = CostCounter()  # engine-lifetime aggregate
+        self._cache = LRUCache(cache_size)
+        self._records: Deque[QueryRecord] = deque(maxlen=keep_records)
+        self._queries_served = 0
+        self._strategy_counts: Dict[str, int] = {}
+        self._fallback_count = 0
+        self._degraded_count = 0
+
+        if dataset.objects:
+            self._index: Optional[MultiKOrpIndex] = MultiKOrpIndex(dataset, max_k)
+            inverted = self._index.inverted
+            self._structured: Optional[StructuredOnlyIndex] = StructuredOnlyIndex(
+                dataset
+            )
+            self._keywords = KeywordsOnlyIndex(dataset, inverted=inverted)
+            self._planners: Dict[int, HybridPlanner] = {
+                k: HybridPlanner(
+                    dataset,
+                    k,
+                    sample_size=sample_size,
+                    seed=seed,
+                    fused_index=self._index.fused_for(k),
+                    inverted=inverted,
+                    structured=self._structured,
+                    keywords_index=self._keywords,
+                )
+                for k in range(2, max_k + 1)
+            }
+            self._inverted = inverted
+        else:
+            self._index = None
+            self._structured = None
+            self._keywords = None
+            self._planners = {}
+            self._inverted = None
+
+    # -- planning ---------------------------------------------------------------
+
+    def _plan(self, rect: Rect, words: Sequence[int]) -> Tuple[List[str], Dict[str, float]]:
+        """Strategy chain (cheapest estimate first) plus the raw estimates."""
+        k = len(words)
+        if k >= 2:
+            planner = self._planners[k]
+            order = planner.strategies_by_cost(rect, words)
+            return order, dict(planner.last_plan)
+        # k == 1: the fused route *is* the inverted scan plus a containment
+        # filter, so the real contest is keywords-only vs structured-only.
+        shortest = min(self._inverted.frequency(w) for w in words)
+        sample_planner = self._planners.get(2)
+        sel = sample_planner._selectivity(rect) if sample_planner else 0.0
+        estimates = {
+            "keywords_only": float(shortest),
+            "structured_only": max(sel * len(self.dataset), 1.0),
+            "selectivity": sel,
+        }
+        order = sorted(
+            ("keywords_only", "structured_only"), key=lambda s: estimates[s]
+        )
+        return order, estimates
+
+    def _run_strategy(
+        self, strategy: str, rect: Rect, words: Sequence[int], counter: CostCounter
+    ) -> List[KeywordObject]:
+        if strategy == "fused":
+            return self._index.query(rect, words, counter)
+        if strategy == "keywords_only":
+            return self._keywords.query_rect(rect, words, counter)
+        return self._structured.query_rect(rect, words, counter)
+
+    # -- serving ----------------------------------------------------------------
+
+    def query(
+        self,
+        rect: Union[Rect, Sequence[float]],
+        keywords: Sequence[int],
+        budget: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Serve one query; the trace lands in :attr:`last_record`.
+
+        ``budget`` overrides the engine's ``default_budget`` for this call.
+        The returned list is shared with the cache — treat it as read-only.
+        """
+        rect = self._coerce_rect(rect)
+        words = sorted(set(validate_nonempty_keywords(keywords)))
+        if len(words) > self.max_k:
+            raise ValidationError(
+                f"{len(words)} distinct keywords exceed max_k={self.max_k}"
+            )
+        if self.dataset.dim is not None and rect.dim != self.dataset.dim:
+            raise ValidationError(
+                f"query rectangle is {rect.dim}-dimensional, "
+                f"data is {self.dataset.dim}-dimensional"
+            )
+        budget = budget if budget is not None else self.default_budget
+        caller = ensure_counter(counter)
+        self._queries_served += 1
+        query_id = self._queries_served
+
+        key = (rect.lo, rect.hi, frozenset(words))
+        cached, hit = self._cache.lookup(key)
+        if hit:
+            record = QueryRecord(
+                query_id=query_id,
+                rect_lo=rect.lo,
+                rect_hi=rect.hi,
+                keywords=tuple(words),
+                strategy="cache",
+                cache="hit",
+                budget=budget,
+                result_count=len(cached),
+            )
+            self._records.append(record)
+            self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
+            return cached
+
+        if self._index is None and not self._planners:
+            # Empty corpus: nothing can match; zero cost, honest trace.
+            return self._finish(
+                query_id, rect, words, [], "empty_dataset", [], {}, budget,
+                False, CostCounter(), caller, key,
+            )
+
+        order, estimates = self._plan(rect, words)
+        spent = CostCounter()  # per-query accumulator, never budgeted
+        fallbacks: List[Dict[str, Any]] = []
+        results: Optional[List[KeywordObject]] = None
+        chosen = order[0]
+        degraded = False
+        for strategy in order:
+            probe = CostCounter(budget=budget)
+            try:
+                results = self._run_strategy(strategy, rect, words, probe)
+                spent.merge(probe)
+                chosen = strategy
+                break
+            except BudgetExceeded:
+                spent.merge(probe)
+                fallbacks.append(
+                    {"strategy": strategy, "spent": probe.total, "budget": budget}
+                )
+        if results is None:
+            # Every strategy blew the budget: serve the cheapest unbudgeted.
+            probe = CostCounter()
+            results = self._run_strategy(order[0], rect, words, probe)
+            spent.merge(probe)
+            chosen = order[0]
+            degraded = True
+        return self._finish(
+            query_id, rect, words, results, chosen, fallbacks,
+            estimates, budget, degraded, spent, caller, key,
+        )
+
+    def _finish(
+        self, query_id, rect, words, results, chosen, fallbacks,
+        estimates, budget, degraded, spent, caller, key,
+    ) -> List[KeywordObject]:
+        self.counter.merge(spent)
+        caller.merge(spent)
+        self._cache.put(key, results)
+        clean_estimates = {
+            name: float(value)
+            for name, value in estimates.items()
+            if isinstance(value, (int, float))
+        }
+        record = QueryRecord(
+            query_id=query_id,
+            rect_lo=rect.lo,
+            rect_hi=rect.hi,
+            keywords=tuple(words),
+            strategy=chosen,
+            cache="miss",
+            budget=budget,
+            degraded=degraded,
+            fallbacks=fallbacks,
+            cost=spent.snapshot(),
+            estimates=clean_estimates,
+            result_count=len(results),
+        )
+        self._records.append(record)
+        self._strategy_counts[chosen] = self._strategy_counts.get(chosen, 0) + 1
+        self._fallback_count += len(fallbacks)
+        if degraded:
+            self._degraded_count += 1
+        return results
+
+    def batch(
+        self,
+        queries: Iterable[QuerySpec],
+        budget: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> List[List[KeywordObject]]:
+        """Serve a sequence of ``(rect, keywords)`` queries in order.
+
+        The matching traces are the tail of :attr:`records`; pair them with
+        the returned result lists for per-query reporting.
+        """
+        return [
+            self.query(rect, keywords, budget=budget, counter=counter)
+            for rect, keywords in queries
+        ]
+
+    @staticmethod
+    def _coerce_rect(rect: Union[Rect, Sequence[float]]) -> Rect:
+        if isinstance(rect, Rect):
+            return rect
+        coords = [float(c) for c in rect]
+        if len(coords) % 2 != 0:
+            raise ValidationError(
+                f"flat rectangle needs an even coordinate count, got {len(coords)}"
+            )
+        dim = len(coords) // 2
+        return Rect(coords[:dim], coords[dim:])
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        """The retained per-query traces, oldest first."""
+        return list(self._records)
+
+    @property
+    def last_record(self) -> Optional[QueryRecord]:
+        return self._records[-1] if self._records else None
+
+    @property
+    def cache(self):
+        return self._cache
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime engine statistics (JSON-safe)."""
+        return {
+            "queries": self._queries_served,
+            "strategies": dict(self._strategy_counts),
+            "fallbacks": self._fallback_count,
+            "degraded": self._degraded_count,
+            "cache": self._cache.stats(),
+            "cost": self.counter.snapshot(),
+            "dataset": {
+                "objects": len(self.dataset),
+                "input_size": self.dataset.total_doc_size,
+                "dim": self.dataset.dim,
+            },
+            "max_k": self.max_k,
+            "default_budget": self.default_budget,
+        }
+
+    def export_stats_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.stats(), indent=indent)
+
+    def export_records_json(self) -> str:
+        """All retained traces as a JSON array (oldest first)."""
+        return json.dumps([record.to_dict() for record in self._records])
+
+    @property
+    def input_size(self) -> int:
+        """``N`` (mirrors the index classes, for ``cli info``)."""
+        return self.dataset.total_doc_size
+
+    @property
+    def space_units(self) -> int:
+        """Stored entries across the fused indexes, baselines, and samples."""
+        units = 0
+        if self._index is not None:
+            units += self._index.space_units
+        for planner in self._planners.values():
+            units += len(planner._sample)
+        return units

@@ -63,6 +63,31 @@ class TestRouting:
         assert len(out) == posting
         assert counter["objects_examined"] == posting
 
+    def test_k1_charges_containment_comparisons(self, rng):
+        """Regression: the k=1 route filtered candidates with
+        rect.contains_point without charging `comparisons`, under-counting
+        exactly the quantity the Table-1 benchmarks measure."""
+        ds = random_dataset(rng, 100, vocabulary=10)
+        index = MultiKOrpIndex(ds, max_k=2)
+        counter = CostCounter()
+        rect = Rect((2.0, 2.0), (7.0, 7.0))
+        index.query(rect, [3], counter=counter)
+        posting = len(ds.objects_with(3))
+        # One containment test per posting-list candidate.
+        assert counter["comparisons"] == posting
+        assert counter["objects_examined"] == posting
+        assert counter.total == 2 * posting
+
+    def test_component_accessors(self, rng):
+        ds = random_dataset(rng, 60)
+        index = MultiKOrpIndex(ds, max_k=3)
+        assert index.inverted.frequency(1) == len(ds.objects_with(1))
+        assert index.fused_for(2).k == 2
+        with pytest.raises(ValidationError):
+            index.fused_for(5)
+        with pytest.raises(ValidationError):
+            index.fused_for(1)
+
     def test_space_scales_with_max_k(self, rng):
         ds = random_dataset(rng, 150)
         small = MultiKOrpIndex(ds, max_k=2)

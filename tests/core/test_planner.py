@@ -125,3 +125,44 @@ class TestValidation:
         planner = HybridPlanner(random_dataset(rng, 10), k=2)
         with pytest.raises(ValidationError):
             planner.query_with("oracle", Rect.full(2), [1, 2])
+
+    def test_empty_keywords_rejected(self, rng):
+        planner = HybridPlanner(random_dataset(rng, 10), k=2)
+        for method in (planner.estimate, planner.choose, planner.query):
+            with pytest.raises(ValidationError):
+                method(Rect.full(2), [])
+
+
+class TestEmptyDataset:
+    """Regression: _selectivity divided by len(sample) == 0, so the planner
+    crashed with ZeroDivisionError on an empty dataset."""
+
+    def test_constructible_and_queryable(self):
+        planner = HybridPlanner(Dataset.empty(2), k=2)
+        rect = Rect((0.0, 0.0), (5.0, 5.0))
+        assert planner.estimate(rect, [1, 2])["selectivity"] == 0.0
+        counter = CostCounter()
+        assert planner.query(rect, [1, 2], counter=counter) == []
+        assert planner.last_plan["choice"] in STRATEGIES
+        for strategy in STRATEGIES:
+            assert planner.query_with(strategy, rect, [1, 2]) == []
+
+    def test_empty_dataset_still_validates_keywords(self):
+        planner = HybridPlanner(Dataset.empty(2), k=2)
+        with pytest.raises(ValidationError):
+            planner.query(Rect.full(2), [])
+
+    def test_space_units_finite(self):
+        assert HybridPlanner(Dataset.empty(2), k=2).space_units == 0
+
+
+class TestStrategyOrdering:
+    def test_strategies_by_cost_sorted(self, rng):
+        ds = random_dataset(rng, 150)
+        planner = HybridPlanner(ds, k=2)
+        rect = Rect((2.0, 2.0), (8.0, 8.0))
+        order = planner.strategies_by_cost(rect, [1, 2])
+        assert sorted(order) == sorted(STRATEGIES)
+        estimates = planner.estimate(rect, [1, 2])
+        costs = [estimates[s] for s in order]
+        assert costs == sorted(costs)

@@ -1,6 +1,9 @@
 """Unit tests for repro.ksi.inverted."""
 
+import pytest
+
 from repro.costmodel import CostCounter
+from repro.errors import ValidationError
 from repro.ksi.inverted import InvertedIndex
 
 
@@ -36,9 +39,12 @@ class TestMatching:
         index = InvertedIndex(tiny_dataset)
         assert index.matching_objects([1, 99]) == []
 
-    def test_no_keywords_returns_all(self, tiny_dataset):
+    def test_no_keywords_rejected(self, tiny_dataset):
+        # Regression: this used to return the whole dataset at zero charged
+        # cost, diverging from MultiKOrpIndex.query's ValidationError.
         index = InvertedIndex(tiny_dataset)
-        assert len(index.matching_objects([])) == 4
+        with pytest.raises(ValidationError):
+            index.matching_objects([])
 
     def test_agrees_with_brute_force(self, rng, small_dataset):
         index = InvertedIndex(small_dataset)

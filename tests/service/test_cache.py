@@ -1,0 +1,60 @@
+"""Unit tests for repro.service.cache."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import LRUCache
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", [1])
+        assert cache.get("a") == [1]
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_cached_empty_result_is_a_hit(self):
+        cache = LRUCache(4)
+        cache.put("empty", [])
+        value, hit = cache.lookup("empty")
+        assert hit and value == []
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            LRUCache(-1)
+
+    def test_hit_rate_none_before_lookups(self):
+        assert LRUCache(4).hit_rate is None
+
+    def test_stats_shape(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats == {
+            "capacity": 3,
+            "size": 1,
+            "hits": 1,
+            "misses": 0,
+            "evictions": 0,
+            "hit_rate": 1.0,
+        }

@@ -167,3 +167,93 @@ class TestRectangleIndexCommands:
         path.write_text('{"lo": [1.0], "doc": [1]}\n')
         with pytest.raises(VE, match="bad.jsonl:1"):
             load_jsonl_rectangles(str(path))
+
+
+class TestEngineCommands:
+    @pytest.fixture
+    def queries_file(self, tmp_path, rng):
+        path = tmp_path / "queries.jsonl"
+        queries = []
+        for _ in range(6):
+            a, b = sorted([rng.uniform(0, 100), rng.uniform(0, 100)])
+            c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+            queries.append(
+                {"rect": [a, c, b, d], "keywords": rng.sample(range(1, 7), 2)}
+            )
+        with open(path, "w") as handle:
+            for query in queries + queries:  # repeated: second half hits cache
+                handle.write(json.dumps(query) + "\n")
+        return path
+
+    def test_build_batch_stats_round_trip(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        index_path = tmp_path / "engine.bin"
+        code = main(
+            [
+                "build", str(dataset_file), str(index_path),
+                "--kind", "engine", "--k", "3",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(
+            [
+                "batch", str(index_path),
+                "--queries", str(queries_file),
+                "--budget", "64", "--save",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        traces = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(traces) == 12
+        assert all("strategy" in t and "cost" in t for t in traces)
+        assert sum(1 for t in traces if t["cache"] == "hit") >= 6
+        assert "12 queries" in captured.err
+
+    def test_stats_after_saved_batch(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        index_path = tmp_path / "engine.bin"
+        main(["build", str(dataset_file), str(index_path), "--kind", "engine"])
+        main(["batch", str(index_path), "--queries", str(queries_file), "--save"])
+        capsys.readouterr()
+        assert main(["stats", str(index_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["queries"] == 12
+        assert stats["cache"]["hits"] >= 6
+
+    def test_batch_requires_engine_index(self, dataset_file, tmp_path, capsys):
+        index_path = tmp_path / "orp.bin"
+        main(["build", str(dataset_file), str(index_path), "--kind", "orp"])
+        queries = tmp_path / "q.jsonl"
+        queries.write_text('{"rect": [0, 0, 1, 1], "keywords": [1]}\n')
+        assert main(["batch", str(index_path), "--queries", str(queries)]) == 2
+        assert "expected a QueryEngine" in capsys.readouterr().err
+
+    def test_bad_query_record_reports_line(self, tmp_path):
+        from repro.cli import load_jsonl_queries
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"rect": [0, 0, 1, 1], "keywords": [1]}\n{"rect": "x"}\n')
+        with pytest.raises(ValidationError, match="bad.jsonl:2"):
+            load_jsonl_queries(str(path))
+
+    def test_batch_results_flag_prints_matches(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        index_path = tmp_path / "engine.bin"
+        main(["build", str(dataset_file), str(index_path), "--kind", "engine"])
+        capsys.readouterr()
+        main(
+            [
+                "batch", str(index_path),
+                "--queries", str(queries_file), "--results",
+            ]
+        )
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert any("oid" in record for record in lines) or all(
+            record["result_count"] == 0 for record in lines if "result_count" in record
+        )

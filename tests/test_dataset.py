@@ -95,6 +95,24 @@ class TestDataset:
         with pytest.raises(ValidationError):
             Dataset([])
 
+    def test_explicitly_empty_dataset_allowed(self):
+        ds = Dataset.empty(2)
+        assert len(ds) == 0
+        assert ds.dim == 2
+        assert ds.total_doc_size == 0
+        assert ds.vocabulary == []
+        assert ds.matching([1, 2]) == []
+
+    def test_empty_dataset_bad_dim_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset.empty(0)
+
+    def test_declared_dim_must_match_objects(self):
+        objs = [KeywordObject(oid=0, point=(0.0,), doc=frozenset({1}))]
+        with pytest.raises(ValidationError):
+            Dataset(objs, dim=2)
+        assert Dataset(objs, dim=1).dim == 1
+
     def test_mixed_dimensions_rejected(self):
         objs = [
             KeywordObject(oid=0, point=(0.0,), doc=frozenset({1})),

@@ -10,6 +10,49 @@ import pytest
 import repro
 
 
+class TestEmptyKeywordContract:
+    """InvertedIndex.matching_objects([]) used to return the whole dataset
+    while charging zero cost units — silently corrupting the RAM-model
+    accounting and disagreeing with MultiKOrpIndex.query, which raises
+    ValidationError.  The empty-keyword contract is now uniform: every query
+    entry point raises ValidationError."""
+
+    def _dataset(self):
+        rng = random.Random(3)
+        return repro.Dataset.from_points(
+            [(rng.random(), rng.random()) for _ in range(40)],
+            [rng.sample(range(1, 7), rng.randint(1, 3)) for _ in range(40)],
+        )
+
+    def test_inverted_index_rejects_empty(self):
+        ds = self._dataset()
+        index = repro.InvertedIndex(ds)
+        counter = repro.CostCounter()
+        with pytest.raises(repro.ValidationError):
+            index.matching_objects([], counter)
+        assert counter.total == 0  # nothing scanned before the rejection
+
+    def test_baselines_reject_empty(self):
+        from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+
+        ds = self._dataset()
+        rect = repro.Rect.full(2)
+        with pytest.raises(repro.ValidationError):
+            KeywordsOnlyIndex(ds).query_rect(rect, [])
+        with pytest.raises(repro.ValidationError):
+            StructuredOnlyIndex(ds).query_rect(rect, [])
+
+    def test_planner_and_engine_reject_empty(self):
+        ds = self._dataset()
+        rect = repro.Rect.full(2)
+        with pytest.raises(repro.ValidationError):
+            repro.HybridPlanner(ds, k=2).query(rect, [])
+        with pytest.raises(repro.ValidationError):
+            repro.QueryEngine(ds, max_k=2).query(rect, [])
+        with pytest.raises(repro.ValidationError):
+            repro.MultiKOrpIndex(ds, max_k=2).query(rect, [])
+
+
 class TestPivotMaterializedDoubleReport:
     """An object in both a node's pivot set and a materialized list used to
     be reported twice (the pivot scan ran before the small-keyword branch).
