@@ -33,6 +33,7 @@ import bench_nn_linf
 import bench_orp_kw
 import bench_planner
 import bench_rr_kw
+import bench_sharding
 import bench_srp_kw
 import bench_tradeoff
 import bench_vocab
@@ -157,6 +158,10 @@ EXPERIMENTS = {
          "S1a QueryEngine cache — replayed Zipf workload"),
         (bench_engine._budget_rows, "s1_engine_budget", None,
          "S1b QueryEngine budget sweep — fallbacks instead of errors"),
+    ],
+    "s2": [
+        (bench_sharding._rows, "s2_sharding", bench_sharding._COLUMNS,
+         bench_sharding._TITLE),
     ],
     "w1": [
         (bench_vocab._rows, "w1_vocab", None,

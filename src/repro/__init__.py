@@ -50,7 +50,13 @@ from .ksi import BitsetKSI, InvertedIndex, KSetIndex, NaiveKSI
 from .core.dynamic import DynamicOrpKw
 from .irtree import IrTree
 from .persist import load_index, save_index
-from .service import LRUCache, QueryEngine, QueryRecord
+from .service import (
+    LRUCache,
+    QueryEngine,
+    QueryRecord,
+    ShardedQueryEngine,
+    partition_dataset,
+)
 
 __version__ = "1.0.0"
 
@@ -93,6 +99,8 @@ __all__ = [
     "load_index",
     "QueryEngine",
     "QueryRecord",
+    "ShardedQueryEngine",
+    "partition_dataset",
     "LRUCache",
     "__version__",
 ]

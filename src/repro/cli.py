@@ -13,9 +13,12 @@ Usage examples::
     python -m repro.cli info   index.bin
     python -m repro.cli demo
 
-The serving layer (``--kind engine``) adds batched, budget-bounded queries:
+The serving layer (``--kind engine``) adds batched, budget-bounded queries;
+``--kind sharded --shards S`` builds the spatially sharded, fan-out variant
+(same ``batch``/``stats`` commands; traces carry per-shard slices):
 
     python -m repro.cli build data.jsonl engine.bin --kind engine --k 3
+    python -m repro.cli build data.jsonl engine.bin --kind sharded --shards 4
     python -m repro.cli batch engine.bin --queries q.jsonl --budget 64 --save
     python -m repro.cli stats engine.bin
 
@@ -46,10 +49,10 @@ from .core.orp_kw import OrpKwIndex
 from .core.rr_kw import RrKwIndex
 from .core.srp_kw import SrpKwIndex
 from .persist import load_index, save_index
-from .service import QueryEngine
+from .service import QueryEngine, ShardedQueryEngine
 
 #: --kind values accepted by `build` (rr reads {lo, hi, doc} records;
-#: engine builds the QueryEngine serving layer, --k becomes its max_k).
+#: engine/sharded build the serving layer, --k becomes its max_k).
 INDEX_KINDS = {
     "orp": OrpKwIndex,
     "lc": LcKwIndex,
@@ -57,7 +60,11 @@ INDEX_KINDS = {
     "srp": SrpKwIndex,
     "rr": RrKwIndex,
     "engine": QueryEngine,
+    "sharded": ShardedQueryEngine,
 }
+
+#: Index classes the serving commands (`batch`, `stats`) accept.
+ENGINE_KINDS = (QueryEngine, ShardedQueryEngine)
 
 
 def load_jsonl_dataset(path: str) -> Dataset:
@@ -128,6 +135,18 @@ def cmd_build(args: argparse.Namespace) -> int:
         dataset = load_jsonl_dataset(args.dataset)
         index = QueryEngine(dataset, max_k=args.k, default_budget=args.budget)
         described = f"{len(dataset)} objects (N={dataset.total_doc_size})"
+    elif args.kind == "sharded":
+        dataset = load_jsonl_dataset(args.dataset)
+        index = ShardedQueryEngine(
+            dataset,
+            shards=args.shards,
+            max_k=args.k,
+            default_budget=args.budget,
+        )
+        described = (
+            f"{len(dataset)} objects (N={dataset.total_doc_size}) "
+            f"across {args.shards} shard(s)"
+        )
     else:
         dataset = load_jsonl_dataset(args.dataset)
         index = index_cls(dataset, k=args.k)
@@ -163,7 +182,7 @@ def load_jsonl_queries(path: str):
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    engine = load_index(args.index, expected_class=QueryEngine)
+    engine = load_index(args.index, expected_class=ENGINE_KINDS)
     queries = load_jsonl_queries(args.queries)
     results = engine.batch(queries, budget=args.budget)
     traces = engine.records[-len(queries):]
@@ -191,7 +210,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    engine = load_index(args.index, expected_class=QueryEngine)
+    engine = load_index(args.index, expected_class=ENGINE_KINDS)
     print(engine.export_stats_json())
     return 0
 
@@ -294,7 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget",
         type=int,
         default=None,
-        help="default per-query cost budget (engine kind only)",
+        help="default per-query cost budget (engine/sharded kinds only)",
+    )
+    p_build.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="spatial shard count (sharded kind only)",
     )
     p_build.set_defaults(func=cmd_build)
 

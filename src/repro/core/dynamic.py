@@ -16,6 +16,7 @@ Works for any static index exposing the ``(dataset, k)`` constructor and a
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..costmodel import CostCounter, ensure_counter
@@ -79,33 +80,50 @@ class DynamicOrpKw:
 
     # -- updates ---------------------------------------------------------------
 
+    def _coerce_point(self, point: Sequence[float]) -> Tuple[float, ...]:
+        """Validate an incoming point *before* any index state changes.
+
+        Rejecting here (rather than relying on :class:`KeywordObject`) keeps
+        updates atomic: a bad point cannot burn an object id or leave a bulk
+        insert half-applied.  NaN in particular would make every later
+        containment test silently inconsistent, so it must never reach a
+        bucket.
+        """
+        coords = tuple(float(c) for c in point)
+        if len(coords) != self.dim:
+            raise ValidationError(
+                f"point is {len(coords)}-dimensional, index is {self.dim}-dimensional"
+            )
+        for coord in coords:
+            if not math.isfinite(coord):
+                raise ValidationError(
+                    f"point has a non-finite coordinate ({coord})"
+                )
+        return coords
+
     def insert(self, point: Sequence[float], doc) -> int:
         """Insert an object; returns its assigned id."""
-        if len(point) != self.dim:
-            raise ValidationError(
-                f"point is {len(point)}-dimensional, index is {self.dim}-dimensional"
-            )
+        coords = self._coerce_point(point)
         oid = self._next_oid
         self._next_oid += 1
-        obj = KeywordObject(
-            oid=oid, point=tuple(float(c) for c in point), doc=frozenset(doc)
-        )
+        obj = KeywordObject(oid=oid, point=coords, doc=frozenset(doc))
         self._objects[oid] = obj
         self._merge_in([obj])
         return oid
 
     def insert_many(self, points, docs) -> List[int]:
-        """Bulk insert; cheaper than repeated :meth:`insert` for big batches."""
+        """Bulk insert; cheaper than repeated :meth:`insert` for big batches.
+
+        Atomic: every point is validated before the first object is created,
+        so a malformed point anywhere in the batch leaves the index unchanged.
+        """
+        coerced = [self._coerce_point(point) for point in points]
         oids = []
         batch = []
-        for point, doc in zip(points, docs):
-            if len(point) != self.dim:
-                raise ValidationError("point dimensionality mismatch in batch")
+        for coords, doc in zip(coerced, docs):
             oid = self._next_oid
             self._next_oid += 1
-            obj = KeywordObject(
-                oid=oid, point=tuple(float(c) for c in point), doc=frozenset(doc)
-            )
+            obj = KeywordObject(oid=oid, point=coords, doc=frozenset(doc))
             self._objects[oid] = obj
             batch.append(obj)
             oids.append(oid)

@@ -80,6 +80,22 @@ class CostCounter:
             if units:
                 self.charge(category, units)
 
+    def absorb(self, other: "CostCounter") -> None:
+        """Fold another counter's counts into this one without budget checks.
+
+        :meth:`merge` enforces this counter's budget, which is right for
+        layered *execution* (a blown budget should stop the work).  ``absorb``
+        is for *accounting after the fact*: the serving layer reports a
+        query's spent units to a caller-supplied counter once the work is
+        already done, and a caller whose own budget is exhausted must still
+        receive the counts — raising there would lose the trace.  The budget,
+        if any, is left over-run rather than enforced.
+        """
+        for category, units in other.counts.items():
+            if units:
+                self.counts[category] = self.counts.get(category, 0) + units
+                self._total += units
+
     @property
     def remaining(self) -> Optional[int]:
         """Budget units left (never negative), or ``None`` when unbudgeted."""
@@ -119,6 +135,9 @@ class NullCounter(CostCounter):
     """
 
     def charge(self, category: str, units: int = 1) -> None:  # noqa: D102
+        return
+
+    def absorb(self, other: CostCounter) -> None:  # noqa: D102
         return
 
     def reset(self) -> None:  # noqa: D102

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Optional, Type
+from typing import Optional, Tuple, Type, Union
 
 from .errors import ValidationError
 
@@ -41,7 +41,7 @@ def save_index(index, path) -> None:
     Path(path).write_bytes(payload)
 
 
-def load_index(path, expected_class: Optional[Type] = None):
+def load_index(path, expected_class: Optional[Union[Type, Tuple[Type, ...]]] = None):
     """Load an index written by :func:`save_index`.
 
     Parameters
@@ -49,7 +49,9 @@ def load_index(path, expected_class: Optional[Type] = None):
     path:
         File to read.
     expected_class:
-        If given, the stored index must be an instance of this class.
+        If given, the stored index must be an instance of this class (or of
+        one of them, when a tuple of classes is supplied — e.g. the CLI's
+        serving commands accept both engine kinds).
     """
     raw = Path(path).read_bytes()
     try:
@@ -65,8 +67,12 @@ def load_index(path, expected_class: Optional[Type] = None):
         )
     index = envelope["index"]
     if expected_class is not None and not isinstance(index, expected_class):
+        if isinstance(expected_class, tuple):
+            wanted = " or ".join(cls.__name__ for cls in expected_class)
+        else:
+            wanted = expected_class.__name__
         raise ValidationError(
-            f"expected a {expected_class.__name__}, file holds a "
+            f"expected a {wanted}, file holds a "
             f"{envelope.get('index_class')}"
         )
     return index

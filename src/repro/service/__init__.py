@@ -10,10 +10,21 @@ accounting together by hand.  This package is that layer for :mod:`repro`:
   blow-ups become recorded fallbacks, never exceptions);
 * :class:`LRUCache` — bounded result cache with hit/miss accounting;
 * :class:`QueryRecord` — per-query observability record (strategy chosen,
-  fallbacks taken, cost snapshot, cache status), exportable as JSON.
+  fallbacks taken, cost snapshot, cache status, per-shard slices),
+  exportable as JSON;
+* :class:`ShardedQueryEngine` / :func:`partition_dataset` — spatial
+  sharding: median kd-split partitioning, one engine per shard, budget
+  split with redistribution, merged cost traces.
 """
 
 from .cache import LRUCache
 from .engine import QueryEngine, QueryRecord
+from .sharding import ShardedQueryEngine, partition_dataset
 
-__all__ = ["LRUCache", "QueryEngine", "QueryRecord"]
+__all__ = [
+    "LRUCache",
+    "QueryEngine",
+    "QueryRecord",
+    "ShardedQueryEngine",
+    "partition_dataset",
+]

@@ -5,8 +5,9 @@ hot regions over space), so a small exact-match cache absorbs a large share
 of a repeated workload.  The cache is deliberately simple: exact key match on
 ``(rect corners, frozenset(keywords))``, least-recently-used eviction, and
 counters the engine surfaces in its stats.  Entries are whatever the engine
-stores (lists of result objects); the cache never copies — callers must not
-mutate what they get back.
+stores; the cache never copies, so the engine stores immutable tuples of
+result objects — a caller mutating what it got back cannot poison later
+hits.
 """
 
 from __future__ import annotations

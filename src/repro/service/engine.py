@@ -24,6 +24,7 @@ answer — only the cost of producing it.
 from __future__ import annotations
 
 import json
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -57,6 +58,10 @@ class QueryRecord:
     cost: Dict[str, int] = field(default_factory=dict)
     estimates: Dict[str, float] = field(default_factory=dict)
     result_count: int = 0
+    #: Per-shard slices of a fanned-out query (sharded serving only): each
+    #: entry is {shard_id, strategy, budget, cost, degraded}.  Empty for a
+    #: single-engine serve.
+    shards: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON rendering of the record."""
@@ -72,6 +77,7 @@ class QueryRecord:
             "cost": dict(self.cost),
             "estimates": dict(self.estimates),
             "result_count": self.result_count,
+            "shards": [dict(s) for s in self.shards],
         }
 
     def to_json(self) -> str:
@@ -193,11 +199,12 @@ class QueryEngine:
         keywords: Sequence[int],
         budget: Optional[int] = None,
         counter: Optional[CostCounter] = None,
-    ) -> List[KeywordObject]:
+    ) -> Tuple[KeywordObject, ...]:
         """Serve one query; the trace lands in :attr:`last_record`.
 
         ``budget`` overrides the engine's ``default_budget`` for this call.
-        The returned list is shared with the cache — treat it as read-only.
+        Results are returned as an immutable tuple (shared with the cache, so
+        a caller cannot poison later hits by mutating what it got back).
         """
         rect = self._coerce_rect(rect)
         words = sorted(set(validate_nonempty_keywords(keywords)))
@@ -235,7 +242,7 @@ class QueryEngine:
         if self._index is None and not self._planners:
             # Empty corpus: nothing can match; zero cost, honest trace.
             return self._finish(
-                query_id, rect, words, [], "empty_dataset", [], {}, budget,
+                query_id, rect, words, (), "empty_dataset", [], {}, budget,
                 False, CostCounter(), caller, key,
             )
 
@@ -272,9 +279,13 @@ class QueryEngine:
     def _finish(
         self, query_id, rect, words, results, chosen, fallbacks,
         estimates, budget, degraded, spent, caller, key,
-    ) -> List[KeywordObject]:
-        self.counter.merge(spent)
-        caller.merge(spent)
+    ) -> Tuple[KeywordObject, ...]:
+        # Record and cache before touching the caller's counter, and fold the
+        # spent units into it with absorb() (never merge()): a caller-supplied
+        # counter may carry its own budget, and the engine's contract is that
+        # BudgetExceeded never escapes query() — the trace and the cache entry
+        # must land even when the caller's budget is already blown.
+        results = tuple(results)
         self._cache.put(key, results)
         clean_estimates = {
             name: float(value)
@@ -300,6 +311,8 @@ class QueryEngine:
         self._fallback_count += len(fallbacks)
         if degraded:
             self._degraded_count += 1
+        self.counter.absorb(spent)
+        caller.absorb(spent)
         return results
 
     def batch(
@@ -307,7 +320,7 @@ class QueryEngine:
         queries: Iterable[QuerySpec],
         budget: Optional[int] = None,
         counter: Optional[CostCounter] = None,
-    ) -> List[List[KeywordObject]]:
+    ) -> List[Tuple[KeywordObject, ...]]:
         """Serve a sequence of ``(rect, keywords)`` queries in order.
 
         The matching traces are the tail of :attr:`records`; pair them with
@@ -323,6 +336,16 @@ class QueryEngine:
         if isinstance(rect, Rect):
             return rect
         coords = [float(c) for c in rect]
+        for coord in coords:
+            # Rect itself allows infinite bounds (Rect.full), but a flat
+            # coordinate list comes from an external caller (CLI, JSONL
+            # workload) where a non-finite value is a data error: NaN makes
+            # containment tests silently inconsistent, inf silently turns a
+            # typo into an unbounded scan.
+            if not math.isfinite(coord):
+                raise ValidationError(
+                    f"flat rectangle has a non-finite coordinate ({coord})"
+                )
         if len(coords) % 2 != 0:
             raise ValidationError(
                 f"flat rectangle needs an even coordinate count, got {len(coords)}"
@@ -369,6 +392,11 @@ class QueryEngine:
     def export_records_json(self) -> str:
         """All retained traces as a JSON array (oldest first)."""
         return json.dumps([record.to_dict() for record in self._records])
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Dimensionality of the served points (mirrors the index classes)."""
+        return self.dataset.dim
 
     @property
     def input_size(self) -> int:

@@ -1,0 +1,370 @@
+"""Sharded serving: spatial partitioning plus budget-bounded fan-out.
+
+The ROADMAP's north star — serve heavy traffic — needs more than one
+monolithic index: partitioned content-and-structure systems get their
+robustness at scale from per-partition indexes with bounded per-partition
+work.  This module is that step for :mod:`repro`:
+
+* :func:`partition_dataset` splits a :class:`~repro.dataset.Dataset` into
+  ``S`` spatially coherent shards by recursive **median kd-splits** — the
+  same median-selection rule (and the same ``numpy.argpartition`` selection
+  primitive) the kd-tree build uses, generalized to an arbitrary shard
+  count by cutting each recursion level proportionally.  For ``S`` a power
+  of two the cuts are exactly the kd-tree's median splits.
+
+* :class:`ShardedQueryEngine` owns one per-shard
+  :class:`~repro.service.engine.QueryEngine` (per-shard fused indexes and
+  planners; the full dataset's vocabulary is kept for stats) and fans each
+  query out across every shard.
+
+Budget split and redistribution
+-------------------------------
+A query budget ``B`` is divided across the fan-out: shard ``i`` (of the
+``S - i`` not yet served) receives ``max(remaining // (S - i), 1)`` units,
+so the first shard starts at ``~B // S``.  A shard that finishes under its
+share returns the unused units to the pool — later shards (the stragglers,
+which in a spatial partition are often the ones actually intersecting the
+query rectangle) see a larger share.  A shard that *overruns* its share
+(fallbacks, degradation) is charged at most its share against the pool, so
+one hot shard cannot starve the rest into cascading degradation.
+
+Degradation stays per-slice: a shard that exhausts every strategy degrades
+only its slice of the answer (recorded in the merged trace's ``shards``
+list); the other shards still serve within budget.  As with the unsharded
+engine, every strategy is exact, so sharding never changes the answer —
+the differential suite asserts result equality against the unsharded
+engine for every shard count.
+
+Trace merging
+-------------
+Each per-shard engine produces its own :class:`QueryRecord`; the sharded
+engine rolls them up into a single merged trace: per-category costs are
+summed, per-shard fallbacks are tagged with their ``shard`` id, and the
+record's ``shards`` field keeps one ``{shard_id, strategy, budget, cost,
+degraded}`` slice per shard.  ``BudgetExceeded`` never escapes, and the
+caller's counter receives the merged spend exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
+from ..errors import ValidationError
+from ..geometry.rectangles import Rect
+from .cache import LRUCache
+from .engine import QueryEngine, QueryRecord, QuerySpec
+
+
+def partition_dataset(dataset: Dataset, shards: int) -> List[Dataset]:
+    """Split ``dataset`` into ``shards`` spatial shards via median kd-splits.
+
+    Recursive rule: to cut a set of objects into ``s`` shards, split the
+    target count as ``s = s_left + s_right`` with ``s_left = s // 2``, pick
+    the splitting axis round-robin by recursion level (the kd-tree's
+    ``level % dim`` rule), and partition the objects at the coordinate of
+    rank ``len * s_left / s`` along that axis (``numpy.argpartition``, the
+    kd-tree build's selection primitive).  Shard sizes therefore differ by
+    at most one object, and every shard is spatially coherent (an
+    axis-aligned cell of the recursion).
+
+    Shards keep the original objects (ids stay globally unique).  When the
+    dataset has fewer objects than shards, the surplus shards come back
+    explicitly empty (:meth:`Dataset.empty`) — a served shard, not an error.
+    """
+    if shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {shards}")
+    dim = dataset.dim
+    pieces: List[List[KeywordObject]] = []
+
+    def split(objs: List[KeywordObject], count: int, level: int) -> None:
+        if count == 1:
+            pieces.append(objs)
+            return
+        left_count = count // 2
+        cut = (len(objs) * left_count) // count
+        if 0 < cut < len(objs):
+            axis = level % dim
+            coords = np.array([obj.point[axis] for obj in objs])
+            order = np.argpartition(coords, cut)
+            objs = [objs[i] for i in order]
+        split(objs[:cut], left_count, level + 1)
+        split(objs[cut:], count - left_count, level + 1)
+
+    split(list(dataset.objects), shards, 0)
+    return [
+        Dataset(piece) if piece else Dataset.empty(dim) for piece in pieces
+    ]
+
+
+class ShardedQueryEngine:
+    """Fan-out serving over ``S`` spatial shards with merged cost traces.
+
+    The external contract matches :class:`QueryEngine` — ``query``/``batch``
+    with per-call budget overrides, an LRU result cache, per-query
+    :class:`QueryRecord` traces, JSON-safe ``stats()`` — so the CLI and any
+    caller can swap one for the other.  Internally each shard runs its own
+    budget-bounded engine (cache disabled; the sharded engine caches merged
+    results once), and a query's budget is split across the fan-out as
+    described in the module docstring.
+
+    Parameters mirror :class:`QueryEngine`, plus ``shards``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        shards: int = 4,
+        max_k: int = 4,
+        default_budget: Optional[int] = None,
+        cache_size: int = 128,
+        sample_size: int = 256,
+        seed: int = 0,
+        keep_records: int = 1024,
+    ):
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if default_budget is not None and default_budget < 1:
+            raise ValidationError(f"default_budget must be >= 1, got {default_budget}")
+        if keep_records < 1:
+            raise ValidationError(f"keep_records must be >= 1, got {keep_records}")
+        self.dataset = dataset
+        self.num_shards = shards
+        self.max_k = max_k
+        self.default_budget = default_budget
+        #: Global vocabulary, shared across shards (each shard's inverted
+        #: index only covers its slice; stats report the full W).
+        self.vocabulary = dataset.vocabulary
+        self.counter = CostCounter()  # engine-lifetime aggregate
+        self._cache = LRUCache(cache_size)
+        self._records: Deque[QueryRecord] = deque(maxlen=keep_records)
+        self._queries_served = 0
+        self._strategy_counts: Dict[str, int] = {}
+        self._fallback_count = 0
+        self._degraded_count = 0  # queries with >= 1 degraded slice
+        self._degraded_slices = 0
+        self.shard_datasets = partition_dataset(dataset, shards)
+        self.shard_engines: List[QueryEngine] = [
+            QueryEngine(
+                shard,
+                max_k=max_k,
+                default_budget=None,  # the fan-out hands each call its share
+                cache_size=0,  # merged results are cached once, at this level
+                sample_size=sample_size,
+                seed=seed,
+                keep_records=keep_records,
+            )
+            for shard in self.shard_datasets
+        ]
+
+    # -- serving ----------------------------------------------------------------
+
+    def query(
+        self,
+        rect: Union[Rect, Sequence[float]],
+        keywords: Sequence[int],
+        budget: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> Tuple[KeywordObject, ...]:
+        """Fan one query out across every shard; merge results and traces.
+
+        Same contract as :meth:`QueryEngine.query`: exact answers as an
+        immutable tuple (sorted by object id — the shard merge defines a
+        deterministic order), a per-query trace in :attr:`last_record`, and
+        ``BudgetExceeded`` never escaping.
+        """
+        rect = QueryEngine._coerce_rect(rect)
+        words = sorted(set(validate_nonempty_keywords(keywords)))
+        if len(words) > self.max_k:
+            raise ValidationError(
+                f"{len(words)} distinct keywords exceed max_k={self.max_k}"
+            )
+        if self.dataset.dim is not None and rect.dim != self.dataset.dim:
+            raise ValidationError(
+                f"query rectangle is {rect.dim}-dimensional, "
+                f"data is {self.dataset.dim}-dimensional"
+            )
+        budget = budget if budget is not None else self.default_budget
+        caller = ensure_counter(counter)
+        self._queries_served += 1
+        query_id = self._queries_served
+
+        key = (rect.lo, rect.hi, frozenset(words))
+        cached, hit = self._cache.lookup(key)
+        if hit:
+            record = QueryRecord(
+                query_id=query_id,
+                rect_lo=rect.lo,
+                rect_hi=rect.hi,
+                keywords=tuple(words),
+                strategy="cache",
+                cache="hit",
+                budget=budget,
+                result_count=len(cached),
+            )
+            self._records.append(record)
+            self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
+            return cached
+
+        spent = CostCounter()  # merged per-query accumulator, never budgeted
+        fallbacks: List[Dict[str, Any]] = []
+        slices: List[Dict[str, Any]] = []
+        merged: List[KeywordObject] = []
+        remaining = budget
+        for shard_id, engine in enumerate(self.shard_engines):
+            if budget is None:
+                share: Optional[int] = None
+            else:
+                shards_left = self.num_shards - shard_id
+                share = max(remaining // shards_left, 1)
+            probe = CostCounter()
+            merged.extend(engine.query(rect, words, budget=share, counter=probe))
+            trace = engine.last_record
+            if budget is not None:
+                # Unused share returns to the pool for the stragglers; an
+                # overrun (fallbacks / degradation) is charged at most the
+                # share, so one hot shard cannot starve the rest.
+                remaining = max(remaining - min(probe.total, share), 0)
+            for fallback in trace.fallbacks:
+                fallbacks.append(dict(fallback, shard=shard_id))
+            slices.append(
+                {
+                    "shard_id": shard_id,
+                    "strategy": trace.strategy,
+                    "budget": share,
+                    "cost": probe.total,
+                    "degraded": trace.degraded,
+                }
+            )
+            spent.merge(probe)
+
+        # The shards partition the objects, so duplicates cannot arise; the
+        # dedup guards the invariant anyway (a future overlap bug must not
+        # silently double-report) and the sort fixes a deterministic order.
+        seen: set = set()
+        unique = []
+        for obj in merged:
+            if obj.oid not in seen:
+                seen.add(obj.oid)
+                unique.append(obj)
+        unique.sort(key=lambda obj: obj.oid)
+        results = tuple(unique)
+
+        degraded_slices = sum(1 for s in slices if s["degraded"])
+        degraded = degraded_slices > 0
+        self._cache.put(key, results)
+        record = QueryRecord(
+            query_id=query_id,
+            rect_lo=rect.lo,
+            rect_hi=rect.hi,
+            keywords=tuple(words),
+            strategy="sharded",
+            cache="miss",
+            budget=budget,
+            degraded=degraded,
+            fallbacks=fallbacks,
+            cost=spent.snapshot(),
+            estimates={},
+            result_count=len(results),
+            shards=slices,
+        )
+        self._records.append(record)
+        self._strategy_counts["sharded"] = self._strategy_counts.get("sharded", 0) + 1
+        self._fallback_count += len(fallbacks)
+        self._degraded_slices += degraded_slices
+        if degraded:
+            self._degraded_count += 1
+        # Caller accounting last and non-raising (absorb, not merge): same
+        # invariant as QueryEngine._finish — a budgeted caller counter must
+        # never lose the trace or the cache entry to BudgetExceeded.
+        self.counter.absorb(spent)
+        caller.absorb(spent)
+        return results
+
+    def batch(
+        self,
+        queries: Iterable[QuerySpec],
+        budget: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> List[Tuple[KeywordObject, ...]]:
+        """Serve a sequence of ``(rect, keywords)`` queries in order."""
+        return [
+            self.query(rect, keywords, budget=budget, counter=counter)
+            for rect, keywords in queries
+        ]
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        """The retained merged per-query traces, oldest first."""
+        return list(self._records)
+
+    @property
+    def last_record(self) -> Optional[QueryRecord]:
+        return self._records[-1] if self._records else None
+
+    @property
+    def cache(self) -> LRUCache:
+        return self._cache
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime statistics with a per-shard breakdown (JSON-safe)."""
+        return {
+            "queries": self._queries_served,
+            "strategies": dict(self._strategy_counts),
+            "fallbacks": self._fallback_count,
+            "degraded": self._degraded_count,
+            "degraded_slices": self._degraded_slices,
+            "cache": self._cache.stats(),
+            "cost": self.counter.snapshot(),
+            "dataset": {
+                "objects": len(self.dataset),
+                "input_size": self.dataset.total_doc_size,
+                "dim": self.dataset.dim,
+                "vocabulary": len(self.vocabulary),
+            },
+            "shards": {
+                "count": self.num_shards,
+                "sizes": [len(shard) for shard in self.shard_datasets],
+                "per_shard": [
+                    {
+                        "shard_id": shard_id,
+                        "objects": len(engine.dataset),
+                        "input_size": engine.dataset.total_doc_size,
+                        "cost": engine.counter.snapshot(),
+                        "degraded": engine.stats()["degraded"],
+                    }
+                    for shard_id, engine in enumerate(self.shard_engines)
+                ],
+            },
+            "max_k": self.max_k,
+            "default_budget": self.default_budget,
+        }
+
+    def export_stats_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.stats(), indent=indent)
+
+    def export_records_json(self) -> str:
+        """All retained merged traces as a JSON array (oldest first)."""
+        return json.dumps([record.to_dict() for record in self._records])
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Dimensionality of the served points (mirrors the index classes)."""
+        return self.dataset.dim
+
+    @property
+    def input_size(self) -> int:
+        """``N`` (mirrors the index classes, for ``cli info``)."""
+        return self.dataset.total_doc_size
+
+    @property
+    def space_units(self) -> int:
+        """Sum of the per-shard engines' stored entries."""
+        return sum(engine.space_units for engine in self.shard_engines)

@@ -139,6 +139,31 @@ class TestValidation:
         with pytest.raises(ValidationError):
             index.insert((1.0,), {1})
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_insert_rejected_atomically(self, bad):
+        """NaN/inf coordinates are rejected before any state mutation: no
+        object id is burned and the structure is untouched (regression for
+        the PR-1 insert path, which validated only after incrementing the
+        id counter)."""
+        index = DynamicOrpKw(k=2, dim=2)
+        with pytest.raises(ValidationError):
+            index.insert((bad, 1.0), {1})
+        with pytest.raises(ValidationError):
+            index.insert((1.0, bad), {1})
+        assert len(index) == 0
+        # The next good insert gets the first id — nothing was burned.
+        assert index.insert((0.0, 0.0), {1, 2}) == 0
+
+    def test_insert_many_atomic_on_bad_point(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        with pytest.raises(ValidationError):
+            index.insert_many(
+                [(0.0, 0.0), (float("nan"), 1.0), (2.0, 2.0)],
+                [{1}, {2}, {3}],
+            )
+        assert len(index) == 0
+        assert index.bucket_sizes == ()
+
     def test_counter_charged(self, rng):
         index = DynamicOrpKw(k=2, dim=2)
         for _ in range(30):

@@ -15,10 +15,12 @@ from repro.core.dynamic import DynamicOrpKw
 from repro.core.lc_kw import LcKwIndex
 from repro.core.multi_k import MultiKOrpIndex
 from repro.core.orp_kw import OrpKwIndex
+from repro.costmodel import CostCounter
 from repro.dataset import Dataset, make_objects
 from repro.geometry.halfspaces import rect_to_halfspaces
 from repro.geometry.rectangles import Rect
 from repro.irtree import IrTree
+from repro.service import QueryEngine, ShardedQueryEngine
 
 
 def build_dataset(seed: int) -> Dataset:
@@ -77,6 +79,59 @@ def test_all_rectangle_indexes_agree(seed):
         }
         for name, got in answers.items():
             assert got == brute, (seed, name, rect, words, got, brute)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4, 7])
+def test_sharded_engine_agrees_with_unsharded(shards):
+    """The sharded fan-out is answer-equivalent to the monolithic engine.
+
+    Across randomized rect/keyword workloads and budgets — including budgets
+    small enough that every shard slice degrades — the sharded engine must
+    return exactly the same result sets, its merged trace must account for
+    every per-shard unit, and the caller's counter must see the same merged
+    total.  For S = 1 sharding is the identity, so even the cost totals
+    match the unsharded engine unit-for-unit.
+    """
+    for seed in range(3):
+        dataset = build_dataset(seed)
+        rng = random.Random(seed + 7000)
+        base = QueryEngine(dataset, max_k=3, cache_size=0)
+        sharded = ShardedQueryEngine(dataset, shards=shards, max_k=3, cache_size=0)
+        saw_degraded_slice = False
+        for _ in range(8):
+            a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            c, d = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
+            rect = Rect((a, c), (b, d))
+            words = rng.sample(range(1, 9), rng.randint(1, 3))
+            # `shards` units: each shard gets a 1-unit share, forcing
+            # per-shard degradation on every non-trivial slice.
+            for budget in (None, 4096, shards):
+                base_counter = CostCounter()
+                merged_counter = CostCounter()
+                want = sorted(
+                    o.oid for o in base.query(rect, words, budget=budget,
+                                              counter=base_counter)
+                )
+                got = sorted(
+                    o.oid for o in sharded.query(rect, words, budget=budget,
+                                                 counter=merged_counter)
+                )
+                assert got == want, (seed, shards, budget, rect, words)
+                record = sharded.last_record
+                # Merged cost trace: slice costs sum to the merged total,
+                # and the caller's counter saw exactly that total.
+                assert record.cost.get("total", 0) == sum(
+                    s["cost"] for s in record.shards
+                )
+                assert merged_counter.total == record.cost.get("total", 0)
+                saw_degraded_slice = saw_degraded_slice or any(
+                    s["degraded"] for s in record.shards
+                )
+                if shards == 1 and budget is None:
+                    # Identity sharding: same planner, same dataset order,
+                    # same cost total as the unsharded engine.
+                    assert merged_counter.total == base_counter.total
+        assert saw_degraded_slice, (seed, shards)
 
 
 @pytest.mark.parametrize("seed", range(4))

@@ -228,14 +228,69 @@ class TestValidation:
             engine.query([1.0, 2.0, 3.0], [1])
 
 
+class TestRegressions:
+    """Regression tests for PR-2's serving-layer invariant violations.
+
+    Each of these fails on the PR-1 engine (commit e30d775) and pins the
+    fixed behaviour."""
+
+    def test_budgeted_caller_counter_never_raises(self, rng):
+        """`BudgetExceeded` must not escape query() through the caller's
+        counter: the trace and cache entry land, and the counter still
+        receives the full spend (over-run, not enforced)."""
+        ds = random_dataset(rng, 120)
+        engine = QueryEngine(ds, max_k=2, cache_size=16)
+        counter = CostCounter(budget=1)
+        results = engine.query(Rect.full(2), [1, 2], counter=counter)
+        record = engine.last_record
+        assert record is not None and record.cache == "miss"
+        assert record.result_count == len(results)
+        # The caller's counter got every spent unit despite its blown budget.
+        assert counter.total == record.cost["total"]
+        assert counter.total > 1
+        # The cache entry landed too: the repeat is a hit.
+        engine.query(Rect.full(2), [1, 2])
+        assert engine.last_record.cache == "hit"
+
+    def test_mutating_returned_results_cannot_poison_cache(self, rng):
+        ds = random_dataset(rng, 120)
+        engine = QueryEngine(ds, max_k=2, cache_size=16)
+        rect = Rect((1.0, 1.0), (9.0, 9.0))
+        want = sorted(
+            o.oid
+            for o in ds
+            if rect.contains_point(o.point) and o.contains_keywords([1, 2])
+        )
+        first = engine.query(rect, [1, 2])
+        assert isinstance(first, tuple)
+        # A caller trying list-style mutation must not be able to alter the
+        # cached entry (on the PR-1 engine this append lands in the cache).
+        try:
+            first.append("poison")  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        second = engine.query(rect, [1, 2])
+        assert engine.last_record.cache == "hit"
+        assert sorted(o.oid for o in second) == want
+        assert engine.last_record.result_count == len(want)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_flat_rect_rejected(self, rng, bad):
+        engine = QueryEngine(random_dataset(rng, 40), max_k=2)
+        with pytest.raises(ValidationError):
+            engine.query([bad, 0.0, 1.0, 1.0], [1])
+        with pytest.raises(ValidationError):
+            engine.query([0.0, 0.0, bad, 1.0], [1])
+
+
 class TestEmptyDataset:
     def test_served_with_honest_trace(self):
         engine = QueryEngine(Dataset.empty(2), max_k=3)
-        assert engine.query(Rect.full(2), [1, 2]) == []
+        assert engine.query(Rect.full(2), [1, 2]) == ()
         record = engine.last_record
         assert record.strategy == "empty_dataset"
         assert record.cost.get("total", 0) == 0
-        assert engine.query(Rect.full(2), [1, 2]) == []
+        assert engine.query(Rect.full(2), [1, 2]) == ()
         assert engine.last_record.cache == "hit"
 
     def test_still_validates(self):

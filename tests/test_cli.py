@@ -241,6 +241,68 @@ class TestEngineCommands:
         with pytest.raises(ValidationError, match="bad.jsonl:2"):
             load_jsonl_queries(str(path))
 
+    def test_sharded_build_batch_stats_round_trip(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        index_path = tmp_path / "sharded.bin"
+        code = main(
+            [
+                "build", str(dataset_file), str(index_path),
+                "--kind", "sharded", "--shards", "3", "--k", "3",
+            ]
+        )
+        assert code == 0
+        assert "3 shard(s)" in capsys.readouterr().err
+
+        code = main(
+            [
+                "batch", str(index_path),
+                "--queries", str(queries_file),
+                "--budget", "64", "--save",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        traces = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(traces) == 12
+        served = [t for t in traces if t["cache"] == "miss"]
+        assert served and all(t["strategy"] == "sharded" for t in served)
+        assert all(len(t["shards"]) == 3 for t in served)
+        assert sum(1 for t in traces if t["cache"] == "hit") >= 6
+
+        assert main(["stats", str(index_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["queries"] == 12
+        assert stats["shards"]["count"] == 3
+        assert sum(stats["shards"]["sizes"]) == 120
+
+    def test_sharded_and_engine_batches_agree(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        engine_path = tmp_path / "engine.bin"
+        sharded_path = tmp_path / "sharded.bin"
+        main(["build", str(dataset_file), str(engine_path), "--kind", "engine"])
+        main(
+            [
+                "build", str(dataset_file), str(sharded_path),
+                "--kind", "sharded", "--shards", "4",
+            ]
+        )
+        capsys.readouterr()
+        main(["batch", str(engine_path), "--queries", str(queries_file), "--results"])
+        plain = capsys.readouterr().out
+        main(["batch", str(sharded_path), "--queries", str(queries_file), "--results"])
+        sharded = capsys.readouterr().out
+
+        def result_counts(output):
+            return [
+                json.loads(line)["result_count"]
+                for line in output.strip().splitlines()
+                if "result_count" in json.loads(line)
+            ]
+
+        assert result_counts(plain) == result_counts(sharded)
+
     def test_batch_results_flag_prints_matches(
         self, dataset_file, queries_file, tmp_path, capsys
     ):
