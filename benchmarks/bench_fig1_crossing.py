@@ -18,7 +18,6 @@ import math
 from repro.core.orp_kw import OrpKwIndex
 from repro.core.transform import QueryStats
 from repro.geometry.rectangles import Rect
-from repro.kdtree import KdTree
 
 from common import SWEEP_OBJECTS, slope, standard_dataset, summarize_sweep
 

@@ -13,7 +13,6 @@ constraints route (T1.3), and the partition-scheme ablation (box vs
 Willard).
 """
 
-import math
 
 from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
 from repro.core.lc_kw import LcKwIndex

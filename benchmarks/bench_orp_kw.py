@@ -13,7 +13,6 @@ Measured here:
 * space per input unit — must stay ~constant across N.
 """
 
-import math
 
 from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
 from repro.core.orp_kw import OrpKwIndex

@@ -9,7 +9,7 @@ Measured here: both regimes, radius sweeps (OUT control), and the naive
 baselines.
 """
 
-from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from repro.core.baselines import KeywordsOnlyIndex
 from repro.core.srp_kw import SrpKwIndex
 from repro.costmodel import CostCounter
 

@@ -1,0 +1,33 @@
+"""reprolint: AST-based cost-accounting and invariant auditor.
+
+This package encodes the repository's own invariants — every traversal on a
+query path charges the :class:`~repro.costmodel.CostCounter`, updates
+validate before they mutate, internals never escape mutably, geometry never
+compares floats exactly, the cost path never reads a wall clock, and
+workloads never draw unseeded randomness — as static-analysis rules over the
+repo's AST.  See DESIGN.md §8 for the rule catalogue, the opt-out comment
+syntax, and the baseline workflow.
+
+Run it as ``python -m repro.analysis src`` or ``python -m repro.cli lint``.
+"""
+
+from .baseline import load_baseline, split_findings, write_baseline
+from .findings import Finding
+from .rules import ALL_RULES, RULES_BY_ID, select_rules
+from .runner import analyze_paths, main
+from .source import SourceFile, iter_python_files, load_source
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "RULES_BY_ID",
+    "SourceFile",
+    "analyze_paths",
+    "iter_python_files",
+    "load_baseline",
+    "load_source",
+    "main",
+    "select_rules",
+    "split_findings",
+    "write_baseline",
+]

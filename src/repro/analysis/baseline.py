@@ -1,0 +1,84 @@
+"""Baseline files: accepted findings that gate CI without blocking it.
+
+The workflow mirrors ruff's ``--add-noqa`` / mypy's baseline tools:
+
+1. ``python -m repro.analysis src --write-baseline`` records every current
+   finding in ``analysis/baseline.json`` (committed to the repo).
+2. Subsequent runs subtract baselined findings; only **new** findings fail
+   the build (exit code 1).
+3. Baseline entries whose finding no longer exists are reported as *stale*
+   so the file shrinks over time instead of fossilizing.
+
+Matching is by ``(path, rule, message)`` — line numbers are recorded for
+human readers but ignored for matching, so pure code movement does not
+invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..errors import ValidationError
+from .findings import Finding
+
+#: Baseline schema version (bump on incompatible format changes).
+VERSION = 1
+
+#: Default location, relative to the repository root.
+DEFAULT_PATH = "analysis/baseline.json"
+
+Key = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Set[Key]:
+    """Read the accepted-finding keys from ``path`` (missing file = empty)."""
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValidationError(f"{path}: expected an object with a 'findings' list")
+    keys: Set[Key] = set()
+    for entry in payload["findings"]:
+        try:
+            keys.add((entry["path"], entry["rule"], entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise ValidationError(f"{path}: malformed baseline entry ({exc})") from exc
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Record ``findings`` as the new accepted baseline at ``path``."""
+    payload = {
+        "version": VERSION,
+        "tool": "reprolint",
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_findings(
+    findings: Sequence[Finding], accepted: Set[Key]
+) -> Dict[str, List]:
+    """Partition findings against a baseline.
+
+    Returns ``{"new": [Finding...], "baselined": [Finding...],
+    "stale": [key...]}`` where *stale* keys are baseline entries no current
+    finding matches.
+    """
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen: Set[Key] = set()
+    for finding in findings:
+        if finding.key in accepted:
+            baselined.append(finding)
+            seen.add(finding.key)
+        else:
+            new.append(finding)
+    stale = sorted(accepted - seen)
+    return {"new": new, "baselined": baselined, "stale": stale}

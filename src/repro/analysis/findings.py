@@ -1,0 +1,47 @@
+"""Finding objects emitted by the reprolint rules.
+
+A finding pins one rule violation to a source location.  Its *identity* for
+baseline purposes is ``(path, rule, message)`` — deliberately excluding the
+line number, so that unrelated edits moving code up or down a file do not
+invalidate a committed baseline (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is repo-relative with forward slashes (stable across machines);
+    ``line``/``col`` are 1-based, matching the ``path:line:col`` convention
+    of ruff/gcc so editors can jump to the location.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable under pure line movement."""
+        return (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        """The ruff-style one-line rendering."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by ``--format json`` and baselines)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,588 @@
+"""The reprolint rule set: this codebase's invariants as AST checks.
+
+Every rule encodes a bug class that a previous PR actually shipped a fix
+for (or that DESIGN.md's cost-model contract forbids):
+
+* **R1 uncharged-traversal** — a ``query``/``search``/``report`` method of a
+  class traverses tree structure (loops or self-recursion touching
+  ``.children``/``.left``/``.right``) yet neither calls ``*.charge(...)``
+  nor forwards a ``counter`` to a callee.  In a RAM-model reproduction an
+  uncounted traversal silently corrupts the measured quantity (the PR-1
+  ``MultiKOrpIndex`` k=1 bug class).
+* **R2 mutate-before-validate** — an ``insert*``/``delete*``/``add*``/
+  ``remove*``/``update*`` method assigns to ``self.*`` (or calls a mutating
+  helper) before its last validation check has run, so a rejected input can
+  leave the structure half-updated (the PR-2 ``DynamicOrpKw.insert`` class).
+* **R3 mutable-escape** — a public method returns an attribute known to hold
+  a ``list``/``dict``/``set`` (or an entry of a dict-of-mutables), handing
+  callers a reference they can mutate to poison the index (the PR-2
+  ``QueryEngine`` cache class).
+* **R4 float-equality** — ``==``/``!=`` against float operands inside the
+  geometry package, where tolerance-based predicates are the contract.
+  Legitimate exact tests opt out with ``# reprolint: exact``.
+* **R5 wall-clock-in-cost-path** — any ``time.time``/``perf_counter``/...
+  use inside the cost-counted index packages: wall clock must never leak
+  into RAM-model accounting.
+* **R6 unseeded-rng** — module-level ``random.*``/``np.random.*`` calls in
+  workload/benchmark code instead of an explicit seeded
+  ``random.Random``/``np.random.default_rng`` instance: unseeded randomness
+  makes benchmark numbers unreproducible.
+
+All rules are heuristic *by design* (no type inference, no interprocedural
+analysis); the committed baseline plus per-line opt-outs absorb accepted
+findings, and the fixtures under ``tests/analysis/fixtures`` pin each rule's
+intended positive/negative behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+from .source import SourceFile
+
+# --------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name when ``node`` is ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _attr_names(node: ast.AST) -> Set[str]:
+    """All attribute names referenced anywhere under ``node``."""
+    return {sub.attr for sub in ast.walk(node) if isinstance(sub, ast.Attribute)}
+
+
+def _calls(node: ast.AST) -> Iterator[ast.Call]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            yield sub
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    """Whether ``node`` evaluates to a fresh mutable container."""
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"}
+    return False
+
+
+def _class_methods(
+    cls: ast.ClassDef,
+) -> Iterator[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement :meth:`check`."""
+
+    id: str = ""
+    title: str = ""
+    #: suppression tags honoured in addition to the rule id itself.
+    extra_tags: Tuple[str, ...] = ()
+    #: display-path regex limiting where the rule applies (None = everywhere).
+    scope: Optional[re.Pattern] = None
+
+    @property
+    def tags(self) -> Tuple[str, ...]:
+        return (self.id.lower(),) + self.extra_tags
+
+    def applies_to(self, display_path: str) -> bool:
+        return self.scope is None or bool(self.scope.search(display_path))
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=src.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+# --------------------------------------------------------------------------
+# R1 — uncharged traversal
+
+
+#: tree-structure attributes whose traversal must be cost-counted.
+_TRAVERSAL_ATTRS = {"children", "left", "right"}
+
+_QUERY_METHOD_RE = re.compile(r"^_*(query|search|report|visit)")
+
+
+class UnchargedTraversal(Rule):
+    id = "R1"
+    title = "uncharged traversal in a query path"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for cls in (n for n in ast.walk(src.tree) if isinstance(n, ast.ClassDef)):
+            for method in _class_methods(cls):
+                if not _QUERY_METHOD_RE.match(method.name):
+                    continue
+                traversal = self._first_traversal(method)
+                if traversal is None:
+                    continue
+                if self._charges_or_delegates(method):
+                    continue
+                yield self._finding(
+                    src,
+                    traversal,
+                    f"{cls.name}.{method.name} traverses index structure "
+                    "(.children/.left/.right) but neither charges a cost "
+                    "counter nor forwards one to a callee",
+                )
+
+    @staticmethod
+    def _first_traversal(method: ast.FunctionDef) -> Optional[ast.AST]:
+        """First loop or self-recursive call that touches tree structure."""
+        for node in ast.walk(method):
+            if isinstance(node, (ast.For, ast.While)):
+                if _attr_names(node) & _TRAVERSAL_ATTRS:
+                    return node
+            elif isinstance(node, ast.Call):
+                callee = _self_attr(node.func)
+                if callee == method.name and any(
+                    _attr_names(arg) & _TRAVERSAL_ATTRS for arg in node.args
+                ):
+                    return node
+        return None
+
+    @staticmethod
+    def _charges_or_delegates(method: ast.FunctionDef) -> bool:
+        """A ``*.charge(...)`` call, or any call receiving a ``counter``."""
+        for call in _calls(method):
+            if isinstance(call.func, ast.Attribute) and call.func.attr == "charge":
+                return True
+            for arg in call.args:
+                if isinstance(arg, ast.Name) and "counter" in arg.id.lower():
+                    return True
+            for kw in call.keywords:
+                if kw.arg is not None and "counter" in kw.arg.lower():
+                    return True
+                if isinstance(kw.value, ast.Name) and "counter" in kw.value.id.lower():
+                    return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# R2 — mutate before validate
+
+
+_UPDATE_METHOD_RE = re.compile(r"^_*(insert|delete|add|remove|update)")
+_VALIDATOR_CALL_RE = re.compile(r"^_*(validate|check|coerce|ensure)")
+_MUTATING_HELPER_RE = re.compile(r"^_*(merge|rebuild|push|apply|store|register)")
+#: container methods that mutate their receiver.
+_CONTAINER_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "sort",
+}
+
+
+class MutateBeforeValidate(Rule):
+    id = "R2"
+    title = "state mutation before validation completes"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for cls in (n for n in ast.walk(src.tree) if isinstance(n, ast.ClassDef)):
+            for method in _class_methods(cls):
+                if not _UPDATE_METHOD_RE.match(method.name):
+                    continue
+                yield from self._check_method(src, cls, method)
+
+    def _check_method(
+        self, src: SourceFile, cls: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        last_validation = -1
+        for index, stmt in enumerate(method.body):
+            if self._contains_validation(stmt):
+                last_validation = index
+        if last_validation < 0:
+            return
+        for index, stmt in enumerate(method.body[:last_validation]):
+            mutation = self._first_mutation(stmt)
+            if mutation is not None:
+                yield self._finding(
+                    src,
+                    mutation,
+                    f"{cls.name}.{method.name} mutates self before its last "
+                    f"validation check (statement {last_validation + 1}) has "
+                    "run; a rejected input would leave the structure "
+                    "half-updated",
+                )
+                return  # one finding per method is enough to fix it
+
+    @staticmethod
+    def _contains_validation(stmt: ast.stmt) -> bool:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                name = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else target.attr
+                    if isinstance(target, ast.Attribute)
+                    else ""
+                )
+                if name.endswith("Error"):
+                    return True
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.attr
+                    if isinstance(func, ast.Attribute)
+                    else func.id
+                    if isinstance(func, ast.Name)
+                    else ""
+                )
+                if _VALIDATOR_CALL_RE.match(name):
+                    return True
+        return False
+
+    @staticmethod
+    def _roots_in_self(target: ast.AST) -> bool:
+        """Whether an assignment target is ``self.<...>`` however nested."""
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Starred, ast.Attribute)):
+            if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                return base.value.id == "self"
+            base = base.value
+        return False
+
+    @classmethod
+    def _first_mutation(cls, stmt: ast.stmt) -> Optional[ast.AST]:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue  # bare annotation: nothing assigned
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if any(cls._roots_in_self(target) for target in targets):
+                    return node
+            elif isinstance(node, ast.Delete):
+                if any(cls._roots_in_self(target) for target in node.targets):
+                    return node
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # self.attr.append(...) — container mutation
+                if (
+                    node.func.attr in _CONTAINER_MUTATORS
+                    and _self_attr(node.func.value) is not None
+                ):
+                    return node
+                # self._merge_in(...) — mutating helper by naming convention
+                if _self_attr(node.func) is not None and _MUTATING_HELPER_RE.match(
+                    node.func.attr
+                ):
+                    return node
+        return None
+
+
+# --------------------------------------------------------------------------
+# R3 — mutable escape
+
+
+class MutableEscape(Rule):
+    id = "R3"
+    title = "public method returns a mutable internal"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for cls in (n for n in ast.walk(src.tree) if isinstance(n, ast.ClassDef)):
+            mutable_attrs, dict_of_mutables = self._mutable_attributes(cls)
+            if not mutable_attrs and not dict_of_mutables:
+                continue
+            for method in _class_methods(cls):
+                if method.name.startswith("_"):
+                    continue  # private/dunder: callers accept sharp edges
+                for ret in (
+                    n for n in ast.walk(method) if isinstance(n, ast.Return)
+                ):
+                    escaped = self._escaped_attr(
+                        ret.value, mutable_attrs, dict_of_mutables
+                    )
+                    if escaped is not None:
+                        yield self._finding(
+                            src,
+                            ret,
+                            f"{cls.name}.{method.name} returns mutable internal "
+                            f"state self.{escaped}; return a copy (or an "
+                            "immutable view) so callers cannot poison the index",
+                        )
+
+    @staticmethod
+    def _mutable_attributes(
+        cls: ast.ClassDef,
+    ) -> Tuple[Set[str], Set[str]]:
+        """Attrs assigned fresh mutable containers / used as dict-of-mutables."""
+        mutable: Set[str] = set()
+        dict_of: Set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                if value is None:
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None and _is_mutable_literal(value):
+                        mutable.add(attr)
+                    # self.attr[key] = <mutable> — dict-of-mutables
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _self_attr(target.value) is not None
+                        and _is_mutable_literal(value)
+                    ):
+                        dict_of.add(_self_attr(target.value))
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # self.attr.setdefault(k, <mutable>) — dict-of-mutables
+                if (
+                    node.func.attr == "setdefault"
+                    and _self_attr(node.func.value) is not None
+                    and len(node.args) >= 2
+                    and _is_mutable_literal(node.args[1])
+                ):
+                    dict_of.add(_self_attr(node.func.value))
+        return mutable, dict_of
+
+    @staticmethod
+    def _escaped_attr(
+        value: Optional[ast.AST],
+        mutable_attrs: Set[str],
+        dict_of_mutables: Set[str],
+    ) -> Optional[str]:
+        if value is None:
+            return None
+        # return self.attr
+        attr = _self_attr(value)
+        if attr in mutable_attrs or attr in dict_of_mutables:
+            return attr
+        # return self.attr[key]
+        if isinstance(value, ast.Subscript):
+            attr = _self_attr(value.value)
+            if attr in dict_of_mutables:
+                return attr
+        # return self.attr.get(key, default)
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+        ):
+            attr = _self_attr(value.func.value)
+            if attr in dict_of_mutables:
+                return attr
+        return None
+
+
+# --------------------------------------------------------------------------
+# R4 — float equality in geometry
+
+
+class FloatEquality(Rule):
+    id = "R4"
+    title = "exact float equality in geometry code"
+    extra_tags = ("exact",)
+    scope = re.compile(r"(^|/)repro/geometry/")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(self._looks_float(operand) for operand in operands):
+                yield self._finding(
+                    src,
+                    node,
+                    "==/!= against a float operand; use a tolerance-based "
+                    "predicate, or append '# reprolint: exact' for a "
+                    "legitimate exact-representation test",
+                )
+
+    @staticmethod
+    def _looks_float(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "float"
+            ):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# R5 — wall clock in the cost path
+
+
+_CLOCK_NAMES = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "clock",
+}
+
+
+class WallClockInCostPath(Rule):
+    id = "R5"
+    title = "wall clock inside the RAM-model cost path"
+    scope = re.compile(r"(^|/)repro/(core|kdtree|partitiontree|ksi|irtree)/")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in _CLOCK_NAMES
+            ):
+                yield self._finding(
+                    src,
+                    node,
+                    f"time.{node.attr} in a cost-counted index package; the "
+                    "RAM-model cost counter is the only clock allowed here",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                clocks = sorted(
+                    alias.name for alias in node.names if alias.name in _CLOCK_NAMES
+                )
+                if clocks:
+                    yield self._finding(
+                        src,
+                        node,
+                        f"imports {', '.join(clocks)} from time in a "
+                        "cost-counted index package; the RAM-model cost "
+                        "counter is the only clock allowed here",
+                    )
+
+
+# --------------------------------------------------------------------------
+# R6 — unseeded RNG in workloads/benchmarks
+
+
+#: module-level random.* calls that are themselves seeding/construction.
+_RANDOM_ALLOWED = {"seed", "Random", "SystemRandom", "getstate", "setstate"}
+_NP_RANDOM_ALLOWED = {"seed", "default_rng", "get_state", "set_state"}
+
+
+class UnseededRng(Rule):
+    id = "R6"
+    title = "unseeded module-level RNG in workload/benchmark code"
+    scope = re.compile(r"(^|/)(repro/workloads|benchmarks)/")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            # random.<fn>(...)
+            if isinstance(func.value, ast.Name) and func.value.id == "random":
+                if func.attr == "Random" and not node.args and not node.keywords:
+                    yield self._finding(
+                        src,
+                        node,
+                        "random.Random() without a seed; pass an explicit "
+                        "seed so workloads are reproducible",
+                    )
+                elif func.attr not in _RANDOM_ALLOWED:
+                    yield self._finding(
+                        src,
+                        node,
+                        f"module-level random.{func.attr}(...) draws from "
+                        "shared unseeded state; use a seeded random.Random "
+                        "instance instead",
+                    )
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            elif (
+                isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in {"np", "numpy"}
+            ):
+                if func.attr == "RandomState" and (node.args or node.keywords):
+                    continue  # explicitly seeded legacy generator
+                if func.attr not in _NP_RANDOM_ALLOWED:
+                    yield self._finding(
+                        src,
+                        node,
+                        f"module-level {func.value.value.id}.random."
+                        f"{func.attr}(...) draws from shared unseeded state; "
+                        "use np.random.default_rng(seed) instead",
+                    )
+
+
+# --------------------------------------------------------------------------
+# registry
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnchargedTraversal(),
+    MutateBeforeValidate(),
+    MutableEscape(),
+    FloatEquality(),
+    WallClockInCostPath(),
+    UnseededRng(),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
+
+
+def select_rules(ids: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve ``--rules R1,R3``-style selections (None = all rules)."""
+    if not ids:
+        return list(ALL_RULES)
+    chosen = []
+    for rule_id in ids:
+        normalized = rule_id.strip().upper()
+        if normalized not in RULES_BY_ID:
+            raise ValueError(
+                f"unknown rule {rule_id!r} (known: {', '.join(RULES_BY_ID)})"
+            )
+        chosen.append(RULES_BY_ID[normalized])
+    return chosen

@@ -1,0 +1,188 @@
+"""The reprolint driver: collect files, run rules, gate on the baseline.
+
+Entry points:
+
+* ``python -m repro.analysis [paths...]`` (see :mod:`repro.analysis.__main__`)
+* ``python -m repro.cli lint [paths...]`` (the CLI subcommand delegates here)
+* :func:`analyze_paths` — the library API the tests use.
+
+Exit codes: 0 = clean (or baselined), 1 = new findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import ReproError
+from . import baseline as baseline_mod
+from .findings import Finding
+from .rules import ALL_RULES, Rule, select_rules
+from .source import iter_python_files, load_source
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = True,
+) -> List[Finding]:
+    """Run ``rules`` (default: all) over every .py file under ``paths``.
+
+    ``root`` anchors display paths (default: the current directory).
+    ``respect_scope=False`` applies path-scoped rules (R4/R5/R6) everywhere —
+    the fixture tests use this to exercise rules outside their home packages.
+    Unparseable files yield a single ``PARSE`` finding instead of raising.
+    """
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    anchor = root if root is not None else Path.cwd()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            src = load_source(file_path, root=anchor)
+        except SyntaxError as exc:
+            display = file_path.as_posix()
+            findings.append(
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="PARSE",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        for rule in active:
+            if respect_scope and not rule.applies_to(src.display_path):
+                continue
+            for finding in rule.check(src):
+                if not src.suppressed(finding.line, rule.tags):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "reprolint: AST-based cost-accounting and invariant auditor "
+            "(rules R1-R6, see DESIGN.md section 8)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (text = ruff-style lines, json = machine-readable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=baseline_mod.DEFAULT_PATH,
+        help=f"baseline file of accepted findings (default: {baseline_mod.DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report and gate on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset, e.g. R1,R3 (default: all rules)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory display paths are made relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--all-paths",
+        action="store_true",
+        help="apply path-scoped rules (R4/R5/R6) to every analyzed file",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        rules = select_rules(args.rules.split(",")) if args.rules else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    root = Path(args.root)
+    try:
+        findings = analyze_paths(
+            [Path(p) for p in args.paths],
+            root=root,
+            rules=rules,
+            respect_scope=not args.all_paths,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = root / args.baseline
+    if args.write_baseline:
+        baseline_mod.write_baseline(baseline_path, findings)
+        print(
+            f"# wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    accepted = (
+        set() if args.no_baseline else baseline_mod.load_baseline(baseline_path)
+    )
+    parts = baseline_mod.split_findings(findings, accepted)
+    new, baselined, stale = parts["new"], parts["baselined"], parts["stale"]
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "tool": "reprolint",
+                    "new": [f.to_dict() for f in new],
+                    "baselined": [f.to_dict() for f in baselined],
+                    "stale_baseline_entries": [list(key) for key in stale],
+                    "summary": {
+                        "total": len(findings),
+                        "new": len(new),
+                        "baselined": len(baselined),
+                        "stale": len(stale),
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"# reprolint: {len(findings)} finding(s) — {len(new)} new, "
+            f"{len(baselined)} baselined, {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'}"
+        )
+        print(summary, file=sys.stderr)
+        if stale:
+            for key in stale:
+                print(f"# stale baseline entry: {key[0]} {key[1]} {key[2]}",
+                      file=sys.stderr)
+
+    return 1 if new else 0

@@ -1,0 +1,130 @@
+"""Source-file loading, AST parsing, and suppression-comment handling.
+
+Suppressions are trailing comments of the form::
+
+    if x == 0.0:  # reprolint: exact
+    return self._postings  # reprolint: r3
+    whatever()  # reprolint: ignore
+
+A tag suppresses a finding on the same line when it is (case-insensitively)
+the rule id (``r3``/``R3``), the rule's documented opt-out word (``exact``
+for R4), or the blanket ``ignore``.  Tags may be comma-separated, and a
+rationale may follow after ``--``::
+
+    return self.items  # reprolint: r3 -- documented zero-copy accessor
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+#: Matches the suppression payload inside a comment token.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*([A-Za-z0-9_,\- ]+)")
+
+#: The blanket tag that silences every rule on its line.
+IGNORE_TAG = "ignore"
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file plus its per-line suppression tags."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    #: line number -> lower-cased suppression tags on that line.
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, tags: Iterable[str]) -> bool:
+        """Whether any of ``tags`` (or the blanket tag) is active on ``line``."""
+        active = self.suppressions.get(line)
+        if not active:
+            return False
+        if IGNORE_TAG in active:
+            return True
+        return any(tag.lower() in active for tag in tags)
+
+
+def _parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Extract ``# reprolint: ...`` tags via the tokenizer (not a line regex),
+    so string literals that merely *contain* the marker are not treated as
+    suppressions."""
+    tags: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            line = token.start[0]
+            payload = match.group(1).split("--", 1)[0]
+            parsed = {
+                part.strip().lower()
+                for part in payload.split(",")
+                if part.strip()
+            }
+            if parsed:
+                tags.setdefault(line, set()).update(parsed)
+    except tokenize.TokenError:
+        pass  # unterminated constructs: the ast parse will complain instead
+    return tags
+
+
+def load_source(path: Path, root: Optional[Path] = None) -> SourceFile:
+    """Parse ``path`` into a :class:`SourceFile`.
+
+    ``root`` anchors the display path; files outside it (or with no root)
+    display as given.  Raises :class:`SyntaxError` on unparseable files —
+    callers turn that into a finding rather than a crash.
+    """
+    text = path.read_text(encoding="utf-8")
+    display = path
+    if root is not None:
+        try:
+            display = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            display = path
+    tree = ast.parse(text, filename=str(path))
+    return SourceFile(
+        path=path,
+        display_path=display.as_posix(),
+        text=text,
+        tree=tree,
+        suppressions=_parse_suppressions(text),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list.
+
+    Compiled caches and hidden directories are skipped.
+    """
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for entry in paths:
+        if entry.is_file():
+            candidates = [entry] if entry.suffix == ".py" else []
+        elif entry.is_dir():
+            candidates = sorted(
+                p
+                for p in entry.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out

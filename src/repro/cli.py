@@ -285,6 +285,13 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint (the repo's AST auditor) — delegates to repro.analysis."""
+    from .analysis.runner import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     """Tiny in-memory end-to-end demo (no files needed)."""
     dataset = Dataset.from_points(
@@ -371,6 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="describe a saved index")
     p_info.add_argument("index")
     p_info.set_defaults(func=cmd_info)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the AST cost-accounting auditor (rules R1-R6)",
+        description=(
+            "Arguments are forwarded verbatim to `python -m repro.analysis` "
+            "(paths, --format, --baseline, --write-baseline, --rules, ...)."
+        ),
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.analysis",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_demo = sub.add_parser("demo", help="run a tiny in-memory demo")
     p_demo.set_defaults(func=cmd_demo)

@@ -121,7 +121,12 @@ class KeywordsOnlyIndex:
     ) -> List[KeywordObject]:
         counter = ensure_counter(counter)
         matches = self._inverted.matching_objects(keywords, counter)
-        return [obj for obj in matches if predicate(obj.point)]
+        result: List[KeywordObject] = []
+        for obj in matches:
+            counter.charge("comparisons")
+            if predicate(obj.point):
+                result.append(obj)
+        return result
 
     def nearest(
         self,
@@ -134,6 +139,7 @@ class KeywordsOnlyIndex:
         """t nearest matches under ``distance``: intersect then sort."""
         counter = ensure_counter(counter)
         matches = self._inverted.matching_objects(keywords, counter)
+        counter.charge("comparisons", len(matches))
         matches.sort(key=lambda obj: (distance(q, obj.point), obj.oid))
         return matches[:t]
 

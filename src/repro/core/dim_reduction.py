@@ -224,7 +224,7 @@ class DimReductionOrpKw:
         except BudgetExceeded:
             verdict = False
         if counter is not None:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
         return verdict
 
     # -- introspection ---------------------------------------------------------------

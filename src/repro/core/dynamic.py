@@ -180,6 +180,7 @@ class DynamicOrpKw:
             if bucket is None:
                 continue
             for obj in bucket.query(rect, keywords, counter):
+                counter.charge("structure_probes")
                 if obj.oid not in self._tombstones:
                     result.append(obj)
         return result

@@ -138,7 +138,12 @@ class LcKwIndex:
                 else EverythingRegion(self.dim)
             )
             found = self._sp.query_region(region, words, counter, max_report)
-            return [obj for obj in found if self._satisfies(obj, constraints)]
+            result = []
+            for obj in found:
+                counter.charge("comparisons")
+                if self._satisfies(obj, constraints):
+                    result.append(obj)
+            return result
 
         polytope = polytope_from_constraints(
             constraints, self._sp.data_lo, self._sp.data_hi
@@ -154,6 +159,7 @@ class LcKwIndex:
                 simplex, words, counter, max_report=remaining
             )
             for obj in found:
+                counter.charge("comparisons")
                 if obj.oid not in seen and self._satisfies(obj, constraints):
                     seen.add(obj.oid)
                     result.append(obj)
@@ -178,7 +184,7 @@ class LcKwIndex:
         except BudgetExceeded:
             verdict = False
         if counter is not None:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
         return verdict
 
     @staticmethod

@@ -95,7 +95,7 @@ class L2NnIndex:
             verdict = len(found) >= t
         except BudgetExceeded:
             verdict = True
-        counter.charge("objects_examined", probe.total)
+        counter.merge(probe)
         return verdict
 
     def _max_radius_squared(self, q: Sequence[float]) -> int:
@@ -152,9 +152,9 @@ class L2NnIndex:
         try:
             found = self._srp.query_squared(q, float(radius_sq), words, counter=probe)
         except BudgetExceeded:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
             return None
-        counter.charge("objects_examined", probe.total)
+        counter.merge(probe)
         if len(found) < t and not fewer_than_t:
             return None
         found.sort(key=lambda obj: (l2_distance_squared(q, obj.point), obj.oid))

@@ -151,7 +151,7 @@ class LinfNnIndex:
             verdict = len(found) >= t
         except BudgetExceeded:
             verdict = True  # could not finish in time => at least t matches
-        counter.charge("objects_examined", probe.total)
+        counter.merge(probe)
         return verdict
 
     def _search_radius(
@@ -214,9 +214,9 @@ class LinfNnIndex:
         try:
             found = self._index.query(self._ball(q, radius), words, counter=probe)
         except BudgetExceeded:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
             return None
-        counter.charge("objects_examined", probe.total)
+        counter.merge(probe)
         if len(found) < t and not fewer_than_t:
             # A budgeted probe over-declared and the search stopped at a ball
             # that is too small; retry with a doubled budget.

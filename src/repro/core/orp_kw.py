@@ -123,7 +123,7 @@ class OrpKwIndex:
         except BudgetExceeded:
             verdict = False
         if counter is not None:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
         return verdict
 
     # -- introspection -----------------------------------------------------------------

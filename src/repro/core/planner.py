@@ -163,11 +163,11 @@ class HybridPlanner:
             probe = CostCounter(budget=budget)
             try:
                 result = self._fused.query(rect, keywords, counter=probe)
-                counter.charge("objects_examined", probe.total)
+                counter.merge(probe)
                 self.last_plan["choice"] = "fused"
                 return result
             except BudgetExceeded:
-                counter.charge("objects_examined", probe.total)
+                counter.merge(probe)
         self.last_plan["choice"] = fallback
         if fallback == "keywords_only":
             return self._keywords.query_rect(rect, keywords, counter)

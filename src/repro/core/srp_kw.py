@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..costmodel import CostCounter
+from ..costmodel import CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_query_keywords
 from ..errors import ValidationError
 from ..geometry.lifting import lift_point, lift_sphere_squared
@@ -68,11 +68,13 @@ class SrpKwIndex:
             raise ValidationError("radius must be non-negative")
         words = validate_query_keywords(keywords, self.k)
         halfspace = lift_sphere_squared(center, radius_squared)
+        counter = ensure_counter(counter)
         found = self._sp.query_region(
             ConvexRegion([halfspace]), words, counter, max_report
         )
         result = []
         for lifted_obj in found:
+            counter.charge("comparisons")
             obj = self._originals[lifted_obj.oid]
             dist_sq = sum((a - b) ** 2 for a, b in zip(obj.point, center))
             if dist_sq <= radius_squared + 1e-9 * max(1.0, radius_squared):
@@ -100,7 +102,7 @@ class SrpKwIndex:
         except BudgetExceeded:
             verdict = False
         if counter is not None:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
         return verdict
 
     @property

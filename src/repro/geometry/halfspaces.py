@@ -25,7 +25,7 @@ class HalfSpace:
         coeff_t = tuple(float(c) for c in coeffs)
         if not coeff_t:
             raise ValidationError("halfspace must have at least one coefficient")
-        if all(c == 0.0 for c in coeff_t):
+        if all(c == 0.0 for c in coeff_t):  # reprolint: exact
             raise ValidationError("halfspace normal must be non-zero")
         if any(not math.isfinite(c) for c in coeff_t) or math.isnan(bound):
             raise ValidationError("halfspace coefficients must be finite")

@@ -207,10 +207,10 @@ class KSetIndex:
             self._visit(self.root, words, result, probe, stop_at_first=True)
         except BudgetExceeded:
             if counter is not None:
-                counter.charge("objects_examined", probe.total)
+                counter.merge(probe)
             return False
         if counter is not None:
-            counter.charge("objects_examined", probe.total)
+            counter.merge(probe)
         return not result
 
     def _validated(self, set_ids: Sequence[int]) -> Tuple[int, ...]:

@@ -31,8 +31,12 @@ class InvertedIndex:
     # -- accessors -------------------------------------------------------------
 
     def posting_list(self, keyword: int) -> List[int]:
-        """Object ids whose documents contain ``keyword`` (sorted)."""
-        return self._postings.get(keyword, [])
+        """Object ids whose documents contain ``keyword`` (sorted copy).
+
+        Returns a fresh list: handing out the internal posting list let
+        callers (or a careless ``.sort()``/``.append``) poison the index.
+        """
+        return list(self._postings.get(keyword, ()))
 
     def frequency(self, keyword: int) -> int:
         """``|D(w)|``."""

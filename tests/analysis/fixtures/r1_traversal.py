@@ -1,0 +1,64 @@
+"""R1 fixture: uncharged traversal in a query path.
+
+Lines carrying an ``EXPECT R1`` marker comment must be flagged (R1 anchors
+on the traversal statement); everything else must not be.  Never imported —
+parsed by the rule engine only.
+"""
+
+
+class BadTreeIndex:
+    def query(self, node):
+        out = []
+        stack = [node]
+        while stack:  # EXPECT R1
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(cur.children)
+        return out
+
+    def search(self, node, target):
+        if node is None:
+            return None
+        if node.key == target:
+            return node
+        return self.search(node.left, target) or self.search(  # EXPECT R1
+            node.right, target
+        )
+
+
+class GoodTreeIndex:
+    def query(self, node, counter):
+        out = []
+        stack = [node]
+        while stack:
+            counter.charge("nodes_visited")
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(cur.children)
+        return out
+
+    def report(self, node, counter):
+        # forwarding the counter to a callee also satisfies R1
+        for child in node.children:
+            self._walk(child, counter)
+        return node
+
+    def _walk(self, child, counter):
+        counter.charge("nodes_visited")
+        return child
+
+    def summarize(self, node):
+        # not a query/search/report/visit method: R1 does not apply
+        total = 0
+        for child in node.children:
+            total += 1
+        return total
+
+
+class SuppressedTreeIndex:
+    def query(self, node):
+        out = []
+        while node is not None:  # reprolint: r1 -- O(1): left spine length <= 2
+            out.append(node)
+            node = node.left
+        return out

@@ -1,0 +1,63 @@
+"""R2 fixture: mutation before validation in update paths.
+
+Lines carrying an ``EXPECT R2`` marker comment must be flagged (R2 anchors
+on the first premature mutation).  Never imported.
+"""
+
+
+class ValidationError(Exception):
+    pass
+
+
+class BadUpdates:
+    def __init__(self):
+        self.items = []
+        self.size = 0
+
+    def insert(self, value):
+        self.items.append(value)  # EXPECT R2
+        if value < 0:
+            raise ValidationError("negative value")
+
+    def delete(self, key):
+        self.size -= 1  # EXPECT R2
+        self._check_key(key)
+        del self.items[key]
+
+    def _check_key(self, key):
+        if key < 0:
+            raise ValidationError("bad key")
+
+
+class GoodUpdates:
+    def __init__(self):
+        self.items = []
+        self.size = 0
+
+    def insert(self, value):
+        if value < 0:
+            raise ValidationError("negative value")
+        self.items.append(value)
+        self.size += 1
+
+    def delete(self, key):
+        self._check_key(key)
+        del self.items[key]
+        self.size -= 1
+
+    def insert_many(self, values):
+        coerced = [self._coerce(v) for v in values]
+        self.items.extend(coerced)
+
+    def _coerce(self, value):
+        if value < 0:
+            raise ValidationError("negative value")
+        return value
+
+    def _check_key(self, key):
+        if key < 0:
+            raise ValidationError("bad key")
+
+    def rename(self, label):
+        # no validation at all: nothing to order against, R2 does not fire
+        self.label = label

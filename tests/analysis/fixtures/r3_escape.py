@@ -1,0 +1,52 @@
+"""R3 fixture: public methods leaking mutable internal state.
+
+Lines carrying an ``EXPECT R3`` marker comment must be flagged (R3 anchors
+on the leaking ``return``).  Never imported.
+"""
+
+
+class BadContainer:
+    def __init__(self):
+        self.items = []
+        self._postings = {}
+        self._postings.setdefault("seed", []).append(0)  # dict-of-mutables
+        self._cache = {}
+
+    def all_items(self):
+        return self.items  # EXPECT R3
+
+    def posting(self, key):
+        return self._postings.get(key, [])  # EXPECT R3
+
+    def cached(self, key):
+        self._cache.setdefault(key, []).append(key)
+        return self._cache[key]  # EXPECT R3
+
+
+class GoodContainer:
+    def __init__(self):
+        self.items = []
+        self._postings = {}
+        self.limit = 16
+
+    def all_items(self):
+        return list(self.items)
+
+    def posting(self, key):
+        return tuple(self._postings.get(key, ()))
+
+    def count(self):
+        # returning a scalar attribute is fine
+        return self.limit
+
+    def _internal_view(self):
+        # private helpers may return internals; only the public API is gated
+        return self.items
+
+
+class SuppressedContainer:
+    def __init__(self):
+        self.items = []
+
+    def all_items(self):
+        return self.items  # reprolint: r3 -- documented zero-copy accessor

@@ -1,0 +1,31 @@
+"""R4 fixture: exact float equality (geometry-scoped rule).
+
+Lines carrying an ``EXPECT R4`` marker comment must be flagged.  Never imported.
+"""
+
+
+def bad_is_origin(point):
+    return point[0] == 0.0 and point[1] == 0.0  # EXPECT R4
+
+
+def bad_not_unit(x):
+    if x != 1.0:  # EXPECT R4
+        return True
+    return False
+
+
+def bad_cast_compare(a, b):
+    return float(a) == b  # EXPECT R4
+
+
+def good_tolerant(x):
+    return abs(x) < 1e-9
+
+
+def good_int_compare(n):
+    # integer equality is exact; R4 only cares about float operands
+    return n == 0
+
+
+def good_opted_out(coeffs):
+    return all(c == 0.0 for c in coeffs)  # reprolint: exact

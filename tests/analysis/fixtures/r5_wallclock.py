@@ -1,0 +1,28 @@
+"""R5 fixture: wall-clock reads in the cost path (core/... scoped rule).
+
+Lines carrying an ``EXPECT R5`` marker comment must be flagged.  Never imported.
+"""
+
+import time
+from time import perf_counter  # EXPECT R5
+
+
+def bad_timed_query(index, rect):
+    start = time.perf_counter()  # EXPECT R5
+    result = index.query(rect)
+    elapsed = time.time() - start  # EXPECT R5
+    return result, elapsed
+
+
+def bad_imported_clock():
+    return perf_counter()
+
+
+def good_charged_query(index, rect, counter):
+    counter.charge("nodes_visited")
+    return index.query(rect)
+
+
+def good_strftime():
+    # time.strftime is not a clock read; only the clock functions count
+    return time.strftime("%Y")

@@ -1,0 +1,33 @@
+"""R6 fixture: unseeded randomness (workloads/benchmarks scoped rule).
+
+Lines carrying an ``EXPECT R6`` marker comment must be flagged.  Never imported.
+"""
+
+import random
+
+
+def bad_module_level_draw():
+    return random.random()  # EXPECT R6
+
+
+def bad_shuffle(items):
+    random.shuffle(items)  # EXPECT R6
+    return items
+
+
+def bad_default_rng_instance():
+    return random.Random()  # EXPECT R6
+
+
+def good_seeded_instance():
+    rng = random.Random(0xC0FFEE)
+    return rng.random()
+
+
+def good_injected(rng):
+    # drawing from an injected generator is the sanctioned pattern
+    return rng.randint(0, 10)
+
+
+def good_explicit_seed_call():
+    random.seed(7)

@@ -1,0 +1,56 @@
+"""Baseline workflow tests: write, load, match, and stale detection."""
+
+import json
+
+import pytest
+
+from repro.analysis import load_baseline, split_findings, write_baseline
+from repro.analysis.findings import Finding
+from repro.errors import ValidationError
+
+
+def _finding(path="pkg/mod.py", line=10, rule="R3", message="leak"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_roundtrip_and_matching(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    old = _finding()
+    write_baseline(baseline_path, [old])
+
+    accepted = load_baseline(baseline_path)
+    assert accepted == {("pkg/mod.py", "R3", "leak")}
+
+    # same finding on a different line still matches (movement-proof keys)
+    moved = _finding(line=99)
+    fresh = _finding(path="pkg/other.py", rule="R1", message="uncharged")
+    parts = split_findings([moved, fresh], accepted)
+    assert parts["baselined"] == [moved]
+    assert parts["new"] == [fresh]
+    assert parts["stale"] == []
+
+
+def test_stale_entries_reported(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, [_finding(), _finding(message="gone")])
+    accepted = load_baseline(baseline_path)
+
+    parts = split_findings([_finding()], accepted)
+    assert parts["stale"] == [("pkg/mod.py", "R3", "gone")]
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == set()
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json")
+    with pytest.raises(ValidationError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"wrong": 1}))
+    with pytest.raises(ValidationError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"findings": [{"path": "x"}]}))
+    with pytest.raises(ValidationError):
+        load_baseline(bad)

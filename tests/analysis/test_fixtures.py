@@ -1,0 +1,88 @@
+"""Fixture tests: every rule flags its known positives and nothing else.
+
+Each fixture file under ``fixtures/`` marks its expected findings with a
+trailing ``# EXPECT <RULE>`` comment on the line the rule reports (the
+``def`` line for method-level rules, the offending expression otherwise).
+The test runs the single rule over the file with scope disabled and asserts
+the flagged line set equals the marked line set exactly — so both false
+negatives *and* false positives fail.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES_BY_ID, analyze_paths
+from repro.analysis.rules import select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*EXPECT\s+(R[1-6])\b")
+
+CASES = [
+    ("R1", "r1_traversal.py"),
+    ("R2", "r2_mutate.py"),
+    ("R3", "r3_escape.py"),
+    ("R4", "r4_float_eq.py"),
+    ("R5", "r5_wallclock.py"),
+    ("R6", "r6_rng.py"),
+]
+
+
+def expected_lines(path: Path, rule_id: str):
+    lines = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(text)
+        if match and match.group(1) == rule_id:
+            lines.add(lineno)
+    return lines
+
+
+@pytest.mark.parametrize("rule_id,filename", CASES)
+def test_rule_flags_exactly_the_marked_lines(rule_id, filename):
+    path = FIXTURES / filename
+    expected = expected_lines(path, rule_id)
+    assert expected, f"{filename} must contain at least one EXPECT {rule_id}"
+
+    findings = analyze_paths(
+        [path],
+        root=FIXTURES,
+        rules=select_rules([rule_id]),
+        respect_scope=False,  # R4/R5/R6 are path-scoped; fixtures live in tests/
+    )
+    assert {f.rule for f in findings} <= {rule_id}
+    assert {f.line for f in findings} == expected
+
+
+@pytest.mark.parametrize("rule_id,filename", CASES)
+def test_scoped_rules_skip_fixtures_by_default(rule_id, filename):
+    """With scope respected, R4/R5/R6 must not fire outside their packages."""
+    rule = RULES_BY_ID[rule_id]
+    if rule.scope is None:
+        pytest.skip("rule is not path-scoped")
+    findings = analyze_paths(
+        [FIXTURES / filename], root=FIXTURES, rules=[rule], respect_scope=True
+    )
+    assert findings == []
+
+
+def test_suppression_comments_honoured():
+    """``# reprolint: r1`` / ``r3`` lines in the fixtures carry positives
+    that the engine must swallow (they are not EXPECT-marked)."""
+    for rule_id, filename in (("R1", "r1_traversal.py"), ("R3", "r3_escape.py")):
+        path = FIXTURES / filename
+        text = path.read_text()
+        assert f"# reprolint: {rule_id.lower()}" in text
+        findings = analyze_paths(
+            [path],
+            root=FIXTURES,
+            rules=select_rules([rule_id]),
+            respect_scope=False,
+        )
+        assert {f.line for f in findings} == expected_lines(path, rule_id)
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError):
+        select_rules(["R9"])

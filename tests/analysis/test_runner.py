@@ -1,0 +1,104 @@
+"""Runner/CLI tests: exit codes, formats, PARSE findings, and the
+live-tree guarantee that the shipped codebase is clean against its
+committed baseline."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, main
+from repro.analysis.baseline import load_baseline, split_findings
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestLiveTreeClean:
+    def test_src_has_no_new_findings(self):
+        """The shipped tree stays reprolint-clean modulo the committed
+        baseline — the same gate CI applies."""
+        findings = analyze_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"],
+            root=REPO_ROOT,
+        )
+        accepted = load_baseline(REPO_ROOT / "analysis" / "baseline.json")
+        parts = split_findings(findings, accepted)
+        assert parts["new"] == [], "\n".join(f.render() for f in parts["new"])
+
+    def test_committed_baseline_has_no_stale_entries(self):
+        findings = analyze_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        accepted = load_baseline(REPO_ROOT / "analysis" / "baseline.json")
+        assert split_findings(findings, accepted)["stale"] == []
+
+
+class TestMainExitCodes:
+    def _bad_file(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "    def values(self):\n"
+            "        return self.items\n"
+        )
+        return target
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean), "--root", str(tmp_path), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one_with_ruff_style_lines(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        assert main([str(target), "--root", str(tmp_path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("bad.py:5:9 R3 ")
+
+    def test_json_format(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        code = main(
+            [str(target), "--root", str(tmp_path), "--no-baseline", "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reprolint"
+        assert payload["summary"] == {
+            "total": 1, "new": 1, "baselined": 0, "stale": 0,
+        }
+        assert payload["new"][0]["rule"] == "R3"
+
+    def test_write_then_gate_with_baseline(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        args = [str(target), "--root", str(tmp_path), "--baseline", "bl.json"]
+        assert main(args + ["--write-baseline"]) == 0
+        capsys.readouterr()
+        # the recorded finding no longer fails the run
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "1 baselined" in err
+        # fixing the bug surfaces the entry as stale, still exit 0
+        target.write_text("x = 1\n")
+        assert main(args) == 0
+        assert "1 stale" in capsys.readouterr().err
+
+    def test_unparseable_file_is_a_parse_finding(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n")
+        assert main([str(target), "--root", str(tmp_path), "--no-baseline"]) == 1
+        assert "PARSE" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--rules", "R9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCliSubcommand:
+    def test_repro_cli_lint_delegates(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        code = cli_main(
+            ["lint", str(clean), "--root", str(tmp_path), "--no-baseline"]
+        )
+        assert code == 0
+        assert "reprolint" in capsys.readouterr().err

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.bench.harness import (
-    SweepResult,
     fit_loglog_slope,
     geometric_sizes,
     predicted_query_bound,

@@ -6,7 +6,6 @@ from repro.core.lc_kw import SpKwIndex
 from repro.core.orp_kw import OrpKwIndex
 from repro.core.srp_kw import SrpKwIndex
 from repro.core.transform import QueryStats
-from repro.errors import GeometryError
 from repro.geometry.rectangles import Rect
 from repro.geometry.simplex import Simplex
 

@@ -1,6 +1,5 @@
 """Unit tests for repro.geometry.rectangles."""
 
-import math
 
 import pytest
 

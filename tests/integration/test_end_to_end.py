@@ -1,6 +1,5 @@
 """Integration tests: the hotel scenario of §1 through every index."""
 
-import math
 
 import pytest
 

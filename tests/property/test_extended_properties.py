@@ -1,6 +1,5 @@
 """Extended property-based tests over the wave-2/3 structures."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

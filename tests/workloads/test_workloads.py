@@ -1,6 +1,5 @@
 """Unit tests for repro.workloads."""
 
-import random
 
 import pytest
 
