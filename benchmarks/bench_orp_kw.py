@@ -22,6 +22,7 @@ from repro.geometry.rectangles import Rect
 from common import (
     SWEEP_OBJECTS,
     disjoint_pair_dataset,
+    measure_query,
     planted_out_dataset,
     slope,
     summarize_sweep,
@@ -40,16 +41,17 @@ def _empty_out_rows():
         keywords = KeywordsOnlyIndex(ds)
         n = index.input_size
         rect = Rect.full(2)
-        c_idx, c_st, c_kw = CostCounter(), CostCounter(), CostCounter()
-        index.query(rect, [1, 2], counter=c_idx)
-        structured.query_rect(rect, [1, 2], c_st)
-        keywords.query_rect(rect, [1, 2], c_kw)
+        # measure_query feeds each run's per-category costs into
+        # BENCH_METRICS, so the t1_1 tables get a metrics snapshot too.
+        idx_m = measure_query(lambda c: index.query(rect, [1, 2], counter=c))
+        st_m = measure_query(lambda c: structured.query_rect(rect, [1, 2], c))
+        kw_m = measure_query(lambda c: keywords.query_rect(rect, [1, 2], c))
         rows.append(
             {
                 "N": n,
-                "index_cost": c_idx.total,
-                "structured_cost": c_st.total,
-                "keywords_cost": c_kw.total,
+                "index_cost": int(idx_m["cost"]),
+                "structured_cost": int(st_m["cost"]),
+                "keywords_cost": int(kw_m["cost"]),
                 "bound": round(theory_bound(n, _K, 0), 1),
                 "space/N": round(index.space_units / n, 2),
             }
@@ -64,16 +66,17 @@ def _planted_out_rows():
         ds = planted_out_dataset(num, out)
         index = OrpKwIndex(ds, k=_K)
         n = index.input_size
-        counter = CostCounter()
-        found = index.query(Rect.full(2), [1, 2], counter=counter)
-        bound = theory_bound(n, _K, len(found))
+        measured = measure_query(
+            lambda c: index.query(Rect.full(2), [1, 2], counter=c)
+        )
+        bound = theory_bound(n, _K, int(measured["out"]))
         rows.append(
             {
                 "N": n,
-                "OUT": len(found),
-                "index_cost": counter.total,
+                "OUT": int(measured["out"]),
+                "index_cost": int(measured["cost"]),
                 "bound": round(bound, 1),
-                "cost/bound": round(counter.total / bound, 3),
+                "cost/bound": round(measured["cost"] / bound, 3),
             }
         )
     return rows

@@ -9,17 +9,25 @@ regenerated.  A representative query additionally runs under
 
 from __future__ import annotations
 
+import json
 import math
 import pathlib
 import random
 from typing import Dict, List, Sequence
 
 from repro.bench.reporting import format_table
-from repro.costmodel import CostCounter
+from repro.costmodel import CATEGORIES, CostCounter
 from repro.dataset import Dataset
+from repro.trace import MetricsRegistry
 from repro.workloads.generators import WorkloadConfig, planted_dataset, zipf_dataset
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Per-benchmark metrics accumulator: every measured query feeds its cost
+#: distribution here, and :func:`record` snapshots it to
+#: ``results/<name>.metrics.json`` next to the table, then resets it — so
+#: each table file gets exactly the metrics of the queries behind it.
+BENCH_METRICS = MetricsRegistry()
 
 #: Object counts for the main N sweeps (input size N is ~2.5x this).
 SWEEP_OBJECTS = (2000, 4000, 8000, 16000)
@@ -28,12 +36,23 @@ SMALL_SWEEP_OBJECTS = (1000, 2000, 4000, 8000)
 
 
 def record(name: str, table: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table and persist it under benchmarks/results/.
+
+    Alongside the table, a JSON snapshot of :data:`BENCH_METRICS` (the cost
+    distributions of every :func:`measure_query` call since the previous
+    ``record``) lands in ``results/<name>.metrics.json``; the registry is
+    then reset for the next benchmark.
+    """
     print()
     print(table)
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(table + "\n")
+    metrics_path = RESULTS_DIR / f"{name}.metrics.json"
+    metrics_path.write_text(
+        json.dumps(BENCH_METRICS.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
+    BENCH_METRICS.reset()
 
 
 def standard_dataset(num_objects: int, dim: int = 2, seed: int = 7) -> Dataset:
@@ -77,9 +96,19 @@ def planted_out_dataset(
 
 
 def measure_query(fn) -> Dict[str, float]:
-    """Run ``fn(counter)`` and return {'cost': units, 'out': len(result)}."""
+    """Run ``fn(counter)`` and return {'cost': units, 'out': len(result)}.
+
+    The query's per-category costs also feed :data:`BENCH_METRICS`, so the
+    next :func:`record` call snapshots the distribution of everything
+    measured for its table.
+    """
     counter = CostCounter()
     result = fn(counter)
+    BENCH_METRICS.counter("queries_total").inc()
+    for category in CATEGORIES:
+        BENCH_METRICS.histogram(f"cost_{category}").observe(counter[category])
+    BENCH_METRICS.histogram("cost_total").observe(counter.total)
+    BENCH_METRICS.histogram("result_count").observe(len(result))
     return {"cost": float(counter.total), "out": float(len(result))}
 
 

@@ -57,6 +57,13 @@ from .service import (
     ShardedQueryEngine,
     partition_dataset,
 )
+from .trace import (
+    GLOBAL_REGISTRY,
+    MetricsRegistry,
+    TraceSpan,
+    Tracer,
+    span_for,
+)
 
 __version__ = "1.0.0"
 
@@ -102,5 +109,10 @@ __all__ = [
     "ShardedQueryEngine",
     "partition_dataset",
     "LRUCache",
+    "TraceSpan",
+    "Tracer",
+    "span_for",
+    "MetricsRegistry",
+    "GLOBAL_REGISTRY",
     "__version__",
 ]

@@ -470,7 +470,9 @@ _CLOCK_NAMES = {
 class WallClockInCostPath(Rule):
     id = "R5"
     title = "wall clock inside the RAM-model cost path"
-    scope = re.compile(r"(^|/)repro/(core|kdtree|partitiontree|ksi|irtree)/")
+    # trace/ is in scope on purpose: spans carry cost-unit deltas and must
+    # stay timestamp-free, or traced and untraced runs would diverge.
+    scope = re.compile(r"(^|/)repro/(core|kdtree|partitiontree|ksi|irtree|trace)/")
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         for node in ast.walk(src.tree):

@@ -21,6 +21,11 @@ The serving layer (``--kind engine``) adds batched, budget-bounded queries;
     python -m repro.cli build data.jsonl engine.bin --kind sharded --shards 4
     python -m repro.cli batch engine.bin --queries q.jsonl --budget 64 --save
     python -m repro.cli stats engine.bin
+    python -m repro.cli trace engine.bin --rect 100 8 200 10 --keywords 1 3
+
+``trace`` serves one query with span recording on and prints the resulting
+cost-span tree (``--format json`` for the raw ``to_dict`` rendering); it
+accepts orp, engine, and sharded indexes.
 
 where ``q.jsonl`` holds one query per line, e.g.
 ``{"rect": [100, 8, 200, 10], "keywords": [1, 3]}`` (lo coords then hi
@@ -50,6 +55,7 @@ from .core.rr_kw import RrKwIndex
 from .core.srp_kw import SrpKwIndex
 from .persist import load_index, save_index
 from .service import QueryEngine, ShardedQueryEngine
+from .trace import TraceSpan, Tracer
 
 #: --kind values accepted by `build` (rr reads {lo, hi, doc} records;
 #: engine/sharded build the serving layer, --k becomes its max_k).
@@ -264,6 +270,35 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Serve one query with span recording on; print the cost-span tree."""
+    index = load_index(args.index)
+    if isinstance(index, ENGINE_KINDS):
+        index.tracing = True  # session-local; not saved back to the file
+        index.query(args.rect, args.keywords, budget=args.budget)
+        trace_dict = index.last_record.trace
+    elif isinstance(index, OrpKwIndex):
+        if len(args.rect) % 2 != 0:
+            raise ValidationError(
+                f"--rect needs an even coordinate count, got {len(args.rect)}"
+            )
+        dim = len(args.rect) // 2
+        counter = CostCounter()
+        tracer = Tracer("query", "cli")
+        counter.tracer = tracer
+        index.query(Rect(args.rect[:dim], args.rect[dim:]), args.keywords, counter)
+        trace_dict = tracer.finish().to_dict()
+    else:
+        raise ValidationError(
+            "trace needs an index built with --kind orp, engine, or sharded"
+        )
+    if args.format == "json":
+        print(json.dumps(trace_dict, sort_keys=True))
+    else:
+        print(TraceSpan.from_dict(trace_dict).render())
+    return 0
+
+
 def cmd_nearest(args: argparse.Namespace) -> int:
     index = load_index(args.index, expected_class=LinfNnIndex)
     counter = CostCounter()
@@ -367,6 +402,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--ball", type=float, nargs="+", help="center coords then radius"
     )
     p_query.set_defaults(func=cmd_query)
+
+    p_trace = sub.add_parser(
+        "trace", help="serve one query and print its cost-span tree"
+    )
+    p_trace.add_argument("index", help="index file (orp, engine, or sharded kind)")
+    p_trace.add_argument(
+        "--rect", type=float, nargs="+", required=True,
+        help="lo coords then hi coords",
+    )
+    p_trace.add_argument("--keywords", type=int, nargs="+", required=True)
+    p_trace.add_argument(
+        "--budget", type=int, default=None,
+        help="per-query cost budget (engine/sharded kinds only)",
+    )
+    p_trace.add_argument("--format", choices=("pretty", "json"), default="pretty")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_nearest = sub.add_parser("nearest", help="t nearest neighbours (L∞)")
     p_nearest.add_argument("index")

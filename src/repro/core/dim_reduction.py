@@ -170,6 +170,28 @@ class DimReductionOrpKw:
         max_report: Optional[int],
         stats: Optional[DrStats],
     ) -> None:
+        tracer = counter.tracer
+        if tracer is None:
+            self._visit_node(node, rect, words, result, counter, max_report, stats)
+            return
+        # One aggregated span per balanced-cut level; the x-level prefix keeps
+        # these distinct from the depth=… spans of nested secondary indexes.
+        tracer.push(f"x-level={node.level}", "dim_reduction")
+        try:
+            self._visit_node(node, rect, words, result, counter, max_report, stats)
+        finally:
+            tracer.pop()
+
+    def _visit_node(
+        self,
+        node: _DrNode,
+        rect: Rect,
+        words: Tuple[int, ...],
+        result: List[KeywordObject],
+        counter: CostCounter,
+        max_report: Optional[int],
+        stats: Optional[DrStats],
+    ) -> None:
         if max_report is not None and len(result) >= max_report:
             return
         counter.charge("nodes_visited")

@@ -28,6 +28,7 @@ from ..geometry.simplex import Simplex
 from ..geometry.triangulate import decompose_polytope
 from ..geometry.polytope import polytope_from_constraints
 from ..partitiontree import ConvexCell, PartitionTree, WillardScheme
+from ..trace import span_for
 from .transform import KeywordTransform, QueryStats, verbose_points
 
 
@@ -54,7 +55,9 @@ class SpKwIndex:
             leaf_size=1,
             root_cell=root_cell,
         )
-        self._transform = KeywordTransform(dataset.objects, tree, k)
+        self._transform = KeywordTransform(
+            dataset.objects, tree, k, component="sp_kw"
+        )
         self.data_lo, self.data_hi = lo, hi
 
     def query_simplex(
@@ -137,12 +140,13 @@ class LcKwIndex:
                 if constraints
                 else EverythingRegion(self.dim)
             )
-            found = self._sp.query_region(region, words, counter, max_report)
-            result = []
-            for obj in found:
-                counter.charge("comparisons")
-                if self._satisfies(obj, constraints):
-                    result.append(obj)
+            with span_for(counter, "region", "lc_kw"):
+                found = self._sp.query_region(region, words, counter, max_report)
+                result = []
+                for obj in found:
+                    counter.charge("comparisons")
+                    if self._satisfies(obj, constraints):
+                        result.append(obj)
             return result
 
         polytope = polytope_from_constraints(
@@ -151,18 +155,19 @@ class LcKwIndex:
         simplices = decompose_polytope(polytope)
         seen = set()
         result: List[KeywordObject] = []
-        for simplex in simplices:
+        for index, simplex in enumerate(simplices):
             remaining = None if max_report is None else max_report - len(result)
             if remaining is not None and remaining <= 0:
                 break
-            found = self._sp.query_simplex(
-                simplex, words, counter, max_report=remaining
-            )
-            for obj in found:
-                counter.charge("comparisons")
-                if obj.oid not in seen and self._satisfies(obj, constraints):
-                    seen.add(obj.oid)
-                    result.append(obj)
+            with span_for(counter, f"simplex-{index}", "lc_kw"):
+                found = self._sp.query_simplex(
+                    simplex, words, counter, max_report=remaining
+                )
+                for obj in found:
+                    counter.charge("comparisons")
+                    if obj.oid not in seen and self._satisfies(obj, constraints):
+                        seen.add(obj.oid)
+                        result.append(obj)
         return result
 
     def is_empty(

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 from ..costmodel import CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_query_keywords
 from ..errors import BudgetExceeded, ValidationError
+from ..trace import span_for
 from .baselines import l2_distance_squared
 from .srp_kw import SrpKwIndex
 
@@ -88,13 +89,15 @@ class L2NnIndex:
         counter: CostCounter,
     ) -> bool:
         probe = CostCounter(budget=budget)
-        try:
-            found = self._srp.query_squared(
-                q, float(radius_sq), words, counter=probe, max_report=t
-            )
-            verdict = len(found) >= t
-        except BudgetExceeded:
-            verdict = True
+        probe.tracer = counter.tracer
+        with span_for(counter, "probe", "nn_l2"):
+            try:
+                found = self._srp.query_squared(
+                    q, float(radius_sq), words, counter=probe, max_report=t
+                )
+                verdict = len(found) >= t
+            except BudgetExceeded:
+                verdict = True
         counter.merge(probe)
         return verdict
 
@@ -149,11 +152,15 @@ class L2NnIndex:
         counter: CostCounter,
     ) -> Optional[List[KeywordObject]]:
         probe = CostCounter(budget=budget * 4)
-        try:
-            found = self._srp.query_squared(q, float(radius_sq), words, counter=probe)
-        except BudgetExceeded:
-            counter.merge(probe)
-            return None
+        probe.tracer = counter.tracer
+        with span_for(counter, "collect", "nn_l2"):
+            try:
+                found = self._srp.query_squared(
+                    q, float(radius_sq), words, counter=probe
+                )
+            except BudgetExceeded:
+                counter.merge(probe)
+                return None
         counter.merge(probe)
         if len(found) < t and not fewer_than_t:
             return None

@@ -22,6 +22,7 @@ from ..costmodel import CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_query_keywords
 from ..errors import BudgetExceeded, ValidationError
 from ..geometry.rectangles import Rect
+from ..trace import span_for
 from .baselines import linf_distance
 from .orp_kw import OrpKwIndex
 from .selection import CandidateRadii
@@ -144,13 +145,15 @@ class LinfNnIndex:
     ) -> bool:
         """Budgeted probe: does ``B(q, radius)`` hold >= t keyword matches?"""
         probe = CostCounter(budget=budget)
-        try:
-            found = self._index.query(
-                self._ball(q, radius), words, counter=probe, max_report=t
-            )
-            verdict = len(found) >= t
-        except BudgetExceeded:
-            verdict = True  # could not finish in time => at least t matches
+        probe.tracer = counter.tracer
+        with span_for(counter, "probe", "nn_linf"):
+            try:
+                found = self._index.query(
+                    self._ball(q, radius), words, counter=probe, max_report=t
+                )
+                verdict = len(found) >= t
+            except BudgetExceeded:
+                verdict = True  # could not finish in time => at least t matches
         counter.merge(probe)
         return verdict
 
@@ -211,11 +214,13 @@ class LinfNnIndex:
     ) -> Optional[List[KeywordObject]]:
         """Final report on the ball; ``None`` signals a budget retry."""
         probe = CostCounter(budget=budget * 4)
-        try:
-            found = self._index.query(self._ball(q, radius), words, counter=probe)
-        except BudgetExceeded:
-            counter.merge(probe)
-            return None
+        probe.tracer = counter.tracer
+        with span_for(counter, "collect", "nn_linf"):
+            try:
+                found = self._index.query(self._ball(q, radius), words, counter=probe)
+            except BudgetExceeded:
+                counter.merge(probe)
+                return None
         counter.merge(probe)
         if len(found) < t and not fewer_than_t:
             # A budgeted probe over-declared and the search stopped at a ball

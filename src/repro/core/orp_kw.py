@@ -67,7 +67,8 @@ class OrpKwIndex:
 
         # Steps 2 + 3 live in the generic transform.
         self._transform = KeywordTransform(
-            self._rank_objects, tree, k, threshold_scale=threshold_scale
+            self._rank_objects, tree, k, threshold_scale=threshold_scale,
+            component="orp_kw",
         )
 
     # -- queries ---------------------------------------------------------------------

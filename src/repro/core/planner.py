@@ -31,6 +31,7 @@ from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 from ..errors import ValidationError
 from ..geometry.rectangles import Rect
 from ..ksi.inverted import InvertedIndex
+from ..trace import span_for
 from .baselines import KeywordsOnlyIndex, StructuredOnlyIndex
 from .orp_kw import OrpKwIndex
 
@@ -161,17 +162,20 @@ class HybridPlanner:
             naive_estimate = self.last_plan[fallback]
             budget = int(naive_estimate) + 32
             probe = CostCounter(budget=budget)
-            try:
-                result = self._fused.query(rect, keywords, counter=probe)
-                counter.merge(probe)
-                self.last_plan["choice"] = "fused"
-                return result
-            except BudgetExceeded:
-                counter.merge(probe)
+            probe.tracer = counter.tracer
+            with span_for(counter, "fused", "planner", budget=budget):
+                try:
+                    result = self._fused.query(rect, keywords, counter=probe)
+                    counter.merge(probe)
+                    self.last_plan["choice"] = "fused"
+                    return result
+                except BudgetExceeded:
+                    counter.merge(probe)
         self.last_plan["choice"] = fallback
-        if fallback == "keywords_only":
-            return self._keywords.query_rect(rect, keywords, counter)
-        return self._structured.query_rect(rect, keywords, counter)
+        with span_for(counter, fallback, "planner"):
+            if fallback == "keywords_only":
+                return self._keywords.query_rect(rect, keywords, counter)
+            return self._structured.query_rect(rect, keywords, counter)
 
     def query_with(
         self,
@@ -184,14 +188,15 @@ class HybridPlanner:
         if strategy not in STRATEGIES:
             raise ValidationError(f"unknown strategy {strategy!r}")
         counter = ensure_counter(counter)
-        if strategy == "fused":
-            if self._fused is None:
-                validate_nonempty_keywords(keywords)
-                return []
-            return self._fused.query(rect, keywords, counter)
-        if strategy == "keywords_only":
-            return self._keywords.query_rect(rect, keywords, counter)
-        return self._structured.query_rect(rect, keywords, counter)
+        with span_for(counter, strategy, "planner"):
+            if strategy == "fused":
+                if self._fused is None:
+                    validate_nonempty_keywords(keywords)
+                    return []
+                return self._fused.query(rect, keywords, counter)
+            if strategy == "keywords_only":
+                return self._keywords.query_rect(rect, keywords, counter)
+            return self._structured.query_rect(rect, keywords, counter)
 
     @property
     def space_units(self) -> int:

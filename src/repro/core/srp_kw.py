@@ -17,6 +17,7 @@ from ..dataset import Dataset, KeywordObject, validate_query_keywords
 from ..errors import ValidationError
 from ..geometry.lifting import lift_point, lift_sphere_squared
 from ..geometry.regions import ConvexRegion
+from ..trace import span_for
 from .lc_kw import SpKwIndex
 
 
@@ -69,16 +70,17 @@ class SrpKwIndex:
         words = validate_query_keywords(keywords, self.k)
         halfspace = lift_sphere_squared(center, radius_squared)
         counter = ensure_counter(counter)
-        found = self._sp.query_region(
-            ConvexRegion([halfspace]), words, counter, max_report
-        )
-        result = []
-        for lifted_obj in found:
-            counter.charge("comparisons")
-            obj = self._originals[lifted_obj.oid]
-            dist_sq = sum((a - b) ** 2 for a, b in zip(obj.point, center))
-            if dist_sq <= radius_squared + 1e-9 * max(1.0, radius_squared):
-                result.append(obj)
+        with span_for(counter, "lifted-query", "srp_kw"):
+            found = self._sp.query_region(
+                ConvexRegion([halfspace]), words, counter, max_report
+            )
+            result = []
+            for lifted_obj in found:
+                counter.charge("comparisons")
+                obj = self._originals[lifted_obj.oid]
+                dist_sq = sum((a - b) ** 2 for a, b in zip(obj.point, center))
+                if dist_sq <= radius_squared + 1e-9 * max(1.0, radius_squared):
+                    result.append(obj)
         return result
 
     def is_empty(

@@ -156,6 +156,10 @@ class KeywordTransform:
         Multiplier applied to the large/small threshold ``N_u^(1-1/k)``.
         The paper's choice is ``1.0``; other values exist only for the A2
         ablation benchmark.
+    component:
+        Label used for this index's spans when the query counter carries a
+        :class:`~repro.trace.Tracer` (``"orp_kw"`` for the kd-tree route,
+        ``"sp_kw"`` for the partition-tree route).
     """
 
     def __init__(
@@ -164,8 +168,10 @@ class KeywordTransform:
         tree,
         k: int,
         threshold_scale: float = 1.0,
+        component: str = "transform",
     ):
         self.k = k
+        self.component = component
         self.objects = list(objects)
         self.tree = tree
         self.threshold_scale = threshold_scale
@@ -263,6 +269,30 @@ class KeywordTransform:
         return result
 
     def _visit(
+        self,
+        node: TransformNode,
+        region,
+        words: Tuple[int, ...],
+        result: List[KeywordObject],
+        counter: CostCounter,
+        max_report: Optional[int],
+        stats: Optional[QueryStats],
+    ) -> None:
+        # Depth-keyed span: all nodes visited at this level (under the same
+        # ancestor chain) aggregate into one span, so the span tree is a
+        # chain mirroring the recursion depth, not one span per node.  The
+        # None-guard keeps the untraced hot path at a single attribute load.
+        tracer = counter.tracer
+        if tracer is None:
+            self._visit_node(node, region, words, result, counter, max_report, stats)
+            return
+        tracer.push(f"depth={node.level}", self.component)
+        try:
+            self._visit_node(node, region, words, result, counter, max_report, stats)
+        finally:
+            tracer.pop()
+
+    def _visit_node(
         self,
         node: TransformNode,
         region,

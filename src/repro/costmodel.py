@@ -20,12 +20,22 @@ charge exceeds the budget, :class:`~repro.errors.BudgetExceeded` is raised.
 The nearest-neighbour indexes (Corollaries 4 and 7) rely on this to implement
 the paper's "run the reporting query; if it does not terminate within
 ``O(N^(1-1/k) t^(1/k))`` time, terminate it manually" step.
+
+A counter can optionally feed a :class:`~repro.trace.Tracer` (set
+``counter.tracer = tracer``): every :meth:`~CostCounter.charge` is then also
+recorded into the tracer's innermost open span, attributing the unit to the
+component that spent it.  Only original charges are recorded — the
+accounting transfers :meth:`~CostCounter.merge` / :meth:`~CostCounter.absorb`
+move already-recorded units between counters and must not re-record them
+(that would double-count spans).  When no tracer is attached the cost per
+charge is a single attribute load, and the charged totals are identical
+either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, ClassVar, Dict, Optional
 
 from .errors import BudgetExceeded
 
@@ -60,10 +70,22 @@ class CostCounter:
     counts: Dict[str, int] = field(default_factory=dict)
     _total: int = 0
 
+    #: Optional span recorder (see :mod:`repro.trace`).  A class-level
+    #: ``None`` keeps untraced instances free of any per-instance state;
+    #: attaching is a plain instance-attribute assignment.
+    tracer: ClassVar[Optional[Any]] = None
+
     def charge(self, category: str, units: int = 1) -> None:
-        """Add ``units`` to ``category`` and enforce the budget."""
+        """Add ``units`` to ``category`` and enforce the budget.
+
+        The counts are updated (and the attached tracer, if any, records the
+        charge) *before* a blown budget raises, so an interrupted probe's
+        spent units — and its trace — are never lost.
+        """
         self.counts[category] = self.counts.get(category, 0) + units
         self._total += units
+        if self.tracer is not None:
+            self.tracer.record(category, units)
         if self.budget is not None and self._total > self.budget:
             raise BudgetExceeded(self._total, self.budget)
 
@@ -73,12 +95,22 @@ class CostCounter:
         Used by layered execution (planner races, the serving layer's
         fallback chain): a probe runs under its own budgeted counter, and the
         spent units are rolled up here *per category* instead of being
-        lumped into a single bucket.  Charges go through :meth:`charge`, so
-        this counter's own budget still applies.
+        lumped into a single bucket.  This counter's own budget still
+        applies, but — unlike :meth:`charge` — nothing is recorded to an
+        attached tracer: the probe's charges were recorded when they
+        originally happened, and an accounting transfer must not double-count
+        them in the span tree.
         """
         for category, units in other.counts.items():
             if units:
-                self.charge(category, units)
+                self._transfer(category, units)
+
+    def _transfer(self, category: str, units: int) -> None:
+        """Budget-enforced, tracer-silent single-category transfer."""
+        self.counts[category] = self.counts.get(category, 0) + units
+        self._total += units
+        if self.budget is not None and self._total > self.budget:
+            raise BudgetExceeded(self._total, self.budget)
 
     def absorb(self, other: "CostCounter") -> None:
         """Fold another counter's counts into this one without budget checks.
@@ -138,6 +170,9 @@ class NullCounter(CostCounter):
         return
 
     def absorb(self, other: CostCounter) -> None:  # noqa: D102
+        return
+
+    def _transfer(self, category: str, units: int) -> None:  # noqa: D102
         return
 
     def reset(self) -> None:  # noqa: D102

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 from ..costmodel import CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject
 from ..errors import ValidationError
+from ..trace import span_for
 
 #: Machine word size assumed by the cost accounting (CPython uses 30-bit
 #: digits internally; 64 matches the paper's wlen = Θ(log N) reading).
@@ -81,11 +82,12 @@ class BitsetKSI:
                 mask &= self._masks[set_id]
         except IndexError as exc:
             raise ValidationError(f"set id out of range: {ids}") from exc
-        counter.charge("structure_probes", len(ids) * self.words_per_set())
-        result = []
-        for position in _iter_bits(mask):
-            counter.charge("objects_examined")
-            result.append(self.universe[position])
+        with span_for(counter, "report", "bitset_ksi"):
+            counter.charge("structure_probes", len(ids) * self.words_per_set())
+            result = []
+            for position in _iter_bits(mask):
+                counter.charge("objects_examined")
+                result.append(self.universe[position])
         return result
 
     def is_empty(

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..costmodel import CostCounter, ensure_counter
 from ..errors import BudgetExceeded, ValidationError
+from ..trace import span_for
 from .naive import sets_to_documents
 
 
@@ -183,7 +184,8 @@ class KSetIndex:
         counter = ensure_counter(counter)
         words = self._validated(set_ids)
         result: List[int] = []
-        self._visit(self.root, words, result, counter)
+        with span_for(counter, "report", "ksi"):
+            self._visit(self.root, words, result, counter)
         result.sort()
         return result
 
@@ -228,8 +230,27 @@ class KSetIndex:
         result: List[int],
         counter: CostCounter,
         stop_at_first: bool = False,
+        depth: int = 0,
     ) -> bool:
         """Recursive query; returns True when the caller should stop early."""
+        tracer = counter.tracer
+        if tracer is None:
+            return self._visit_node(node, words, result, counter, stop_at_first, depth)
+        tracer.push(f"depth={depth}", "ksi")
+        try:
+            return self._visit_node(node, words, result, counter, stop_at_first, depth)
+        finally:
+            tracer.pop()
+
+    def _visit_node(
+        self,
+        node: _Node,
+        words: Tuple[int, ...],
+        result: List[int],
+        counter: CostCounter,
+        stop_at_first: bool,
+        depth: int,
+    ) -> bool:
         counter.charge("nodes_visited")
         if not node.is_leaf or node.materialized:
             # The small-keyword branch must run even at childless nodes
@@ -260,7 +281,9 @@ class KSetIndex:
         for child, combos in zip(node.children, node.combos):
             counter.charge("structure_probes")
             if key in combos:
-                if self._visit(child, words, result, counter, stop_at_first):
+                if self._visit(
+                    child, words, result, counter, stop_at_first, depth + 1
+                ):
                     return True
         return False
 

@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..costmodel import CostCounter, ensure_counter
 from ..errors import ValidationError
+from ..trace import span_for
 
 
 class NaiveKSI:
@@ -51,16 +52,17 @@ class NaiveKSI:
         chosen.sort(key=len)
         smallest, rest = chosen[0], chosen[1:]
         result = []
-        for element in smallest:
-            counter.charge("objects_examined")
-            ok = True
-            for other in rest:
-                counter.charge("structure_probes")
-                if element not in other:
-                    ok = False
-                    break
-            if ok:
-                result.append(element)
+        with span_for(counter, "report", "naive_ksi"):
+            for element in smallest:
+                counter.charge("objects_examined")
+                ok = True
+                for other in rest:
+                    counter.charge("structure_probes")
+                    if element not in other:
+                        ok = False
+                        break
+                if ok:
+                    result.append(element)
         result.sort()
         return result
 

@@ -29,13 +29,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..costmodel import CostCounter, ensure_counter
+from ..costmodel import CATEGORIES, CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 from ..errors import BudgetExceeded, ValidationError
 from ..geometry.rectangles import Rect
 from ..core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
 from ..core.multi_k import MultiKOrpIndex
 from ..core.planner import HybridPlanner
+from ..trace import MetricsRegistry, Tracer, span_for
 
 #: A query as the batch API accepts it: a (rect, keywords) pair, where the
 #: rectangle may be a Rect or a flat [lo..., hi...] coordinate list.
@@ -62,6 +63,9 @@ class QueryRecord:
     #: entry is {shard_id, strategy, budget, cost, degraded}.  Empty for a
     #: single-engine serve.
     shards: List[Dict[str, Any]] = field(default_factory=list)
+    #: Finished span tree (:meth:`~repro.trace.TraceSpan.to_dict`) when the
+    #: serving engine ran with tracing enabled; ``None`` otherwise.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON rendering of the record."""
@@ -78,10 +82,11 @@ class QueryRecord:
             "estimates": dict(self.estimates),
             "result_count": self.result_count,
             "shards": [dict(s) for s in self.shards],
+            "trace": self.trace,
         }
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict())
+        return json.dumps(self.to_dict(), sort_keys=True)
 
 
 class QueryEngine:
@@ -101,6 +106,15 @@ class QueryEngine:
         LRU result-cache capacity; ``0`` disables caching.
     keep_records:
         How many most-recent :class:`QueryRecord` traces to retain.
+    tracing:
+        When true every served query builds a :class:`~repro.trace.Tracer`
+        span tree, attached to its :class:`QueryRecord` as ``record.trace``.
+        Tracing never changes the charged cost in any category.
+    metrics:
+        A :class:`~repro.trace.MetricsRegistry` to feed; by default every
+        engine owns a private registry (no cross-engine sharing).  Pass
+        :data:`repro.trace.GLOBAL_REGISTRY` (or any shared registry) to
+        aggregate across engines.
     """
 
     def __init__(
@@ -112,6 +126,8 @@ class QueryEngine:
         sample_size: int = 256,
         seed: int = 0,
         keep_records: int = 1024,
+        tracing: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         from .cache import LRUCache
 
@@ -122,6 +138,8 @@ class QueryEngine:
         self.dataset = dataset
         self.max_k = max_k
         self.default_budget = default_budget
+        self.tracing = tracing
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counter = CostCounter()  # engine-lifetime aggregate
         self._cache = LRUCache(cache_size)
         self._records: Deque[QueryRecord] = deque(maxlen=keep_records)
@@ -157,6 +175,14 @@ class QueryEngine:
             self._keywords = None
             self._planners = {}
             self._inverted = None
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Engines pickled before the trace layer existed lack these fields;
+        # default them so old index files keep serving (and stats()) cleanly.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("tracing", False)
+        if self.__dict__.get("metrics") is None:
+            self.metrics = MetricsRegistry()
 
     # -- planning ---------------------------------------------------------------
 
@@ -199,12 +225,19 @@ class QueryEngine:
         keywords: Sequence[int],
         budget: Optional[int] = None,
         counter: Optional[CostCounter] = None,
+        tracer: Optional[Tracer] = None,
     ) -> Tuple[KeywordObject, ...]:
         """Serve one query; the trace lands in :attr:`last_record`.
 
         ``budget`` overrides the engine's ``default_budget`` for this call.
         Results are returned as an immutable tuple (shared with the cache, so
         a caller cannot poison later hits by mutating what it got back).
+
+        ``tracer`` lets an orchestrating caller (the sharded engine) nest
+        this query's spans inside its own tree; the engine then does *not*
+        finish the tracer or attach ``record.trace`` — the owner does.  With
+        ``tracer=None`` and the engine built with ``tracing=True``, the query
+        owns a fresh tracer and attaches the finished tree to its record.
         """
         rect = self._coerce_rect(rect)
         words = sorted(set(validate_nonempty_keywords(keywords)))
@@ -221,6 +254,11 @@ class QueryEngine:
         caller = ensure_counter(counter)
         self._queries_served += 1
         query_id = self._queries_served
+        self.metrics.counter("queries_total").inc()
+
+        owned = tracer is None and self.tracing
+        if owned:
+            tracer = Tracer("query", "engine", query_id=query_id)
 
         key = (rect.lo, rect.hi, frozenset(words))
         cached, hit = self._cache.lookup(key)
@@ -235,15 +273,20 @@ class QueryEngine:
                 budget=budget,
                 result_count=len(cached),
             )
+            if owned:
+                record.trace = tracer.finish().to_dict()
             self._records.append(record)
             self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
+            self.metrics.counter("cache_hits_total").inc()
+            self.metrics.counter("strategy_cache_total").inc()
             return cached
+        self.metrics.counter("cache_misses_total").inc()
 
         if self._index is None and not self._planners:
             # Empty corpus: nothing can match; zero cost, honest trace.
             return self._finish(
                 query_id, rect, words, (), "empty_dataset", [], {}, budget,
-                False, CostCounter(), caller, key,
+                False, CostCounter(), caller, key, tracer, owned,
             )
 
         order, estimates = self._plan(rect, words)
@@ -254,8 +297,10 @@ class QueryEngine:
         degraded = False
         for strategy in order:
             probe = CostCounter(budget=budget)
+            probe.tracer = tracer
             try:
-                results = self._run_strategy(strategy, rect, words, probe)
+                with span_for(probe, strategy, "engine", budget=budget):
+                    results = self._run_strategy(strategy, rect, words, probe)
                 spent.merge(probe)
                 chosen = strategy
                 break
@@ -266,19 +311,23 @@ class QueryEngine:
                 )
         if results is None:
             # Every strategy blew the budget: serve the cheapest unbudgeted.
+            # The rerun re-enters the strategy's keyed span, so its charges
+            # accumulate there and the leaf-sum invariant still holds.
             probe = CostCounter()
-            results = self._run_strategy(order[0], rect, words, probe)
+            probe.tracer = tracer
+            with span_for(probe, order[0], "engine", degraded=True):
+                results = self._run_strategy(order[0], rect, words, probe)
             spent.merge(probe)
             chosen = order[0]
             degraded = True
         return self._finish(
             query_id, rect, words, results, chosen, fallbacks,
-            estimates, budget, degraded, spent, caller, key,
+            estimates, budget, degraded, spent, caller, key, tracer, owned,
         )
 
     def _finish(
         self, query_id, rect, words, results, chosen, fallbacks,
-        estimates, budget, degraded, spent, caller, key,
+        estimates, budget, degraded, spent, caller, key, tracer=None, owned=False,
     ) -> Tuple[KeywordObject, ...]:
         # Record and cache before touching the caller's counter, and fold the
         # spent units into it with absorb() (never merge()): a caller-supplied
@@ -306,14 +355,38 @@ class QueryEngine:
             estimates=clean_estimates,
             result_count=len(results),
         )
+        if owned and tracer is not None:
+            record.trace = tracer.finish().to_dict()
         self._records.append(record)
         self._strategy_counts[chosen] = self._strategy_counts.get(chosen, 0) + 1
         self._fallback_count += len(fallbacks)
         if degraded:
             self._degraded_count += 1
+        self._observe_metrics(chosen, len(fallbacks), degraded, record.cost, len(results))
         self.counter.absorb(spent)
         caller.absorb(spent)
         return results
+
+    def _observe_metrics(
+        self,
+        strategy: str,
+        fallback_count: int,
+        degraded: bool,
+        cost: Dict[str, int],
+        result_count: int,
+    ) -> None:
+        """Feed the registry one executed (non-cache-hit) query's outcome."""
+        metrics = self.metrics
+        metrics.counter(f"strategy_{strategy}_total").inc()
+        if fallback_count:
+            metrics.counter("fallbacks_total").inc(fallback_count)
+            metrics.counter("budget_exhausted_total").inc()
+        if degraded:
+            metrics.counter("degraded_total").inc()
+        for category in CATEGORIES:
+            metrics.histogram(f"cost_{category}").observe(cost.get(category, 0))
+        metrics.histogram("cost_total").observe(cost.get("total", 0))
+        metrics.histogram("result_count").observe(result_count)
 
     def batch(
         self,
@@ -384,14 +457,17 @@ class QueryEngine:
             },
             "max_k": self.max_k,
             "default_budget": self.default_budget,
+            "metrics": self.metrics.snapshot(),
         }
 
     def export_stats_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.stats(), indent=indent)
+        return json.dumps(self.stats(), indent=indent, sort_keys=True)
 
     def export_records_json(self) -> str:
         """All retained traces as a JSON array (oldest first)."""
-        return json.dumps([record.to_dict() for record in self._records])
+        return json.dumps(
+            [record.to_dict() for record in self._records], sort_keys=True
+        )
 
     @property
     def dim(self) -> Optional[int]:

@@ -53,10 +53,11 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, 
 
 import numpy as np
 
-from ..costmodel import CostCounter, ensure_counter
+from ..costmodel import CATEGORIES, CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 from ..errors import ValidationError
 from ..geometry.rectangles import Rect
+from ..trace import MetricsRegistry, Tracer
 from .cache import LRUCache
 from .engine import QueryEngine, QueryRecord, QuerySpec
 
@@ -113,7 +114,13 @@ class ShardedQueryEngine:
     results once), and a query's budget is split across the fan-out as
     described in the module docstring.
 
-    Parameters mirror :class:`QueryEngine`, plus ``shards``.
+    Parameters mirror :class:`QueryEngine`, plus ``shards``.  With
+    ``tracing=True`` each query's record carries a finished span tree whose
+    fan-out span holds one child span per shard; the per-shard engines'
+    strategy and index spans nest under their shard span.  The ``metrics``
+    registry (private by default) aggregates at the fan-out level; the
+    per-shard engines keep their own private registries so shard sub-queries
+    never inflate the fan-out's ``queries_total``.
     """
 
     def __init__(
@@ -126,6 +133,8 @@ class ShardedQueryEngine:
         sample_size: int = 256,
         seed: int = 0,
         keep_records: int = 1024,
+        tracing: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
@@ -137,6 +146,8 @@ class ShardedQueryEngine:
         self.num_shards = shards
         self.max_k = max_k
         self.default_budget = default_budget
+        self.tracing = tracing
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Global vocabulary, shared across shards (each shard's inverted
         #: index only covers its slice; stats report the full W).
         self.vocabulary = dataset.vocabulary
@@ -161,6 +172,14 @@ class ShardedQueryEngine:
             )
             for shard in self.shard_datasets
         ]
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Mirror QueryEngine.__setstate__: engines pickled before the trace
+        # layer existed default to tracing-off with a fresh private registry.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("tracing", False)
+        if self.__dict__.get("metrics") is None:
+            self.metrics = MetricsRegistry()
 
     # -- serving ----------------------------------------------------------------
 
@@ -193,6 +212,14 @@ class ShardedQueryEngine:
         caller = ensure_counter(counter)
         self._queries_served += 1
         query_id = self._queries_served
+        self.metrics.counter("queries_total").inc()
+
+        tracer: Optional[Tracer] = None
+        if self.tracing:
+            tracer = Tracer(
+                "sharded_query", "sharding",
+                query_id=query_id, shards=self.num_shards,
+            )
 
         key = (rect.lo, rect.hi, frozenset(words))
         cached, hit = self._cache.lookup(key)
@@ -207,9 +234,14 @@ class ShardedQueryEngine:
                 budget=budget,
                 result_count=len(cached),
             )
+            if tracer is not None:
+                record.trace = tracer.finish().to_dict()
             self._records.append(record)
             self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
+            self.metrics.counter("cache_hits_total").inc()
+            self.metrics.counter("strategy_cache_total").inc()
             return cached
+        self.metrics.counter("cache_misses_total").inc()
 
         spent = CostCounter()  # merged per-query accumulator, never budgeted
         fallbacks: List[Dict[str, Any]] = []
@@ -223,7 +255,15 @@ class ShardedQueryEngine:
                 shards_left = self.num_shards - shard_id
                 share = max(remaining // shards_left, 1)
             probe = CostCounter()
-            merged.extend(engine.query(rect, words, budget=share, counter=probe))
+            if tracer is None:
+                merged.extend(engine.query(rect, words, budget=share, counter=probe))
+            else:
+                with tracer.span(f"shard-{shard_id}", "sharding", budget=share):
+                    merged.extend(
+                        engine.query(
+                            rect, words, budget=share, counter=probe, tracer=tracer
+                        )
+                    )
             trace = engine.last_record
             if budget is not None:
                 # Unused share returns to the pool for the stragglers; an
@@ -273,18 +313,46 @@ class ShardedQueryEngine:
             result_count=len(results),
             shards=slices,
         )
+        if tracer is not None:
+            record.trace = tracer.finish().to_dict()
         self._records.append(record)
         self._strategy_counts["sharded"] = self._strategy_counts.get("sharded", 0) + 1
         self._fallback_count += len(fallbacks)
         self._degraded_slices += degraded_slices
         if degraded:
             self._degraded_count += 1
+        self._observe_metrics(
+            len(fallbacks), degraded, degraded_slices, spent.snapshot(), len(results)
+        )
         # Caller accounting last and non-raising (absorb, not merge): same
         # invariant as QueryEngine._finish — a budgeted caller counter must
         # never lose the trace or the cache entry to BudgetExceeded.
         self.counter.absorb(spent)
         caller.absorb(spent)
         return results
+
+    def _observe_metrics(
+        self,
+        fallback_count: int,
+        degraded: bool,
+        degraded_slices: int,
+        cost: Dict[str, int],
+        result_count: int,
+    ) -> None:
+        """Feed the registry one executed (non-cache-hit) fan-out outcome."""
+        metrics = self.metrics
+        metrics.counter("strategy_sharded_total").inc()
+        if fallback_count:
+            metrics.counter("fallbacks_total").inc(fallback_count)
+            metrics.counter("budget_exhausted_total").inc()
+        if degraded:
+            metrics.counter("degraded_total").inc()
+        if degraded_slices:
+            metrics.counter("degraded_slices_total").inc(degraded_slices)
+        for category in CATEGORIES:
+            metrics.histogram(f"cost_{category}").observe(cost.get(category, 0))
+        metrics.histogram("cost_total").observe(cost.get("total", 0))
+        metrics.histogram("result_count").observe(result_count)
 
     def batch(
         self,
@@ -345,14 +413,17 @@ class ShardedQueryEngine:
             },
             "max_k": self.max_k,
             "default_budget": self.default_budget,
+            "metrics": self.metrics.snapshot(),
         }
 
     def export_stats_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.stats(), indent=indent)
+        return json.dumps(self.stats(), indent=indent, sort_keys=True)
 
     def export_records_json(self) -> str:
         """All retained merged traces as a JSON array (oldest first)."""
-        return json.dumps([record.to_dict() for record in self._records])
+        return json.dumps(
+            [record.to_dict() for record in self._records], sort_keys=True
+        )
 
     @property
     def dim(self) -> Optional[int]:

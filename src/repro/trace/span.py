@@ -1,0 +1,286 @@
+"""Hierarchical cost spans: *where* a query spends its RAM-model units.
+
+A flat :class:`~repro.costmodel.CostCounter` verifies cost *totals* against
+the paper's bounds; a :class:`TraceSpan` tree additionally attributes every
+charged unit to the component that spent it — which planner strategy, which
+shard, which recursion level of the index descent.  The design constraints,
+in order:
+
+1. **Exactness.**  Every unit charged to a traced counter lands in exactly
+   one span, so the span tree is a lossless decomposition of the counter's
+   per-category totals (``root.subtree_costs() == counter.counts``, and
+   after :meth:`Tracer.finish` the *leaf* spans alone sum to the totals —
+   the property the trace-invariant tests enforce).
+2. **Zero cost-model impact.**  Recording never charges anything: the same
+   query traced and untraced produces identical counter totals.
+3. **Near-zero overhead when disabled.**  Untraced counters pay one
+   attribute load per charge (``self.tracer is None``); the instrumented
+   index code guards every span push behind the same check.
+4. **No wall clock.**  Spans carry cost-unit deltas, never timestamps —
+   reprolint rule R5 audits this package together with the index packages.
+
+Spans are *keyed*: pushing a span whose ``(name, component)`` already exists
+under the current parent re-enters that span and accumulates into it.  A
+recursive descent that pushes ``depth=ℓ`` at every visited node therefore
+produces one span per level (a chain mirroring the recursion), not one span
+per node.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Name of the synthetic leaf that absorbs an internal span's own charges
+#: when the tree is finalized (see :meth:`Tracer.finish`).
+SELF_SPAN = "(self)"
+
+
+class TraceSpan:
+    """One node of the cost-trace tree.
+
+    Attributes are plain slots (read them directly): ``name`` and
+    ``component`` identify the span, ``attrs`` holds small JSON-safe
+    annotations, ``costs`` the per-category units charged while this span
+    was innermost, and ``children`` the sub-spans in creation order.
+    """
+
+    __slots__ = ("name", "component", "attrs", "costs", "children", "_by_key")
+
+    def __init__(self, name: str, component: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.component = component
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.costs: Dict[str, int] = {}
+        self.children: List["TraceSpan"] = []
+        self._by_key: Dict[Tuple[str, str], "TraceSpan"] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def child(
+        self, name: str, component: str, attrs: Optional[Dict[str, Any]] = None
+    ) -> "TraceSpan":
+        """Get-or-create the keyed child ``(name, component)``."""
+        key = (name, component)
+        span = self._by_key.get(key)
+        if span is None:
+            span = TraceSpan(name, component, attrs)
+            self._by_key[key] = span
+            self.children.append(span)
+        elif attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def add_cost(self, category: str, units: int) -> None:
+        """Accumulate ``units`` of ``category`` into this span's own costs."""
+        self.costs[category] = self.costs.get(category, 0) + units
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceSpan":
+        """Rebuild a span tree from a :meth:`to_dict` rendering."""
+        span = cls(data["name"], data["component"], data.get("attrs") or None)
+        span.costs = {
+            category: int(units)
+            for category, units in (data.get("costs") or {}).items()
+        }
+        for child_data in data.get("children", ()):
+            child = cls.from_dict(child_data)
+            span._by_key[(child.name, child.component)] = child
+            span.children.append(child)
+        return span
+
+    # -- aggregation ----------------------------------------------------------
+
+    @property
+    def self_total(self) -> int:
+        """Units charged directly to this span (children excluded)."""
+        return sum(self.costs.values())
+
+    def subtree_costs(self) -> Dict[str, int]:
+        """Per-category units over this span and all descendants."""
+        totals = dict(self.costs)
+        for span in self.children:
+            for category, units in span.subtree_costs().items():
+                totals[category] = totals.get(category, 0) + units
+        return totals
+
+    def subtree_total(self) -> int:
+        """Total units over this span and all descendants."""
+        return sum(self.subtree_costs().values())
+
+    def leaves(self) -> List["TraceSpan"]:
+        """All childless descendants (including self when childless)."""
+        if not self.children:
+            return [self]
+        found: List[TraceSpan] = []
+        for span in self.children:
+            found.extend(span.leaves())
+        return found
+
+    def leaf_costs(self) -> Dict[str, int]:
+        """Per-category units summed over the leaf spans only.
+
+        After :meth:`Tracer.finish` has materialized ``(self)`` leaves, this
+        equals :meth:`subtree_costs` exactly — the load-bearing audit
+        invariant (leaf costs sum to the counter totals).
+        """
+        totals: Dict[str, int] = {}
+        for leaf in self.leaves():
+            for category, units in leaf.costs.items():
+                totals[category] = totals.get(category, 0) + units
+        return totals
+
+    def depth(self) -> int:
+        """Height of this subtree (a childless span has depth 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(span.depth() for span in self.children)
+
+    def find(self, name: str, component: Optional[str] = None) -> Optional["TraceSpan"]:
+        """First span (pre-order) matching ``name`` (and ``component``)."""
+        for span in self.walk():
+            if span.name == name and (component is None or span.component == component):
+                return span
+        return None
+
+    def walk(self) -> Iterator["TraceSpan"]:
+        """Pre-order iteration over this subtree."""
+        yield self
+        for span in self.children:
+            yield from span.walk()
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (serialize with ``sort_keys=True``)."""
+        return {
+            "name": self.name,
+            "component": self.component,
+            "attrs": dict(self.attrs),
+            "costs": dict(self.costs),
+            "total": self.subtree_total(),
+            "children": [span.to_dict() for span in self.children],
+        }
+
+    def render(self) -> str:
+        """Human-readable tree (one span per line, box-drawing indents)."""
+        lines: List[str] = []
+        self._render_into(lines, prefix="", is_last=True, is_root=True)
+        return "\n".join(lines)
+
+    def _render_into(
+        self, lines: List[str], prefix: str, is_last: bool, is_root: bool = False
+    ) -> None:
+        parts = [f"{self.name} [{self.component}]", f"total={self.subtree_total()}"]
+        if self.costs:
+            detail = " ".join(
+                f"{category}={units}" for category, units in sorted(self.costs.items())
+            )
+            parts.append(detail)
+        if self.attrs:
+            notes = " ".join(
+                f"{key}={value}" for key, value in sorted(self.attrs.items())
+            )
+            parts.append(f"({notes})")
+        text = "  ".join(parts)
+        if is_root:
+            lines.append(text)
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + text)
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, span in enumerate(self.children):
+            span._render_into(lines, child_prefix, index == len(self.children) - 1)
+
+
+class Tracer:
+    """Span-stack recorder a :class:`~repro.costmodel.CostCounter` feeds.
+
+    Attach with ``counter.tracer = tracer``: every subsequent
+    ``counter.charge(category, units)`` lands in the innermost open span.
+    Open spans with :meth:`span` (context manager) or the explicit
+    :meth:`push`/:meth:`pop` pair in recursion hot paths.
+    """
+
+    __slots__ = ("root", "_stack", "_finished")
+
+    def __init__(self, name: str = "query", component: str = "trace", **attrs: Any):
+        self.root = TraceSpan(name, component, attrs or None)
+        self._stack: List[TraceSpan] = [self.root]
+        self._finished = False
+
+    @property
+    def current(self) -> TraceSpan:
+        """The innermost open span (charges accumulate here)."""
+        return self._stack[-1]
+
+    def push(
+        self, name: str, component: str, attrs: Optional[Dict[str, Any]] = None
+    ) -> TraceSpan:
+        """Open (or re-enter) the keyed child span of the current span."""
+        span = self._stack[-1].child(name, component, attrs)
+        self._stack.append(span)
+        return span
+
+    def pop(self) -> None:
+        """Close the innermost span (the root is never popped)."""
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, component: str, **attrs: Any):
+        """Context-managed :meth:`push`/:meth:`pop` (exception-safe)."""
+        opened = self.push(name, component, attrs or None)
+        try:
+            yield opened
+        finally:
+            self.pop()
+
+    def record(self, category: str, units: int) -> None:
+        """Charge hook called by :meth:`CostCounter.charge`."""
+        self._stack[-1].add_cost(category, units)
+
+    def finish(self) -> TraceSpan:
+        """Finalize the tree and return the root.
+
+        Every internal span holding direct charges gets a synthetic
+        ``(self)`` leaf child absorbing them, so that afterwards the *leaf*
+        costs alone sum exactly to the recorded totals.  Idempotent.
+        """
+        if not self._finished:
+            self._finished = True
+            for span in list(self.root.walk()):
+                if span.children and span.costs:
+                    shadow = span.child(SELF_SPAN, span.component)
+                    for category, units in span.costs.items():
+                        shadow.add_cost(category, units)
+                    span.costs = {}
+        return self.root
+
+
+class _NullSpan:
+    """Do-nothing context manager for untraced fast paths."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span_for(counter, name: str, component: str, **attrs: Any):
+    """Span context for ``counter``'s tracer, or a no-op when untraced.
+
+    The single guard the instrumented index code uses: one attribute load
+    when tracing is off, a real nested span when it is on.
+    """
+    tracer = getattr(counter, "tracer", None)
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, component, **attrs)

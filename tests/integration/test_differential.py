@@ -10,13 +10,21 @@ import random
 
 import pytest
 
-from repro.core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
+from repro.core.baselines import (
+    KeywordsOnlyIndex,
+    NaiveRectangleIndex,
+    ScanAllNn,
+    StructuredOnlyIndex,
+    l2_distance_squared,
+)
 from repro.core.dynamic import DynamicOrpKw
 from repro.core.lc_kw import LcKwIndex
 from repro.core.multi_k import MultiKOrpIndex
+from repro.core.nn_l2 import L2NnIndex
 from repro.core.orp_kw import OrpKwIndex
+from repro.core.rr_kw import RrKwIndex
 from repro.costmodel import CostCounter
-from repro.dataset import Dataset, make_objects
+from repro.dataset import Dataset, RectangleObject, make_objects
 from repro.geometry.halfspaces import rect_to_halfspaces
 from repro.geometry.rectangles import Rect
 from repro.irtree import IrTree
@@ -31,10 +39,37 @@ def build_dataset(seed: int) -> Dataset:
     return Dataset(make_objects(points, docs))
 
 
-def random_query(rng):
+def build_integer_dataset(seed: int) -> Dataset:
+    """Integer-coordinate variant (L2NN-KW requires the paper's [N]^d grid)."""
+    rng = random.Random(seed)
+    count = rng.randint(40, 120)
+    seen = set()
+    points = []
+    while len(points) < count:
+        p = (float(rng.randint(0, 30)), float(rng.randint(0, 30)))
+        if p not in seen:
+            seen.add(p)
+            points.append(p)
+    docs = [rng.sample(range(1, 9), rng.randint(1, 4)) for _ in range(count)]
+    return Dataset(make_objects(points, docs))
+
+
+def build_rectangles(seed: int):
+    rng = random.Random(seed)
+    count = rng.randint(30, 90)
+    rects = []
+    for oid in range(count):
+        lo = tuple(rng.uniform(0, 10) for _ in range(2))
+        hi = tuple(c + rng.uniform(0, 3) for c in lo)
+        doc = frozenset(rng.sample(range(1, 9), rng.randint(1, 4)))
+        rects.append(RectangleObject(oid=oid, lo=lo, hi=hi, doc=doc))
+    return rects
+
+
+def random_query(rng, num_words: int = 2):
     a, b = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
     c, d = sorted([rng.uniform(-1, 11), rng.uniform(-1, 11)])
-    return Rect((a, c), (b, d)), rng.sample(range(1, 9), 2)
+    return Rect((a, c), (b, d)), rng.sample(range(1, 9), num_words)
 
 
 @pytest.mark.parametrize("seed", range(6))
@@ -174,3 +209,102 @@ def test_nn_indexes_agree_on_distances(seed):
         got_d = sorted(round(linf_distance(q, o.point), 9) for o in got)
         want_d = sorted(round(linf_distance(q, o.point), 9) for o in want)
         assert got_d == want_d, (seed, q, t, words)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_rr_kw_agrees_with_naive_rectangle(seed):
+    """RR-KW's corner-point reduction matches both naive rectangle scans."""
+    rects = build_rectangles(seed)
+    rng = random.Random(seed + 2000)
+    index = RrKwIndex(rects, k=2)
+    naive = NaiveRectangleIndex(rects)
+    for _ in range(12):
+        a, b = sorted([rng.uniform(-1, 12), rng.uniform(-1, 12)])
+        c, d = sorted([rng.uniform(-1, 12), rng.uniform(-1, 12)])
+        lo, hi = (a, c), (b, d)
+        words = rng.sample(range(1, 9), 2)
+        brute = sorted(
+            r.oid
+            for r in rects
+            if r.intersects(lo, hi) and r.doc.issuperset(words)
+        )
+        got = sorted(r.oid for r in index.query(lo, hi, words))
+        structured = sorted(r.oid for r in naive.query_structured(lo, hi, words))
+        keywords = sorted(r.oid for r in naive.query_keywords(lo, hi, words))
+        assert got == brute, (seed, lo, hi, words, got, brute)
+        assert structured == brute and keywords == brute
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_multi_k_sweep_agrees_with_brute_force(seed, k):
+    """MultiKOrpIndex routes every arity 1..max_k to the right sub-index."""
+    dataset = build_dataset(seed + 300)
+    rng = random.Random(seed + 3000)
+    multi = MultiKOrpIndex(dataset, max_k=3)
+    for _ in range(10):
+        rect, words = random_query(rng, num_words=k)
+        brute = sorted(
+            o.oid
+            for o in dataset
+            if rect.contains_point(o.point) and o.contains_keywords(words)
+        )
+        got = sorted(o.oid for o in multi.query(rect, words))
+        assert got == brute, (seed, k, rect, words, got, brute)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_nn_l2_agrees_with_scan(seed):
+    """L2NN-KW distance multiset matches the brute-force scan's."""
+    dataset = build_integer_dataset(seed + 70)
+    rng = random.Random(seed + 4000)
+    nn = L2NnIndex(dataset, k=2)
+    scan = ScanAllNn(dataset)
+    for _ in range(6):
+        q = (float(rng.randint(0, 30)), float(rng.randint(0, 30)))
+        t = rng.randint(1, 5)
+        words = rng.sample(range(1, 9), 2)
+        got = nn.query(q, t, words)
+        want = scan.nearest(q, t, words, l2_distance_squared)
+        got_d = sorted(l2_distance_squared(q, o.point) for o in got)
+        want_d = sorted(l2_distance_squared(q, o.point) for o in want)
+        assert got_d == want_d, (seed, q, t, words)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_dynamic_agrees_after_interleaved_insert_delete(seed):
+    """DynamicOrpKw stays answer-equivalent through mixed insert/delete churn.
+
+    Three rounds of interleaved mutations (including enough deletions to
+    trigger the tombstone-compaction rebuild), with a full differential
+    check against a brute-force scan of the surviving objects after each
+    round.
+    """
+    rng = random.Random(seed + 5000)
+    dynamic = DynamicOrpKw(k=2, dim=2)
+    live = {}  # oid -> (point, doc)
+
+    def mutate(inserts: int, deletes: int) -> None:
+        for _ in range(inserts):
+            point = (rng.uniform(0, 10), rng.uniform(0, 10))
+            doc = rng.sample(range(1, 9), rng.randint(1, 4))
+            oid = dynamic.insert(point, doc)
+            live[oid] = (point, frozenset(doc))
+        for _ in range(min(deletes, max(0, len(live) - 1))):
+            victim = rng.choice(sorted(live))
+            dynamic.delete(victim)
+            del live[victim]
+
+    mutate(inserts=50, deletes=10)
+    for round_no in range(3):
+        mutate(inserts=rng.randint(5, 20), deletes=rng.randint(5, 15))
+        assert len(dynamic) == len(live)
+        for _ in range(8):
+            rect, words = random_query(rng)
+            brute = sorted(
+                oid
+                for oid, (point, doc) in live.items()
+                if rect.contains_point(point) and doc.issuperset(words)
+            )
+            got = sorted(o.oid for o in dynamic.query(rect, words))
+            assert got == brute, (seed, round_no, rect, words, got, brute)

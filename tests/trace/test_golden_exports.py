@@ -1,0 +1,74 @@
+"""Golden-file pin for the engine's JSON exports.
+
+``export_stats_json`` / ``export_records_json`` feed dashboards and diffing
+scripts, so their output must be byte-stable across runs *and* across code
+refactors: keys sorted, no timestamps, no dict-ordering leaks.  The fixture
+workload below is fully deterministic; any intentional format change must
+regenerate the goldens with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/trace/test_golden_exports.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.dataset import Dataset, make_objects
+from repro.geometry.rectangles import Rect
+from repro.service import QueryEngine
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+POINTS = [
+    (1.0, 1.0), (2.0, 4.0), (3.0, 2.0), (4.0, 8.0), (5.0, 5.0),
+    (6.0, 3.0), (7.0, 7.0), (8.0, 2.0), (9.0, 6.0), (2.5, 2.5),
+    (4.5, 4.5), (6.5, 1.5), (8.5, 8.5), (1.5, 7.5), (3.5, 6.5),
+]
+DOCS = [
+    [1, 2], [2, 3], [1, 3], [1, 2, 3], [2],
+    [1], [3], [1, 2], [2, 3], [1, 2, 3],
+    [1, 2], [3], [1, 3], [2], [1, 2, 3],
+]
+
+
+def build_engine() -> QueryEngine:
+    dataset = Dataset(make_objects(POINTS, DOCS))
+    engine = QueryEngine(dataset, max_k=2, cache_size=4, tracing=True)
+    engine.query(Rect((0.0, 0.0), (5.0, 5.0)), [1, 2])
+    engine.query(Rect((2.0, 2.0), (9.0, 9.0)), [2, 3], budget=4096)
+    engine.query(Rect((0.0, 0.0), (5.0, 5.0)), [1, 2])  # cache hit
+    return engine
+
+
+@pytest.mark.parametrize(
+    "golden_name, render",
+    [
+        ("stats.json", lambda e: e.export_stats_json()),
+        ("records.json", lambda e: e.export_records_json()),
+    ],
+)
+def test_exports_match_golden(golden_name, render):
+    engine = build_engine()
+    got = render(engine)
+    path = GOLDEN_DIR / golden_name
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(got + "\n")
+    assert path.exists(), f"golden file missing — regenerate: {path}"
+    assert got + "\n" == path.read_text()
+
+
+def test_exports_are_deterministic_across_engines():
+    """Two independent builds render byte-identical JSON."""
+    a, b = build_engine(), build_engine()
+    assert a.export_stats_json() == b.export_stats_json()
+    assert a.export_records_json() == b.export_records_json()
+
+
+def test_records_json_keys_sorted():
+    payload = json.loads(build_engine().export_records_json())
+    assert payload, "expected retained records"
+    for rec in payload:
+        assert list(rec) == sorted(rec)
