@@ -15,11 +15,19 @@ Measured here, over growing N:
 
 import math
 
+from repro.audit.probes import kd_crossing_report, register
 from repro.core.orp_kw import OrpKwIndex
 from repro.core.transform import QueryStats
 from repro.geometry.rectangles import Rect
 
-from common import SWEEP_OBJECTS, slope, standard_dataset, summarize_sweep
+from common import (
+    BENCH_METRICS,
+    SWEEP_OBJECTS,
+    measure_query,
+    slope,
+    standard_dataset,
+    summarize_sweep,
+)
 
 _K = 2
 
@@ -38,9 +46,15 @@ def _rows():
         line = Rect((mid, -1.0), (mid, float(len(ds)) + 1.0))
         cross_line = tree.count_crossing_nodes(line)
 
-        # Crossing sensitivity observed by a real rectangle query.
+        # Crossing sensitivity observed by a real rectangle query, measured
+        # through the shared audit hook so the cost distribution lands in
+        # this table's metrics snapshot.
         stats = QueryStats()
-        index.query(Rect((0.2, 0.2), (0.8, 0.8)), [1, 2], stats=stats)
+        measured = measure_query(
+            lambda c: index.query(
+                Rect((0.2, 0.2), (0.8, 0.8)), [1, 2], counter=c, stats=stats
+            )
+        )
 
         rows.append(
             {
@@ -50,8 +64,11 @@ def _rows():
                 "rect_crossing_nodes": stats.crossing_nodes,
                 "rect_power_sum": round(stats.crossing_leaf_power_sum, 1),
                 "power_bound": round(math.sqrt(n), 1),
+                "cost": int(measured["cost"]),
             }
         )
+        # Structural health gauges (Lemma 10) ride along in the snapshot.
+        register(kd_crossing_report(tree), BENCH_METRICS)
     return rows
 
 
@@ -67,6 +84,7 @@ def test_f1_crossing_sensitivity(benchmark):
             "rect_crossing_nodes",
             "rect_power_sum",
             "power_bound",
+            "cost",
         ],
         "F1 kd-tree crossing sensitivity (Lemma 10): both columns ~ sqrt(N)",
     )

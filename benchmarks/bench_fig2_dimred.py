@@ -16,10 +16,17 @@ size.
 import math
 import random
 
+from repro.audit.probes import dim_reduction_report, register
 from repro.core.dim_reduction import DimReductionOrpKw, DrStats
 from repro.geometry.rectangles import Rect
 
-from common import SMALL_SWEEP_OBJECTS, standard_dataset, summarize_sweep
+from common import (
+    BENCH_METRICS,
+    SMALL_SWEEP_OBJECTS,
+    measure_query,
+    standard_dataset,
+    summarize_sweep,
+)
 
 
 def _query_rect(rng):
@@ -36,9 +43,14 @@ def _rows():
         n = index.input_size
         worst_type2 = 0
         total_type1 = 0
+        total_cost = 0
         for _ in range(8):
             stats = DrStats()
-            index.query(_query_rect(rng), [1, 2], stats=stats)
+            rect = _query_rect(rng)
+            measured = measure_query(
+                lambda c: index.query(rect, [1, 2], counter=c, stats=stats)
+            )
+            total_cost += int(measured["cost"])
             for count in stats.type2_per_level.values():
                 worst_type2 = max(worst_type2, count)
             total_type1 += stats.type1_nodes
@@ -51,8 +63,11 @@ def _rows():
                 "fanout_bound(8*sqrtN)": round(8 * math.sqrt(n)),
                 "max_type2_per_level": worst_type2,
                 "avg_type1_per_query": round(total_type1 / 8, 1),
+                "avg_cost": round(total_cost / 8, 1),
             }
         )
+        # Propositions 1-3 health gauges ride along in the metrics snapshot.
+        register(dim_reduction_report(index), BENCH_METRICS)
     return rows
 
 
@@ -86,6 +101,7 @@ def test_f2_node_types(benchmark):
             "fanout_bound(8*sqrtN)",
             "max_type2_per_level",
             "avg_type1_per_query",
+            "avg_cost",
         ],
         "F2 dimension-reduction tree structure (Propositions 1-3)",
     )

@@ -12,14 +12,33 @@ from __future__ import annotations
 import json
 import math
 import pathlib
-import random
 from typing import Dict, List, Sequence
 
+from repro.audit.sweeps import measure_query as _measure_query
 from repro.bench.reporting import format_table
-from repro.costmodel import CATEGORIES, CostCounter
 from repro.dataset import Dataset
 from repro.trace import MetricsRegistry
-from repro.workloads.generators import WorkloadConfig, planted_dataset, zipf_dataset
+from repro.workloads.generators import (
+    WorkloadConfig,
+    disjoint_pair_dataset,
+    planted_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "BENCH_METRICS",
+    "RESULTS_DIR",
+    "SMALL_SWEEP_OBJECTS",
+    "SWEEP_OBJECTS",
+    "disjoint_pair_dataset",
+    "measure_query",
+    "planted_out_dataset",
+    "record",
+    "slope",
+    "standard_dataset",
+    "summarize_sweep",
+    "theory_bound",
+]
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -69,18 +88,6 @@ def standard_dataset(num_objects: int, dim: int = 2, seed: int = 7) -> Dataset:
     return zipf_dataset(config)
 
 
-def disjoint_pair_dataset(num_objects: int, dim: int = 2, seed: int = 3) -> Dataset:
-    """Worst case for the naives: two large, disjoint keyword populations.
-
-    Keywords 1 and 2 each cover half the objects but never co-occur, so every
-    query for {1, 2} has OUT = 0 while both naive solutions scan Θ(N).
-    """
-    rng = random.Random(seed)
-    points = [tuple(rng.random() for _ in range(dim)) for _ in range(num_objects)]
-    docs = [[1] if i % 2 == 0 else [2] for i in range(num_objects)]
-    return Dataset.from_points(points, docs)
-
-
 def planted_out_dataset(
     num_objects: int, out: int, dim: int = 2, seed: int = 5
 ) -> Dataset:
@@ -98,18 +105,14 @@ def planted_out_dataset(
 def measure_query(fn) -> Dict[str, float]:
     """Run ``fn(counter)`` and return {'cost': units, 'out': len(result)}.
 
-    The query's per-category costs also feed :data:`BENCH_METRICS`, so the
-    next :func:`record` call snapshots the distribution of everything
-    measured for its table.
+    Delegates to the audit subsystem's shared measurement hook
+    (:func:`repro.audit.sweeps.measure_query`) with :data:`BENCH_METRICS` as
+    the registry, so benchmark tables and ``audit run`` account cost
+    identically; the next :func:`record` call snapshots the distribution of
+    everything measured for its table.
     """
-    counter = CostCounter()
-    result = fn(counter)
-    BENCH_METRICS.counter("queries_total").inc()
-    for category in CATEGORIES:
-        BENCH_METRICS.histogram(f"cost_{category}").observe(counter[category])
-    BENCH_METRICS.histogram("cost_total").observe(counter.total)
-    BENCH_METRICS.histogram("result_count").observe(len(result))
-    return {"cost": float(counter.total), "out": float(len(result))}
+    measured = _measure_query(fn, registry=BENCH_METRICS)
+    return {"cost": float(measured["cost"]["total"]), "out": float(measured["out"])}
 
 
 def theory_bound(n: int, k: int, out: int, log_factor: bool = False) -> float:

@@ -5,13 +5,20 @@ assertions and wall-clock measurements; this script is the assertion-free
 variant for quickly regenerating the tables (printed and written to
 ``benchmarks/results/``).
 
-Run with:  python benchmarks/run_all.py [experiment ...]
+Run with:  python benchmarks/run_all.py [--quick] [experiment ...]
+
+A failing experiment no longer aborts the run: every remaining experiment
+still executes, each failure is reported as it happens, and one summary
+error carrying all of them is raised at the end.  ``--quick`` shrinks the
+shared sweep sizes in every benchmark module for a fast smoke pass.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import sys
+import traceback
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
@@ -37,7 +44,33 @@ import bench_sharding
 import bench_srp_kw
 import bench_tradeoff
 import bench_vocab
+import common
 from common import summarize_sweep
+
+#: Every imported benchmark module, for --quick sweep-size patching.
+_BENCH_MODULES = [
+    module
+    for name, module in sorted(sys.modules.items())
+    if name == "common" or name.startswith("bench_")
+]
+
+#: Sweep sizes --quick substitutes for the shared full-size constants.
+QUICK_SWEEP_OBJECTS = (1000, 2000, 4000)
+QUICK_SMALL_SWEEP_OBJECTS = (500, 1000, 2000)
+
+
+def apply_quick() -> None:
+    """Shrink the shared sweep constants in common *and* every bench module.
+
+    The bench scripts bind ``SWEEP_OBJECTS``/``SMALL_SWEEP_OBJECTS`` by
+    ``from common import ...`` at import time, so patching ``common`` alone
+    would not reach them — each module's own binding is rewritten too.
+    """
+    for module in _BENCH_MODULES:
+        if hasattr(module, "SWEEP_OBJECTS"):
+            module.SWEEP_OBJECTS = QUICK_SWEEP_OBJECTS
+        if hasattr(module, "SMALL_SWEEP_OBJECTS"):
+            module.SMALL_SWEEP_OBJECTS = QUICK_SMALL_SWEEP_OBJECTS
 
 #: experiment id -> (row producer, result name, columns, title)
 EXPERIMENTS = {
@@ -171,16 +204,48 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
-    requested = argv if argv else sorted(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        description="regenerate EXPERIMENTS.md tables (all by default)"
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="experiment",
+        help=f"experiment ids to run (known: {', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrink every sweep for a fast smoke pass (tables still written)",
+    )
+    args = parser.parse_args(argv)
+
+    requested = args.experiments if args.experiments else sorted(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; known: {sorted(EXPERIMENTS)}")
         return 2
+    if args.quick:
+        apply_quick()
+
+    failures = []
     for name in requested:
         for producer, result_name, columns, title in EXPERIMENTS[name]:
-            rows = producer()
-            cols = columns or list(rows[0].keys())
-            summarize_sweep(result_name, rows, cols, title)
+            try:
+                rows = producer()
+                cols = columns or list(rows[0].keys())
+                summarize_sweep(result_name, rows, cols, title)
+            except Exception as exc:  # keep going; re-raise collected at end
+                failures.append((name, result_name, exc))
+                print(f"# FAILED {name}/{result_name}:", file=sys.stderr)
+                traceback.print_exc()
+                common.BENCH_METRICS.reset()  # don't leak into the next table
+    if failures:
+        summary = "; ".join(
+            f"{name}/{result_name}: {type(exc).__name__}: {exc}"
+            for name, result_name, exc in failures
+        )
+        raise RuntimeError(
+            f"{len(failures)} of {sum(len(v) for v in EXPERIMENTS.values())} "
+            f"experiment(s) failed: {summary}"
+        )
     return 0
 
 

@@ -1,0 +1,92 @@
+"""Scaling-law audit subsystem (see DESIGN.md §10).
+
+Continuously verifies the paper's claims — the Table-1 complexity rows and
+the Figure-1/Figure-2 structural bounds — instead of trusting them:
+
+* :mod:`~repro.audit.sweeps` runs seeded sweeps over ``N``/``OUT``/``t``
+  for every audited Table-1 family and is the shared measurement hook for
+  the benchmark suite;
+* :mod:`~repro.audit.fit` fits log-log exponents with bootstrap CIs;
+* :mod:`~repro.audit.predictions` declares, per Table-1 row, the predicted
+  exponents and their slack/tolerance bands;
+* :mod:`~repro.audit.probes` snapshots structural health (kd crossing,
+  dimension-reduction levels/fanout, partition crossing, space) and mirrors
+  it into :class:`~repro.trace.MetricsRegistry` gauges;
+* :mod:`~repro.audit.baseline` persists schema-versioned, deterministic
+  ``BENCH_<row>.json`` files at the repo root;
+* :mod:`~repro.audit.gate` compares a fresh run against the committed
+  baselines (the CI complexity-regression gate);
+* :mod:`~repro.audit.scorecard` renders the box-drawing summary table.
+
+CLI: ``python -m repro.cli audit run | gate | scorecard``.
+"""
+
+from .baseline import (
+    bench_filename,
+    bench_path,
+    load_baselines,
+    load_report,
+    serialize_report,
+    write_report,
+    write_reports,
+)
+from .fit import ExponentFit, fit_exponent
+from .gate import GateCheck, GateResult, compare_reports, render_gate, run_gate
+from .predictions import TABLE1, ExponentPrediction, RowPrediction, require_row
+from .probes import (
+    StructuralReport,
+    dim_reduction_report,
+    engine_reports,
+    kd_crossing_report,
+    partition_crossing_report,
+    register,
+    register_all,
+    space_report,
+)
+from .scorecard import render_scorecard
+from .sweeps import (
+    AUDITED_ROWS,
+    DEFAULT_SEED,
+    MODES,
+    SCHEMA_VERSION,
+    measure_query,
+    run_row,
+    run_rows,
+)
+
+__all__ = [
+    "AUDITED_ROWS",
+    "DEFAULT_SEED",
+    "ExponentFit",
+    "ExponentPrediction",
+    "GateCheck",
+    "GateResult",
+    "MODES",
+    "RowPrediction",
+    "SCHEMA_VERSION",
+    "StructuralReport",
+    "TABLE1",
+    "bench_filename",
+    "bench_path",
+    "compare_reports",
+    "dim_reduction_report",
+    "engine_reports",
+    "fit_exponent",
+    "kd_crossing_report",
+    "load_baselines",
+    "load_report",
+    "measure_query",
+    "partition_crossing_report",
+    "register",
+    "register_all",
+    "render_gate",
+    "render_scorecard",
+    "require_row",
+    "run_gate",
+    "run_row",
+    "run_rows",
+    "serialize_report",
+    "space_report",
+    "write_report",
+    "write_reports",
+]

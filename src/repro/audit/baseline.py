@@ -1,0 +1,98 @@
+"""BENCH file persistence: schema-versioned, deterministic audit baselines.
+
+One ``BENCH_<row>.json`` per audited Table-1 row lives at the repository
+root (row ``T1.1`` → ``BENCH_T1_1.json``).  The committed copies are the
+*baselines* the CI gate compares fresh runs against; ``audit run`` rewrites
+them.
+
+Determinism contract: ``sort_keys=True``, floats rounded to a fixed
+precision, no timestamps, no environment capture — two runs with the same
+mode and seed serialize byte-identically (reprolint R5 keeps wall clock out
+of this package).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ValidationError
+from .sweeps import SCHEMA_VERSION
+
+#: Decimal places kept for every float in a serialized report.
+FLOAT_DIGITS = 6
+
+
+def bench_filename(row: str) -> str:
+    """``T1.1`` → ``BENCH_T1_1.json`` (dots are awkward in artifact globs)."""
+    return f"BENCH_{row.replace('.', '_')}.json"
+
+
+def bench_path(directory, row: str) -> pathlib.Path:
+    return pathlib.Path(directory) / bench_filename(row)
+
+
+def round_floats(value: Any, digits: int = FLOAT_DIGITS) -> Any:
+    """Recursively round floats so serialization is platform-stable."""
+    if isinstance(value, float):
+        rounded = round(value, digits)
+        # JSON renders -0.0 as "-0.0"; normalize away the sign of zero.
+        return 0.0 if rounded == 0 else rounded
+    if isinstance(value, dict):
+        return {key: round_floats(val, digits) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_floats(item, digits) for item in value]
+    return value
+
+
+def serialize_report(report: Dict[str, Any]) -> str:
+    return json.dumps(round_floats(report), indent=2, sort_keys=True) + "\n"
+
+
+def write_report(report: Dict[str, Any], directory) -> pathlib.Path:
+    path = bench_path(directory, report["row"])
+    path.write_text(serialize_report(report))
+    return path
+
+
+def write_reports(
+    reports: Dict[str, Dict[str, Any]], directory
+) -> List[pathlib.Path]:
+    return [write_report(report, directory) for report in reports.values()]
+
+
+def load_report(directory, row: str) -> Optional[Dict[str, Any]]:
+    """The committed baseline for ``row``, or ``None`` when absent."""
+    path = bench_path(directory, row)
+    if not path.exists():
+        return None
+    try:
+        report = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: corrupt baseline ({exc})") from exc
+    if not isinstance(report, dict):
+        raise ValidationError(f"{path}: baseline must be a JSON object")
+    return report
+
+
+def check_schema(report: Dict[str, Any], source: str) -> None:
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{source}: schema_version {version!r} != supported {SCHEMA_VERSION} "
+            "— regenerate with `python -m repro.cli audit run`"
+        )
+
+
+def load_baselines(
+    directory, rows: Sequence[str]
+) -> Dict[str, Optional[Dict[str, Any]]]:
+    """Baselines for ``rows`` (``None`` entries mark missing files)."""
+    found: Dict[str, Optional[Dict[str, Any]]] = {}
+    for row in rows:
+        report = load_report(directory, row)
+        if report is not None:
+            check_schema(report, str(bench_path(directory, row)))
+        found[row] = report
+    return found

@@ -1,0 +1,161 @@
+"""Empirical scaling-exponent fitting with bootstrap confidence intervals.
+
+The paper's Table-1 rows are statements of the form ``cost = O(N^e * ...)``.
+A sweep measures cost at geometrically spaced parameter values; the fitted
+log-log slope is the *empirical exponent* and is what the audit gate tracks
+over time.  A point estimate alone cannot distinguish "the exponent moved"
+from "the sweep is noisy", so every fit carries a seeded-bootstrap 95%
+confidence interval: resample the (x, y) pairs with replacement, refit, and
+take the 2.5/97.5 percentiles of the resampled slopes.
+
+Everything here is deterministic given the seed (reprolint R6: no unseeded
+RNG) and wall-clock free (R5): the inputs are RAM-model cost units.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+#: Bootstrap resample count used by full-mode audit runs.
+DEFAULT_RESAMPLES = 200
+
+#: Two-sided confidence level of the reported interval.
+CONFIDENCE = 0.95
+
+
+def _loglog_pairs(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[Tuple[float, float], ...]:
+    """Clamp non-positive measurements to 1 (zero cost reads as constant)."""
+    return tuple(
+        (math.log(max(float(x), 1.0)), math.log(max(float(y), 1.0)))
+        for x, y in zip(xs, ys)
+    )
+
+
+def _ols(pairs: Sequence[Tuple[float, float]]) -> Optional[Tuple[float, float]]:
+    """Least-squares (slope, intercept) in log space; None when degenerate."""
+    n = len(pairs)
+    mean_x = sum(p[0] for p in pairs) / n
+    mean_y = sum(p[1] for p in pairs) / n
+    sxx = sum((p[0] - mean_x) ** 2 for p in pairs)
+    if sxx == 0:
+        return None
+    sxy = sum((p[0] - mean_x) * (p[1] - mean_y) for p in pairs)
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending sequence."""
+    if not sorted_values:
+        raise ValidationError("percentile of an empty sample")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return sorted_values[low]
+    frac = position - low
+    return sorted_values[low] * (1.0 - frac) + sorted_values[high] * frac
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """One fitted scaling exponent, with its bootstrap uncertainty."""
+
+    slope: float
+    intercept: float
+    ci_low: float
+    ci_high: float
+    r_squared: float
+    points: int
+    resamples: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slope": self.slope,
+            "intercept": self.intercept,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "r_squared": self.r_squared,
+            "points": self.points,
+            "resamples": self.resamples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExponentFit":
+        return cls(
+            slope=float(data["slope"]),
+            intercept=float(data["intercept"]),
+            ci_low=float(data["ci_low"]),
+            ci_high=float(data["ci_high"]),
+            r_squared=float(data["r_squared"]),
+            points=int(data["points"]),
+            resamples=int(data["resamples"]),
+        )
+
+    def covers(self, exponent: float) -> bool:
+        """Whether the CI contains ``exponent``."""
+        return self.ci_low <= exponent <= self.ci_high
+
+
+def fit_exponent(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 0,
+) -> ExponentFit:
+    """Fit ``log y ~ slope * log x`` and bootstrap the slope's 95% CI.
+
+    The bootstrap resamples index tuples with a :class:`random.Random`
+    seeded deterministically; degenerate resamples (all x equal) are skipped
+    so pathological draws cannot poison the percentiles.
+    """
+    if len(xs) != len(ys):
+        raise ValidationError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    pairs = _loglog_pairs(xs, ys)
+    if len(pairs) < 2:
+        raise ValidationError("need at least two points to fit an exponent")
+    base = _ols(pairs)
+    if base is None:
+        raise ValidationError("degenerate sweep: all x values equal")
+    slope, intercept = base
+
+    mean_y = sum(p[1] for p in pairs) / len(pairs)
+    ss_tot = sum((p[1] - mean_y) ** 2 for p in pairs)
+    ss_res = sum((p[1] - (slope * p[0] + intercept)) ** 2 for p in pairs)
+    r_squared = 1.0 if ss_tot == 0 else max(0.0, 1.0 - ss_res / ss_tot)
+
+    rng = random.Random(seed)
+    resampled: list = []
+    for _ in range(max(resamples, 0)):
+        draw = [pairs[rng.randrange(len(pairs))] for _ in pairs]
+        refit = _ols(draw)
+        if refit is not None:
+            resampled.append(refit[0])
+    if resampled:
+        resampled.sort()
+        alpha = (1.0 - CONFIDENCE) / 2.0
+        ci_low = _percentile(resampled, alpha)
+        ci_high = _percentile(resampled, 1.0 - alpha)
+        # The point estimate always belongs to its own interval.
+        ci_low = min(ci_low, slope)
+        ci_high = max(ci_high, slope)
+    else:
+        ci_low = ci_high = slope
+    return ExponentFit(
+        slope=slope,
+        intercept=intercept,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        r_squared=r_squared,
+        points=len(pairs),
+        resamples=len(resampled),
+    )

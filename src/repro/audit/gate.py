@@ -1,0 +1,194 @@
+"""The complexity-regression gate: fresh run vs committed baselines.
+
+For every gated exponent declared in :mod:`repro.audit.predictions`, the
+gate refits from a fresh seeded sweep and compares against the committed
+``BENCH_<row>.json`` baseline:
+
+* ``|fresh - baseline| <= tolerance`` — the drift band.  A cost-accounting
+  regression that bends ``N^(1-1/k)`` toward ``N`` moves the fitted slope by
+  ~``1/k``, far outside every band, while seed noise and quick-mode sweeps
+  stay inside.
+* every fresh structural probe must be within its bound (``ok``), and a
+  probe that was ``ok`` in the baseline must not have regressed.
+
+Exit codes: 0 all checks pass, 1 regression detected, 2 missing/invalid
+baselines (run ``audit run`` and commit the BENCH files first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..trace import MetricsRegistry
+from .baseline import bench_filename, load_baselines, write_report
+from .predictions import require_row
+from .sweeps import DEFAULT_SEED, run_row
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One gate comparison, JSON-safe."""
+
+    row: str
+    kind: str  #: "exponent" | "structural"
+    name: str  #: "<sweep>/<category>" or the probe name
+    baseline: Optional[float]
+    fresh: Optional[float]
+    tolerance: Optional[float]
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "row": self.row,
+            "kind": self.kind,
+            "name": self.name,
+            "baseline": self.baseline,
+            "fresh": self.fresh,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def _fit_slope(report: Dict[str, Any], sweep: str, category: str) -> Optional[float]:
+    fit = report.get("fits", {}).get(sweep, {}).get(category)
+    if fit is None:
+        return None
+    return float(fit["slope"])
+
+
+def compare_reports(
+    baseline: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[GateCheck]:
+    """All gate checks for one row (declared exponents + structural probes)."""
+    row = fresh["row"]
+    prediction = require_row(row)
+    checks: List[GateCheck] = []
+    for exponent in prediction.exponents:
+        name = f"{exponent.sweep}/{exponent.category}"
+        base_slope = _fit_slope(baseline, exponent.sweep, exponent.category)
+        fresh_slope = _fit_slope(fresh, exponent.sweep, exponent.category)
+        if base_slope is None or fresh_slope is None:
+            checks.append(
+                GateCheck(
+                    row=row, kind="exponent", name=name,
+                    baseline=base_slope, fresh=fresh_slope,
+                    tolerance=exponent.tolerance, ok=False,
+                    detail="fit missing from baseline or fresh run",
+                )
+            )
+            continue
+        drift = abs(fresh_slope - base_slope)
+        checks.append(
+            GateCheck(
+                row=row, kind="exponent", name=name,
+                baseline=base_slope, fresh=fresh_slope,
+                tolerance=exponent.tolerance,
+                ok=drift <= exponent.tolerance,
+                detail=f"drift {drift:.3f} vs band ±{exponent.tolerance:g} "
+                f"(Table-1 predicts {exponent.predicted:g})",
+            )
+        )
+
+    baseline_ok = {
+        probe.get("probe"): bool(probe.get("ok"))
+        for probe in baseline.get("structural", [])
+    }
+    for probe in fresh.get("structural", []):
+        name = probe["probe"]
+        fresh_ok = bool(probe.get("ok"))
+        was_ok = baseline_ok.get(name, True)
+        checks.append(
+            GateCheck(
+                row=row, kind="structural", name=name,
+                baseline=1.0 if was_ok else 0.0,
+                fresh=1.0 if fresh_ok else 0.0,
+                tolerance=None,
+                ok=fresh_ok or not was_ok,
+                detail=probe.get("notes", ""),
+            )
+        )
+    return checks
+
+
+@dataclass
+class GateResult:
+    """Outcome of a whole gate run."""
+
+    checks: List[GateCheck]
+    missing: List[str]  #: rows whose baseline file is absent
+    fresh: Dict[str, Dict[str, Any]]  #: the fresh reports, per row
+
+    @property
+    def failed(self) -> List[GateCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def exit_code(self) -> int:
+        if self.missing:
+            return 2
+        return 1 if self.failed else 0
+
+
+def run_gate(
+    directory,
+    rows: Sequence[str],
+    mode: str = "quick",
+    seed: int = DEFAULT_SEED,
+    registry: Optional[MetricsRegistry] = None,
+    export_dir=None,
+    log: Optional[Callable[[str], None]] = None,
+) -> GateResult:
+    """Run fresh sweeps for ``rows`` and gate them against ``directory``.
+
+    ``export_dir`` (optional) receives the fresh reports as BENCH files —
+    CI uploads these as the run artifact.
+    """
+    emit = log if log is not None else (lambda _line: None)
+    baselines = load_baselines(directory, rows)
+    missing = [row for row in rows if baselines[row] is None]
+    for row in missing:
+        emit(f"missing baseline: {bench_filename(row)} (run `audit run` first)")
+    checks: List[GateCheck] = []
+    fresh_reports: Dict[str, Dict[str, Any]] = {}
+    for row in rows:
+        if baselines[row] is None:
+            continue
+        emit(f"gating {row} ({mode} mode)")
+        fresh = run_row(row, mode=mode, seed=seed, registry=registry)
+        fresh_reports[row] = fresh
+        if export_dir is not None:
+            write_report(fresh, export_dir)
+        checks.extend(compare_reports(baselines[row], fresh))
+    return GateResult(checks=checks, missing=missing, fresh=fresh_reports)
+
+
+def render_gate(result: GateResult) -> str:
+    """Plain-text gate summary (one line per check, worst first)."""
+    lines: List[str] = []
+    for row in result.missing:
+        lines.append(f"MISSING  {row}: no committed {bench_filename(row)}")
+    ordered = sorted(result.checks, key=lambda c: (c.ok, c.row, c.kind, c.name))
+    for check in ordered:
+        status = "ok  " if check.ok else "FAIL"
+        if check.kind == "exponent":
+            lines.append(
+                f"{status} {check.row} {check.name}: baseline "
+                f"{check.baseline:.3f} -> fresh {check.fresh:.3f} "
+                f"(±{check.tolerance:g})"
+                if check.baseline is not None and check.fresh is not None
+                else f"{status} {check.row} {check.name}: {check.detail}"
+            )
+        else:
+            lines.append(
+                f"{status} {check.row} probe {check.name}: "
+                f"{'within bounds' if check.fresh else 'BOUND VIOLATED'}"
+            )
+    passed = len(result.checks) - len(result.failed)
+    lines.append(
+        f"gate: {passed}/{len(result.checks)} checks passed, "
+        f"{len(result.missing)} baseline(s) missing -> exit {result.exit_code}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Box-drawing Table-1 scorecard: predicted vs fitted exponents at a glance.
+
+Renders one line per gated exponent — the Table-1 prediction, the fitted
+slope with its bootstrap 95% CI, and a verdict — plus a structural-probe
+section.  Table 1 states *upper bounds*, so the verdict is one-sided:
+``fitted <= predicted + slack`` (see :mod:`repro.audit.predictions`).  A
+fitted exponent below the prediction means the structure beats its bound on
+that instance family and passes; baseline drift is the gate's job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .predictions import require_row
+
+_PASS = "pass"
+_FAIL = "FAIL"
+
+
+def _verdict(fitted: float, predicted: float, slack: float) -> str:
+    return _PASS if fitted <= predicted + slack else _FAIL
+
+
+def _box_table(header: Sequence[str], rows: List[Sequence[str]]) -> List[str]:
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+
+    def line(left: str, mid: str, right: str) -> str:
+        return left + mid.join("─" * (w + 2) for w in widths) + right
+
+    def render(cells: Sequence[str]) -> str:
+        return "│" + "│".join(
+            f" {str(c).ljust(w)} " for c, w in zip(cells, widths)
+        ) + "│"
+
+    out = [line("┌", "┬", "┐"), render(header), line("├", "┼", "┤")]
+    out.extend(render(r) for r in rows)
+    out.append(line("└", "┴", "┘"))
+    return out
+
+
+def render_scorecard(reports: Dict[str, Dict[str, Any]]) -> str:
+    """The scorecard for a set of row reports (fresh or committed)."""
+    exponent_rows: List[Sequence[str]] = []
+    probe_rows: List[Sequence[str]] = []
+    for row_id in sorted(reports):
+        report = reports[row_id]
+        prediction = require_row(row_id)
+        for exponent in prediction.exponents:
+            fit = (
+                report.get("fits", {})
+                .get(exponent.sweep, {})
+                .get(exponent.category)
+            )
+            if fit is None:
+                exponent_rows.append(
+                    (row_id, exponent.sweep, exponent.category,
+                     exponent.parameter, f"{exponent.predicted:.3f}",
+                     "—", "—", "missing")
+                )
+                continue
+            slope = float(fit["slope"])
+            exponent_rows.append(
+                (
+                    row_id,
+                    exponent.sweep,
+                    exponent.category,
+                    exponent.parameter,
+                    f"{exponent.predicted:.3f}",
+                    f"{slope:.3f}",
+                    f"[{float(fit['ci_low']):.3f}, {float(fit['ci_high']):.3f}]",
+                    _verdict(slope, exponent.predicted, exponent.slack),
+                )
+            )
+        for probe in report.get("structural", []):
+            bounds = probe.get("bounds", {})
+            values = probe.get("values", {})
+            # Show the tightest value/bound pair as the headline number.
+            headline = ""
+            for key in sorted(bounds):
+                if key in values and bounds[key]:
+                    headline = (
+                        f"{key}={values[key]:g} ≤ {float(bounds[key]):.4g}"
+                    )
+                    break
+            probe_rows.append(
+                (row_id, probe["probe"], headline,
+                 _PASS if probe.get("ok") else _FAIL)
+            )
+
+    lines: List[str] = ["Table-1 scaling-law scorecard"]
+    lines += _box_table(
+        ("row", "sweep", "category", "vs", "predicted", "fitted",
+         "95% CI", "verdict"),
+        exponent_rows,
+    )
+    if probe_rows:
+        lines.append("")
+        lines.append("Structural health (Lemma 10, Propositions 1-3, space)")
+        lines += _box_table(
+            ("row", "probe", "headline check", "verdict"), probe_rows
+        )
+    modes = sorted({r.get("mode", "?") for r in reports.values()})
+    seeds = sorted({r.get("seed", "?") for r in reports.values()})
+    lines.append("")
+    lines.append(
+        f"mode={','.join(map(str, modes))} seed={','.join(map(str, seeds))}; "
+        "verdict = fitted ≤ predicted + slack, one-sided upper-bound check "
+        "(see repro/audit/predictions.py); drift gating vs baselines is "
+        "`audit gate`"
+    )
+    return "\n".join(lines)

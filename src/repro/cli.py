@@ -327,6 +327,53 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def cmd_audit(args: argparse.Namespace) -> int:
+    """The scaling-law audit: run sweeps, gate against baselines, scorecard."""
+    from . import audit
+
+    rows = args.rows if args.rows else list(audit.AUDITED_ROWS)
+    for row in rows:
+        audit.require_row(row)  # fail fast on typos before any sweep runs
+    mode = "quick" if args.quick else "full"
+    seed = args.seed if args.seed is not None else audit.DEFAULT_SEED
+    log = lambda line: print(f"# {line}", file=sys.stderr)  # noqa: E731
+
+    if args.audit_command == "run":
+        reports = audit.run_rows(rows, mode=mode, seed=seed, log=log)
+        paths = audit.write_reports(reports, args.dir)
+        for path in paths:
+            log(f"wrote {path}")
+        print(audit.render_scorecard(reports))
+        return 0
+
+    if args.audit_command == "gate":
+        result = audit.run_gate(
+            args.dir,
+            rows,
+            mode=mode,
+            seed=seed,
+            export_dir=args.export,
+            log=log,
+        )
+        print(audit.render_gate(result))
+        return result.exit_code
+
+    # scorecard: committed baselines by default, --fresh to re-run sweeps
+    if args.fresh:
+        reports = audit.run_rows(rows, mode=mode, seed=seed, log=log)
+    else:
+        baselines = audit.load_baselines(args.dir, rows)
+        missing = sorted(row for row in rows if baselines[row] is None)
+        if missing:
+            raise ValidationError(
+                f"no committed baseline for {', '.join(missing)} in {args.dir} "
+                "— run `audit run` first or pass --fresh"
+            )
+        reports = {row: baselines[row] for row in rows}
+    print(audit.render_scorecard(reports))
+    return 0
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     """Tiny in-memory end-to-end demo (no files needed)."""
     dataset = Dataset.from_points(
@@ -444,6 +491,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to python -m repro.analysis",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="scaling-law audit: sweeps, exponent fits, CI regression gate",
+        description=(
+            "`run` executes the seeded Table-1 sweeps, writes BENCH_<row>.json "
+            "baselines, and prints the scorecard; `gate` reruns the sweeps and "
+            "fails (exit 1) when a fitted exponent drifts outside its tolerance "
+            "band or a structural probe regresses (exit 2: baselines missing); "
+            "`scorecard` renders the committed baselines without re-running."
+        ),
+    )
+    audit_sub = p_audit.add_subparsers(dest="audit_command", required=True)
+    for name, helptext in (
+        ("run", "run sweeps, write BENCH baselines, print the scorecard"),
+        ("gate", "compare a fresh run against committed BENCH baselines"),
+        ("scorecard", "render the Table-1 scorecard"),
+    ):
+        p_sub = audit_sub.add_parser(name, help=helptext)
+        p_sub.add_argument(
+            "--rows", nargs="+", default=None, metavar="ROW",
+            help="Table-1 rows to audit (default: all audited rows)",
+        )
+        p_sub.add_argument(
+            "--quick", action="store_true",
+            help="smaller sweeps + fewer bootstrap resamples (CI-friendly)",
+        )
+        p_sub.add_argument(
+            "--dir", default=".",
+            help="directory holding BENCH_<row>.json files (default: .)",
+        )
+        p_sub.add_argument(
+            "--seed", type=int, default=None,
+            help="base RNG seed (default: the audit DEFAULT_SEED)",
+        )
+        if name == "gate":
+            p_sub.add_argument(
+                "--export", default=None, metavar="DIR",
+                help="also write the fresh reports here (CI artifact)",
+            )
+        if name == "scorecard":
+            p_sub.add_argument(
+                "--fresh", action="store_true",
+                help="re-run sweeps instead of reading committed baselines",
+            )
+        p_sub.set_defaults(func=cmd_audit)
 
     p_demo = sub.add_parser("demo", help="run a tiny in-memory demo")
     p_demo.set_defaults(func=cmd_demo)

@@ -274,6 +274,32 @@ class DimReductionOrpKw:
 
         return depth(self.root)
 
+    def per_level_counts(
+        self,
+        rect: Optional[Rect] = None,
+        keywords: Sequence[int] = (1, 2),
+    ) -> Dict[str, Dict[int, int]]:
+        """Per-level structural counts of the balanced-cut tree.
+
+        Always reports ``nodes`` (node count per level).  With a query
+        rectangle, additionally runs one stats-collecting query and reports
+        ``type1``/``type2`` — the Figure-2 split, whose per-level type-2
+        counts Propositions 1-3 bound by two.
+        """
+        nodes: Dict[int, int] = {}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes[node.level] = nodes.get(node.level, 0) + 1
+            stack.extend(node.children)
+        counts: Dict[str, Dict[int, int]] = {"nodes": nodes}
+        if rect is not None:
+            stats = DrStats()
+            self.query(rect, keywords, stats=stats)
+            counts["type1"] = dict(stats.type1_per_level)
+            counts["type2"] = dict(stats.type2_per_level)
+        return counts
+
     def max_fanout(self) -> int:
         """Largest realized fanout (Proposition 3: O(N^(1-1/k)))."""
         best = 0

@@ -460,6 +460,23 @@ class QueryEngine:
             "metrics": self.metrics.snapshot(),
         }
 
+    def probe_structure(self, seed: int = 17) -> List[Dict[str, Any]]:
+        """Run the structural health probes and mirror them into metrics.
+
+        Snapshots the audit-layer probes (kd-tree crossing vs Lemma 10,
+        space vs the near-linear budget) for this engine's live indexes and
+        registers every value as a ``probe_*`` gauge, so the next
+        :meth:`stats` call exposes them under ``["metrics"]["gauges"]``.
+        Returns the probe reports as JSON-safe dicts.
+        """
+        # Imported here: the audit package is an optional observability layer
+        # on top of the engine, not a serving dependency.
+        from ..audit.probes import engine_reports, register_all
+
+        reports = engine_reports(self, seed=seed)
+        register_all(reports, self.metrics)
+        return [report.to_dict() for report in reports]
+
     def export_stats_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.stats(), indent=indent, sort_keys=True)
 

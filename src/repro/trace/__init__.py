@@ -9,6 +9,7 @@ from .metrics import (
     DEFAULT_BUCKETS,
     GLOBAL_REGISTRY,
     MetricCounter,
+    MetricGauge,
     MetricHistogram,
     MetricsRegistry,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "GLOBAL_REGISTRY",
     "MetricCounter",
+    "MetricGauge",
     "MetricHistogram",
     "MetricsRegistry",
     "NULL_SPAN",

@@ -43,6 +43,31 @@ class MetricCounter:
         self.value = 0
 
 
+class MetricGauge:
+    """A point-in-time float value (structural probe readings, ratios).
+
+    Unlike a counter, a gauge may move in either direction: ``set`` replaces
+    the value outright.  Gauges carry *measured structural quantities* —
+    crossing-node counts, fanout bounds, space-per-unit ratios — never
+    wall-clock readings (reprolint R5 audits this package).
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
 class MetricHistogram:
     """A fixed-bucket histogram of non-negative observations.
 
@@ -118,17 +143,26 @@ class MetricsRegistry:
     name.
     """
 
-    __slots__ = ("_counters", "_histograms")
+    __slots__ = ("_counters", "_histograms", "_gauges")
 
     def __init__(self):
         self._counters: Dict[str, MetricCounter] = {}
         self._histograms: Dict[str, MetricHistogram] = {}
+        self._gauges: Dict[str, MetricGauge] = {}
+
+    def _check_unregistered(self, name: str, kind: str) -> None:
+        for table, other in (
+            (self._counters, "counter"),
+            (self._histograms, "histogram"),
+            (self._gauges, "gauge"),
+        ):
+            if other != kind and name in table:
+                raise ValidationError(f"{name} is already registered as a {other}")
 
     def counter(self, name: str) -> MetricCounter:
         found = self._counters.get(name)
         if found is None:
-            if name in self._histograms:
-                raise ValidationError(f"{name} is already registered as a histogram")
+            self._check_unregistered(name, "counter")
             found = MetricCounter(name)
             self._counters[name] = found
         return found
@@ -138,10 +172,17 @@ class MetricsRegistry:
     ) -> MetricHistogram:
         found = self._histograms.get(name)
         if found is None:
-            if name in self._counters:
-                raise ValidationError(f"{name} is already registered as a counter")
+            self._check_unregistered(name, "histogram")
             found = MetricHistogram(name, buckets)
             self._histograms[name] = found
+        return found
+
+    def gauge(self, name: str) -> MetricGauge:
+        found = self._gauges.get(name)
+        if found is None:
+            self._check_unregistered(name, "gauge")
+            found = MetricGauge(name)
+            self._gauges[name] = found
         return found
 
     def counter_names(self) -> List[str]:
@@ -150,12 +191,18 @@ class MetricsRegistry:
     def histogram_names(self) -> List[str]:
         return sorted(self._histograms)
 
+    def gauge_names(self) -> List[str]:
+        return sorted(self._gauges)
+
     def snapshot(self) -> Dict[str, Any]:
         """All instruments, JSON-safe, deterministically ordered."""
         return {
             "counters": {
                 name: self._counters[name].snapshot()
                 for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].snapshot() for name in sorted(self._gauges)
             },
             "histograms": {
                 name: self._histograms[name].snapshot()
@@ -164,11 +211,17 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        """Zero every instrument; registrations are kept."""
+        """Zero every instrument; counter/histogram registrations are kept.
+
+        Gauges are *dropped*, not zeroed: a gauge is a point-in-time reading
+        (a structural probe value), and a lingering 0.0 in the next snapshot
+        would read as a measured zero rather than "not probed yet".
+        """
         for instrument in self._counters.values():
             instrument.reset()
         for instrument in self._histograms.values():
             instrument.reset()
+        self._gauges.clear()
 
 
 #: The opt-in process-wide registry: pass it to every engine that should

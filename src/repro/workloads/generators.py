@@ -117,6 +117,21 @@ def zipf_dataset(config: WorkloadConfig, clustered: bool = False) -> Dataset:
     return Dataset(make_objects(points, docs))
 
 
+def disjoint_pair_dataset(num_objects: int, dim: int = 2, seed: int = 3) -> Dataset:
+    """Worst case for the naive solutions: two large, disjoint keyword
+    populations.
+
+    Keywords 1 and 2 each cover half the objects but never co-occur, so every
+    query for {1, 2} has OUT = 0 while both naive solutions scan Θ(N).  The
+    adversarial instance behind the T1.x "OUT = 0" sweeps and the audit
+    subsystem's empty-output exponent fits.
+    """
+    rng = random.Random(seed)
+    points = [tuple(rng.random() for _ in range(dim)) for _ in range(num_objects)]
+    docs: List[Set[int]] = [{1} if i % 2 == 0 else {2} for i in range(num_objects)]
+    return Dataset.from_points(points, docs)
+
+
 def planted_dataset(
     num_objects: int,
     dim: int,

@@ -1,0 +1,93 @@
+"""End-to-end CLI tests for `repro.cli audit run | gate | scorecard`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def baseline_dir(tmp_path_factory):
+    """One committed-baseline directory shared by the read-only tests."""
+    directory = tmp_path_factory.mktemp("baselines")
+    code = main(
+        ["audit", "run", "--quick", "--rows", "T1.1", "--dir", str(directory)]
+    )
+    assert code == 0
+    return directory
+
+
+class TestAuditRun:
+    def test_writes_bench_file_and_scorecard(self, baseline_dir, capsys):
+        # The fixture already ran; re-running must be byte-identical.
+        before = (baseline_dir / "BENCH_T1_1.json").read_text()
+        assert main(
+            ["audit", "run", "--quick", "--rows", "T1.1",
+             "--dir", str(baseline_dir)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Table-1 scaling-law scorecard" in captured.out
+        assert "wrote" in captured.err
+        after = (baseline_dir / "BENCH_T1_1.json").read_text()
+        assert before == after
+        report = json.loads(after)
+        assert report["row"] == "T1.1"
+
+    def test_unknown_row_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["audit", "run", "--rows", "T9.9", "--dir", str(tmp_path)]) == 2
+        assert "unknown Table-1 row" in capsys.readouterr().err
+
+
+class TestAuditGate:
+    def test_gate_passes_on_fresh_baselines(self, baseline_dir, capsys):
+        code = main(
+            ["audit", "gate", "--quick", "--rows", "T1.1",
+             "--dir", str(baseline_dir)]
+        )
+        assert code == 0
+        assert "checks passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_drifted_baseline(self, baseline_dir, tmp_path, capsys):
+        report = json.loads((baseline_dir / "BENCH_T1_1.json").read_text())
+        report["fits"]["planted_n"]["total"]["slope"] += 0.5
+        (tmp_path / "BENCH_T1_1.json").write_text(json.dumps(report))
+        code = main(
+            ["audit", "gate", "--quick", "--rows", "T1.1", "--dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_gate_missing_baseline_exit_2(self, tmp_path, capsys):
+        code = main(
+            ["audit", "gate", "--quick", "--rows", "T1.1", "--dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_gate_exports_artifact(self, baseline_dir, tmp_path, capsys):
+        export = tmp_path / "artifact"
+        export.mkdir()
+        code = main(
+            ["audit", "gate", "--quick", "--rows", "T1.1",
+             "--dir", str(baseline_dir), "--export", str(export)]
+        )
+        assert code == 0
+        assert (export / "BENCH_T1_1.json").exists()
+
+
+class TestAuditScorecard:
+    def test_scorecard_reads_committed_baselines(self, baseline_dir, capsys):
+        code = main(
+            ["audit", "scorecard", "--rows", "T1.1", "--dir", str(baseline_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scorecard" in out and "T1.1" in out
+
+    def test_scorecard_without_baselines_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["audit", "scorecard", "--rows", "T1.1", "--dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "no committed baseline" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Gate + baseline tests: persistence round-trip, drift detection, exit codes.
+
+The T1.1 quick sweep runs once (module-scoped fixture) and every test works
+on copies of that report, so the suite stays fast while still exercising the
+real sweep → fit → serialize → gate pipeline end to end.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.audit import (
+    SCHEMA_VERSION,
+    compare_reports,
+    load_baselines,
+    load_report,
+    render_gate,
+    run_gate,
+    serialize_report,
+    write_report,
+)
+from repro.audit.baseline import bench_filename, bench_path, check_schema
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def t11_report():
+    from repro.audit import run_row
+
+    return run_row("T1.1", mode="quick")
+
+
+class TestBaselinePersistence:
+    def test_round_trip(self, t11_report, tmp_path):
+        path = write_report(t11_report, tmp_path)
+        assert path.name == "BENCH_T1_1.json"
+        loaded = load_report(tmp_path, "T1.1")
+        check_schema(loaded, str(path))
+        assert loaded["row"] == "T1.1"
+        assert loaded["schema_version"] == SCHEMA_VERSION
+
+    def test_serialization_is_stable(self, t11_report):
+        assert serialize_report(t11_report) == serialize_report(
+            copy.deepcopy(t11_report)
+        )
+
+    def test_missing_baseline_is_none(self, tmp_path):
+        assert load_report(tmp_path, "T1.1") is None
+        assert load_baselines(tmp_path, ["T1.1"]) == {"T1.1": None}
+
+    def test_corrupt_baseline_rejected(self, tmp_path):
+        bench_path(tmp_path, "T1.1").write_text("{not json")
+        with pytest.raises(ValidationError, match="corrupt"):
+            load_report(tmp_path, "T1.1")
+
+    def test_stale_schema_rejected(self, t11_report, tmp_path):
+        stale = copy.deepcopy(t11_report)
+        stale["schema_version"] = SCHEMA_VERSION + 1
+        write_report(stale, tmp_path)
+        with pytest.raises(ValidationError, match="schema_version"):
+            load_baselines(tmp_path, ["T1.1"])
+
+    def test_no_timestamps_in_report(self, t11_report):
+        text = serialize_report(t11_report)
+        for marker in ("time", "date", "stamp"):
+            assert marker not in text.lower()
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self, t11_report):
+        checks = compare_reports(t11_report, copy.deepcopy(t11_report))
+        assert checks and all(check.ok for check in checks)
+
+    def test_exponent_drift_fails(self, t11_report):
+        drifted = copy.deepcopy(t11_report)
+        fit = drifted["fits"]["planted_n"]["total"]
+        fit["slope"] = fit["slope"] + 0.5  # a 1/k-sized accounting regression
+        failed = [c for c in compare_reports(t11_report, drifted) if not c.ok]
+        assert [c.name for c in failed] == ["planted_n/total"]
+        assert "drift" in failed[0].detail
+
+    def test_missing_fit_fails(self, t11_report):
+        broken = copy.deepcopy(t11_report)
+        del broken["fits"]["planted_n"]["total"]
+        failed = [c for c in compare_reports(t11_report, broken) if not c.ok]
+        assert any(c.name == "planted_n/total" for c in failed)
+
+    def test_structural_regression_fails(self, t11_report):
+        regressed = copy.deepcopy(t11_report)
+        regressed["structural"][0]["ok"] = False
+        failed = [c for c in compare_reports(t11_report, regressed) if not c.ok]
+        assert [c.kind for c in failed] == ["structural"]
+
+    def test_known_bad_probe_does_not_block(self, t11_report):
+        # A probe already failing in the baseline must not fail the gate
+        # again (the regression was gated when it first appeared).
+        baseline = copy.deepcopy(t11_report)
+        baseline["structural"][0]["ok"] = False
+        fresh = copy.deepcopy(baseline)
+        assert all(c.ok for c in compare_reports(baseline, fresh))
+
+
+class TestRunGate:
+    def test_missing_baselines_exit_2(self, tmp_path):
+        result = run_gate(tmp_path, ["T1.1"], mode="quick")
+        assert result.missing == ["T1.1"]
+        assert result.exit_code == 2
+        assert bench_filename("T1.1") in render_gate(result)
+
+    def test_clean_gate_exit_0_and_exports(self, t11_report, tmp_path):
+        write_report(t11_report, tmp_path)
+        export = tmp_path / "artifact"
+        export.mkdir()
+        result = run_gate(tmp_path, ["T1.1"], mode="quick", export_dir=export)
+        assert result.exit_code == 0
+        assert (export / "BENCH_T1_1.json").exists()
+        assert "17/17" not in render_gate(result)  # single-row subset
+
+    def test_tampered_baseline_exit_1(self, t11_report, tmp_path):
+        tampered = copy.deepcopy(t11_report)
+        tampered["fits"]["planted_n"]["total"]["slope"] += 0.5
+        write_report(tampered, tmp_path)
+        result = run_gate(tmp_path, ["T1.1"], mode="quick")
+        assert result.exit_code == 1
+        assert any("FAIL" in line for line in render_gate(result).splitlines())
+
+
+class TestCommittedBaselines:
+    """The BENCH files committed at the repo root stay loadable and gated."""
+
+    def test_committed_baselines_parse(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        from repro.audit import AUDITED_ROWS
+
+        baselines = load_baselines(root, AUDITED_ROWS)
+        for row in AUDITED_ROWS:
+            report = baselines[row]
+            assert report is not None, f"missing committed {bench_filename(row)}"
+            assert report["mode"] == "full"
+            # Committed copies are canonical: serializing what we loaded
+            # reproduces the file byte for byte.
+            path = bench_path(root, row)
+            assert json.loads(path.read_text()) == report
+            assert serialize_report(report) == path.read_text()

@@ -1,0 +1,117 @@
+"""Sweep determinism, report shape, predictions, and scorecard rendering."""
+
+import pytest
+
+from repro.audit import (
+    AUDITED_ROWS,
+    MODES,
+    TABLE1,
+    measure_query,
+    render_scorecard,
+    require_row,
+    run_row,
+    serialize_report,
+)
+from repro.costmodel import CATEGORIES
+from repro.errors import ValidationError
+from repro.trace import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def t11_report():
+    return run_row("T1.1", mode="quick")
+
+
+class TestMeasureQuery:
+    def test_returns_out_and_cost(self):
+        measured = measure_query(lambda c: [c.charge("comparisons", 3)] * 2)
+        assert measured["out"] == 2
+        assert measured["cost"]["comparisons"] == 3
+        assert measured["cost"]["total"] == 3
+
+    def test_feeds_registry(self):
+        registry = MetricsRegistry()
+        measure_query(lambda c: [c.charge("comparisons", 3)], registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["queries_total"] == 1
+        assert snapshot["histograms"]["cost_total"]["count"] == 1
+        for category in CATEGORIES:
+            assert f"cost_{category}" in snapshot["histograms"]
+
+
+class TestRunRow:
+    def test_unknown_row_rejected(self):
+        with pytest.raises(ValidationError, match="unknown Table-1 row"):
+            run_row("T9.9", mode="quick")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="unknown audit mode"):
+            run_row("T1.1", mode="leisurely")
+
+    def test_report_shape(self, t11_report):
+        assert t11_report["row"] == "T1.1"
+        assert t11_report["mode"] == "quick"
+        assert set(t11_report["sweeps"]) == {
+            "empty_out", "planted_n", "planted_out",
+        }
+        for sweep in t11_report["sweeps"].values():
+            assert sweep["points"], "every sweep carries measured points"
+            for point in sweep["points"]:
+                assert set(point) == {"parameter", "value", "out", "cost"}
+        assert t11_report["structural"], "structural probes present"
+
+    def test_every_declared_exponent_has_a_fit(self, t11_report):
+        for exponent in require_row("T1.1").exponents:
+            fit = t11_report["fits"][exponent.sweep][exponent.category]
+            assert fit["ci_low"] <= fit["slope"] <= fit["ci_high"]
+
+    def test_rerun_is_byte_identical(self, t11_report):
+        again = run_row("T1.1", mode="quick")
+        assert serialize_report(again) == serialize_report(t11_report)
+
+    def test_registry_receives_sweep_queries(self):
+        registry = MetricsRegistry()
+        run_row("T1.1", mode="quick", registry=registry)
+        assert registry.counter("queries_total").value > 0
+
+
+class TestPredictions:
+    def test_every_audited_row_is_declared(self):
+        assert set(AUDITED_ROWS) <= set(TABLE1)
+
+    def test_bands_are_positive(self):
+        for row in TABLE1.values():
+            assert row.exponents, f"{row.row} gates no exponents"
+            for exponent in row.exponents:
+                assert exponent.slack > 0
+                assert exponent.tolerance > 0
+                assert 0 <= exponent.predicted <= 1.5
+
+    def test_modes_cover_quick_and_full(self):
+        assert set(MODES) == {"quick", "full"}
+        quick, full = MODES["quick"], MODES["full"]
+        assert quick.resamples < full.resamples
+        assert max(quick.sweep_objects) <= max(full.sweep_objects)
+
+
+class TestScorecard:
+    def test_renders_all_sections(self, t11_report):
+        card = render_scorecard({"T1.1": t11_report})
+        assert "Table-1 scaling-law scorecard" in card
+        assert "Structural health" in card
+        assert "┌" in card and "└" in card  # box-drawing borders
+        for sweep in ("empty_out", "planted_n", "planted_out"):
+            assert sweep in card
+
+    def test_verdict_is_one_sided(self, t11_report):
+        # empty_out fits ~0.0 against a 0.5 bound: below the bound passes.
+        card = render_scorecard({"T1.1": t11_report})
+        lines = [ln for ln in card.splitlines() if "empty_out" in ln]
+        assert lines and all("pass" in ln for ln in lines)
+
+    def test_missing_fit_marked(self, t11_report):
+        import copy
+
+        broken = copy.deepcopy(t11_report)
+        del broken["fits"]["planted_n"]["total"]
+        assert "missing" in render_scorecard({"T1.1": broken})

@@ -1,0 +1,89 @@
+"""Property tests for the paper's structural bounds (Lemma 10, Proposition 1).
+
+Seeded randomized checks, not hypothesis strategies: the audit subsystem's
+determinism contract extends to its tests, and the explicit constants here
+mirror the ones the structural probes gate
+(:data:`repro.audit.probes.CROSSING_CONSTANT`, type-2 <= 2 per level).
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.audit.probes import CROSSING_CONSTANT, TYPE2_PER_LEVEL
+from repro.core.dim_reduction import DimReductionOrpKw
+from repro.geometry.rectangles import Rect
+from repro.kdtree import KdTree
+from repro.workloads.generators import WorkloadConfig, zipf_dataset
+
+
+class TestLemma10Crossing:
+    """|T_cross| = O(N^(1-1/d)) for the kd-tree, with an explicit constant.
+
+    For d = 2 a query rectangle has 4 boundary edges, each crossing
+    O(sqrt N) nodes, so the explicit bound is ``4 * C * sqrt(N) + C`` with
+    ``C`` the same constant the kd_crossing probe uses (observed worst case
+    over these seeds: ~11.9 * sqrt(N), well inside 4C = 64).
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_rects_respect_bound(self, seed):
+        rng = random.Random(1000 + seed)
+        n = rng.choice([64, 200, 512, 1200])
+        points = np.array([[rng.random(), rng.random()] for _ in range(n)])
+        tree = KdTree(points)
+        bound = 4 * CROSSING_CONSTANT * math.sqrt(n) + CROSSING_CONSTANT
+        for _ in range(25):
+            a, b = sorted(rng.uniform(-0.1, 1.1) for _ in range(2))
+            c, d = sorted(rng.uniform(-0.1, 1.1) for _ in range(2))
+            crossing = tree.count_crossing_nodes(Rect((a, c), (b, d)))
+            assert crossing <= bound, (n, crossing, bound)
+
+    def test_degenerate_line_respects_tighter_bound(self):
+        # A vertical line is a single boundary edge: C * sqrt(N) suffices.
+        rng = random.Random(77)
+        n = 900
+        points = np.array([[rng.random(), rng.random()] for _ in range(n)])
+        tree = KdTree(points)
+        for _ in range(10):
+            x = rng.random()
+            line = Rect((x, -1.0), (x, 2.0))
+            assert tree.count_crossing_nodes(line) <= (
+                CROSSING_CONSTANT * math.sqrt(n)
+            )
+
+
+class TestProposition1TypeCounts:
+    """Per level of the dimension-reduction tree: at most two type-2 nodes."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_type2_per_level_bounded(self, seed):
+        dataset = zipf_dataset(
+            WorkloadConfig(
+                num_objects=300 + 200 * seed, dim=3, vocabulary=32,
+                doc_min=1, doc_max=3, zipf_s=1.0, seed=40 + seed,
+            )
+        )
+        index = DimReductionOrpKw(dataset, k=2)
+        rng = random.Random(500 + seed)
+        for _ in range(8):
+            a, b = sorted(rng.uniform(0.05, 0.95) for _ in range(2))
+            rect = Rect((a, 0.0, 0.0), (b, 1.0, 1.0))
+            counts = index.per_level_counts(rect, keywords=(1, 2))
+            assert counts["nodes"], "per-level node census is never empty"
+            for level, type2 in counts["type2"].items():
+                assert type2 <= TYPE2_PER_LEVEL, (level, type2)
+
+    def test_census_without_rect_has_no_type_counts(self):
+        dataset = zipf_dataset(
+            WorkloadConfig(
+                num_objects=200, dim=3, vocabulary=16,
+                doc_min=1, doc_max=3, zipf_s=1.0, seed=6,
+            )
+        )
+        index = DimReductionOrpKw(dataset, k=2)
+        counts = index.per_level_counts()
+        assert set(counts) == {"nodes"}
+        assert sum(counts["nodes"].values()) > 0
