@@ -1,0 +1,85 @@
+"""Experiment S3 — async serving: concurrent fan-out and mixed churn.
+
+Two tables (core logic in :mod:`repro.bench.serving`, shared with the CLI's
+``bench-serve`` subcommand):
+
+* **fan-out wall-clock** — a selective-rectangle workload served through the
+  sequential :class:`repro.service.ShardedQueryEngine` loop vs the
+  concurrent :class:`repro.service.AsyncQueryEngine` fan-out, asserted
+  result-identical per query.  The concurrent path's win comes from pruning
+  shards whose bounding box misses the rectangle (the ``pruned_pct``
+  column makes the source of the win explicit) plus worker-pool overlap on
+  multi-core hosts.  Wall-clock — not cost units — is the honest metric for
+  a concurrency layer, so this benchmark, unlike the cost experiments,
+  times with ``time.perf_counter``.
+* **mixed churn** — one writer streaming ``insert_many``/``delete`` batches
+  against several concurrent snapshot readers over
+  :class:`repro.service.AsyncDynamicIndex`; every read is oracle-checked
+  against its pinned epoch's live set (an isolation violation raises, so a
+  completed run certifies zero).
+
+``python benchmarks/bench_async_serving.py --quick`` runs the CI smoke
+configuration (no results file written); the committed
+``benchmarks/results/s3_async_serving.txt`` comes from the full run.
+"""
+
+import sys
+
+from repro.bench.reporting import format_table
+from repro.bench.serving import bench_fanout, bench_mixed, run_serving_bench
+
+from common import record
+
+_FANOUT_COLUMNS = [
+    "shards", "budget", "queries", "seq_ms", "conc_ms", "speedup", "pruned_pct",
+]
+_MIXED_COLUMNS = [
+    "readers", "writes", "reads", "epochs", "live_objects", "elapsed_ms",
+    "violations",
+]
+_TITLE = "S3: async serving — sequential vs concurrent fan-out (wall-clock)"
+_MIXED_TITLE = "S3: mixed read/write churn under snapshot isolation"
+
+
+def run(quick: bool = False) -> None:
+    rows, mixed = run_serving_bench(quick=quick)
+    fanout_table = format_table(
+        rows, columns=_FANOUT_COLUMNS,
+        title=_TITLE + (" [quick]" if quick else ""),
+    )
+    mixed_table = format_table(
+        [mixed], columns=_MIXED_COLUMNS,
+        title=_MIXED_TITLE + (" [quick]" if quick else ""),
+    )
+    if quick:
+        # CI smoke: print only; the committed results file comes from the
+        # full run.
+        print()
+        print(fanout_table)
+        print()
+        print(mixed_table)
+        return
+    record("s3_async_serving", fanout_table + "\n\n" + mixed_table)
+
+
+def test_async_fanout_beats_sequential(benchmark):
+    """Wall-clock check: the concurrent fan-out at S=4 on a selective load.
+
+    The benchmark fixture times one full comparison row; the row itself
+    asserts per-query result equality between the two paths.
+    """
+    row = benchmark(
+        lambda: bench_fanout(600, 30, shards=4, budget=256, repeats=1)
+    )
+    assert row["pruned_pct"] > 0  # the selective load must actually prune
+
+
+def test_mixed_churn_zero_violations():
+    """A completed mixed run certifies zero isolation violations."""
+    row = bench_mixed(num_objects=150, batches=6, batch_size=12)
+    assert row["violations"] == 0
+    assert row["reads"] > 0 and row["epochs"] > row["writes"]
+
+
+if __name__ == "__main__":
+    run(quick="--quick" in sys.argv[1:])

@@ -51,10 +51,15 @@ from .core.dynamic import DynamicOrpKw
 from .irtree import IrTree
 from .persist import load_index, save_index
 from .service import (
+    AdmissionController,
+    AsyncDynamicIndex,
+    AsyncQueryEngine,
     LRUCache,
     QueryEngine,
     QueryRecord,
     ShardedQueryEngine,
+    Snapshot,
+    SnapshotManager,
     partition_dataset,
 )
 from .trace import (
@@ -108,6 +113,11 @@ __all__ = [
     "QueryRecord",
     "ShardedQueryEngine",
     "partition_dataset",
+    "AdmissionController",
+    "AsyncDynamicIndex",
+    "AsyncQueryEngine",
+    "Snapshot",
+    "SnapshotManager",
     "LRUCache",
     "TraceSpan",
     "Tracer",

@@ -27,6 +27,15 @@ The serving layer (``--kind engine``) adds batched, budget-bounded queries;
 cost-span tree (``--format json`` for the raw ``to_dict`` rendering); it
 accepts orp, engine, and sharded indexes.
 
+``serve`` pushes the same workload through the asyncio front end —
+concurrent per-shard fan-out with admission control (queries above the
+in-flight cost bound are shed, not queued) — and ``bench-serve`` runs the
+S3 async-serving benchmark:
+
+    python -m repro.cli serve engine.bin --queries q.jsonl --budget 64 \
+        --max-inflight-cost 512 --concurrency 4
+    python -m repro.cli bench-serve --quick
+
 where ``q.jsonl`` holds one query per line, e.g.
 ``{"rect": [100, 8, 200, 10], "keywords": [1, 3]}`` (lo coords then hi
 coords).  ``batch`` prints one JSON trace per query; ``--results`` prints the
@@ -211,6 +220,78 @@ def cmd_batch(args: argparse.Namespace) -> int:
         f"{cache['hits']} cache hit(s), {fallbacks} fallback(s), "
         f"{degraded} degraded, {engine.counter.total} lifetime cost units",
         file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a JSONL workload concurrently through the async front end."""
+    import asyncio
+
+    from .service import AsyncQueryEngine
+
+    engine = load_index(args.index, expected_class=ENGINE_KINDS)
+    queries = load_jsonl_queries(args.queries)
+    front = AsyncQueryEngine(
+        engine,
+        max_inflight_cost=args.max_inflight_cost,
+        max_workers=args.concurrency,
+    )
+    try:
+        results = asyncio.run(front.batch(queries, budget=args.budget))
+    finally:
+        front.close()
+    served = 0
+    for i, found in enumerate(results):
+        if found is None:
+            print(json.dumps({"query": i, "shed": True, "reason": "shed:admission"}))
+            continue
+        served += 1
+        print(json.dumps({"query": i, "shed": False, "result_count": len(found)}))
+        if args.results:
+            for obj in found:
+                print(
+                    json.dumps(
+                        {"oid": obj.oid, "point": list(obj.point), "doc": sorted(obj.doc)}
+                    )
+                )
+    stats = front.stats()
+    print(
+        f"# {len(queries)} quer{'y' if len(queries) == 1 else 'ies'}, "
+        f"{served} served, {stats['shed']} shed, "
+        f"{engine.counter.total} lifetime cost units",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Run the async-serving benchmark (S3) and print its tables."""
+    from .bench.reporting import format_table
+    from .bench.serving import run_serving_bench
+
+    rows, mixed = run_serving_bench(quick=args.quick)
+    suffix = " [quick]" if args.quick else ""
+    print(
+        format_table(
+            rows,
+            columns=[
+                "shards", "budget", "queries", "seq_ms", "conc_ms",
+                "speedup", "pruned_pct",
+            ],
+            title="S3: sequential vs concurrent fan-out (wall-clock)" + suffix,
+        )
+    )
+    print()
+    print(
+        format_table(
+            [mixed],
+            columns=[
+                "readers", "writes", "reads", "epochs", "live_objects",
+                "elapsed_ms", "violations",
+            ],
+            title="S3: mixed read/write churn under snapshot isolation" + suffix,
+        )
     )
     return 0
 
@@ -431,6 +512,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the engine (updated cache/stats) back to the index file",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a JSONL workload concurrently (async fan-out + admission)",
+    )
+    p_serve.add_argument("index", help="index file built with --kind engine/sharded")
+    p_serve.add_argument(
+        "--queries", required=True, help="JSONL file of {rect, keywords} queries"
+    )
+    p_serve.add_argument(
+        "--budget", type=int, default=None, help="per-query cost budget"
+    )
+    p_serve.add_argument(
+        "--max-inflight-cost",
+        type=int,
+        default=None,
+        help="admission-control bound on summed in-flight budgets (shed above)",
+    )
+    p_serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="worker-pool size (default: one per shard)",
+    )
+    p_serve.add_argument(
+        "--results", action="store_true", help="print matches after each query line"
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_bench_serve = sub.add_parser(
+        "bench-serve",
+        help="run the async-serving benchmark (fan-out wall-clock, mixed churn)",
+    )
+    p_bench_serve.add_argument(
+        "--quick", action="store_true", help="tiny CI-smoke configuration"
+    )
+    p_bench_serve.set_defaults(func=cmd_bench_serve)
 
     p_stats = sub.add_parser("stats", help="print a saved engine's statistics")
     p_stats.add_argument("index", help="index file built with --kind engine")

@@ -139,6 +139,16 @@ class OrpKwIndex:
         """Stored entries across the whole structure."""
         return self._transform.space_units
 
+    def space_units_excluding(self, dead) -> int:
+        """Stored entries minus the per-object entries of ``dead`` ids.
+
+        ``dead`` holds object ids from this index's build dataset (for the
+        dynamized wrapper these are bucket-local positions).  Shared
+        keyword-level structure stays counted; see
+        :meth:`KeywordTransform.space_units_excluding`.
+        """
+        return self._transform.space_units_excluding(dead)
+
     def max_pivot_size(self) -> int:
         """Largest internal pivot set (should be O(1) in rank space)."""
         return self._transform.max_pivot_size()

@@ -372,6 +372,32 @@ class KeywordTransform:
             stack.extend(node.children)
         return total
 
+    def space_units_excluding(self, dead) -> int:
+        """Stored entries as :attr:`space_units`, minus ``dead`` objects' own.
+
+        ``dead`` is a set of object ids from this transform's build dataset.
+        Pivot and materialized-list slots belong to a single object and are
+        skipped when that object is dead; node, large-set, and combination
+        entries are keyword-level structure shared by live and dead objects
+        alike and stay counted.  The dynamized wrapper uses this to report
+        live-object space between tombstone rebuilds.
+        """
+        if not dead:
+            return self.space_units
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 1 + len(node.large)
+            total += sum(1 for obj in node.pivot if obj.oid not in dead)
+            total += sum(len(c) for c in node.combos)
+            total += sum(
+                sum(1 for obj in lst if obj.oid not in dead)
+                for lst in node.materialized.values()
+            )
+            stack.extend(node.children)
+        return total
+
     def node_count(self) -> int:
         """Number of transform nodes actually stored."""
         count = 0

@@ -14,17 +14,32 @@ accounting together by hand.  This package is that layer for :mod:`repro`:
   exportable as JSON;
 * :class:`ShardedQueryEngine` / :func:`partition_dataset` — spatial
   sharding: median kd-split partitioning, one engine per shard, budget
-  split with redistribution, merged cost traces.
+  split with redistribution, merged cost traces;
+* :class:`AsyncQueryEngine` / :class:`AdmissionController` — asyncio front
+  end: bounded in-flight cost with budget-machinery shedding, concurrent
+  per-shard fan-out with bounding-box pruning;
+* :class:`AsyncDynamicIndex` / :class:`Snapshot` / :class:`SnapshotManager`
+  — snapshot-isolated serving over the dynamized index (writers publish
+  immutable epochs, readers pin them lock-free).
 """
 
+from .async_engine import AdmissionController, AsyncDynamicIndex, AsyncQueryEngine
 from .cache import LRUCache
 from .engine import QueryEngine, QueryRecord
-from .sharding import ShardedQueryEngine, partition_dataset
+from .sharding import ShardedQueryEngine, partition_dataset, shard_share, split_budget_exact
+from .snapshots import Snapshot, SnapshotManager
 
 __all__ = [
+    "AdmissionController",
+    "AsyncDynamicIndex",
+    "AsyncQueryEngine",
     "LRUCache",
     "QueryEngine",
     "QueryRecord",
     "ShardedQueryEngine",
+    "Snapshot",
+    "SnapshotManager",
     "partition_dataset",
+    "shard_share",
+    "split_budget_exact",
 ]

@@ -1,0 +1,526 @@
+"""Concurrent async serving: admission control, shard fan-out, snapshots.
+
+The synchronous engines serve one query at a time and assume a quiescent
+index.  This module puts an :mod:`asyncio` front end above them that makes
+three things safe and observable under concurrent mixed read/write traffic:
+
+**Admission control** (:class:`AdmissionController`).  The same
+:class:`~repro.costmodel.CostCounter` budget machinery that bounds a single
+query's work bounds the *total in-flight* work: each query reserves its
+budget's worth of cost units on admission and releases them on completion.
+When the reservation would push the in-flight total past
+``max_inflight_cost``, the counter's own :class:`~repro.errors.BudgetExceeded`
+fires and the query is *shed* — refused up front with a
+:class:`~repro.service.engine.QueryRecord` carrying ``reason="shed:admission"``
+instead of being allowed to pile latency onto everything already running.
+
+**Concurrent shard fan-out** (:class:`AsyncQueryEngine` over a
+:class:`~repro.service.sharding.ShardedQueryEngine`).  The sequential
+per-shard loop becomes a worker-pool fan-out: every shard whose bounding box
+intersects the query rectangle runs concurrently (one worker thread each,
+per-shard locks serializing same-shard access), shards whose bounds miss the
+rectangle are pruned outright, and the budget is fixed upfront with the
+exact split :func:`~repro.service.sharding.split_budget_exact` (concurrent
+shards cannot redistribute a straggler pool).  Results, costs, and traces
+merge back on the event-loop thread through the same finish path as the
+sequential engine, so records and metrics stay comparable.
+
+**Snapshot isolation** (:class:`AsyncDynamicIndex` over a
+:class:`~repro.core.dynamic.DynamicOrpKw`).  Writers serialize behind an
+:class:`asyncio.Lock` and each mutation publishes one immutable epoch;
+readers pin a :class:`~repro.service.snapshots.Snapshot` and run lock-free
+against it, so a rebuild mid-query can never surface a half-applied batch,
+a duplicated oid, or an empty bucket window.
+
+Everything CPU-bound runs in a shared :class:`~concurrent.futures.
+ThreadPoolExecutor`; the event loop only validates, admits, merges, and
+records.  Correctness is pinned differentially: under a quiesced writer the
+async engine returns byte-identical results to the synchronous engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import KeywordObject
+from ..errors import BudgetExceeded, ValidationError
+from ..geometry.rectangles import Rect
+from ..trace import MetricsRegistry, Tracer
+from .engine import QueryEngine, QueryRecord
+from .sharding import ShardedQueryEngine, split_budget_exact
+from .snapshots import Snapshot, SnapshotManager
+
+#: Reservation charged for an unbudgeted query (cost units).  Unbudgeted
+#: queries have no a-priori work bound, so admission control needs *some*
+#: stand-in to keep them from slipping past the throttle for free.
+DEFAULT_RESERVATION = 256
+
+
+class AdmissionController:
+    """Bounded in-flight cost, enforced by the budget machinery itself.
+
+    A :class:`~repro.costmodel.CostCounter` with ``budget=max_inflight_cost``
+    holds the running reservation total: :meth:`admit` charges the query's
+    reservation (its budget, or :data:`DEFAULT_RESERVATION` when
+    unbudgeted) and lets the counter's own overflow check decide — the
+    exact machinery, including the exception type, that per-query budgets
+    use.  :meth:`release` returns the units when the query finishes.
+
+    Thread-safe: admission happens on the event-loop thread, but releases
+    may race in from executor callbacks, so a lock guards the counter.
+    """
+
+    def __init__(self, max_inflight_cost: Optional[int]):
+        if max_inflight_cost is not None and max_inflight_cost < 1:
+            raise ValidationError(
+                f"max_inflight_cost must be >= 1, got {max_inflight_cost}"
+            )
+        self.max_inflight_cost = max_inflight_cost
+        self._counter = CostCounter(budget=max_inflight_cost)
+        self._lock = threading.Lock()
+        self._inflight_queries = 0
+
+    def admit(self, reservation: int) -> None:
+        """Reserve ``reservation`` units or shed (:class:`BudgetExceeded`).
+
+        The failing path rolls the charge back — a shed query must leave
+        the in-flight total exactly as it found it.
+        """
+        with self._lock:
+            try:
+                self._counter.charge("inflight_cost", reservation)
+            except BudgetExceeded:
+                self._counter.charge("inflight_cost", -reservation)
+                raise
+            self._inflight_queries += 1
+
+    def release(self, reservation: int) -> None:
+        """Return a completed (or failed) query's reserved units."""
+        with self._lock:
+            self._counter.charge("inflight_cost", -reservation)
+            self._inflight_queries -= 1
+
+    @property
+    def inflight_cost(self) -> int:
+        """Currently reserved cost units."""
+        return self._counter.total
+
+    @property
+    def inflight_queries(self) -> int:
+        """Currently admitted, not-yet-finished queries."""
+        return self._inflight_queries
+
+
+class AsyncQueryEngine:
+    """Asyncio front end over a (sharded or plain) synchronous engine.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.service.engine.QueryEngine` or
+        :class:`~repro.service.sharding.ShardedQueryEngine`.  Sharded
+        engines get the concurrent fan-out; plain engines are served from
+        the pool one query at a time (their caches and record deques are
+        not thread-safe).
+    max_inflight_cost:
+        Admission-control bound on the summed budget reservations of all
+        in-flight queries; ``None`` admits everything.
+    max_workers:
+        Worker-pool size; defaults to the shard count (or 1 unsharded).
+    metrics:
+        Registry for the serving gauges/counters (in-flight, admitted,
+        shed); private by default.  The wrapped engine keeps feeding its
+        own registry exactly as in synchronous serving.
+
+    All public methods are coroutines and must run on one event loop; the
+    wrapped engine's bookkeeping (cache, records, metrics) is only ever
+    touched from that loop's thread or under per-shard locks.
+    """
+
+    def __init__(
+        self,
+        engine: Union[QueryEngine, ShardedQueryEngine],
+        max_inflight_cost: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.engine = engine
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = AdmissionController(max_inflight_cost)
+        self._sharded = isinstance(engine, ShardedQueryEngine)
+        if max_workers is None:
+            max_workers = engine.num_shards if self._sharded else 1
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        if self._sharded:
+            self._shard_locks = [
+                threading.Lock() for _ in engine.shard_engines
+            ]
+        else:
+            self._engine_lock = threading.Lock()
+        self._shed_count = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def __aenter__(self) -> "AsyncQueryEngine":
+        return self
+
+    async def __aexit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    # -- serving ----------------------------------------------------------------
+
+    async def query(
+        self,
+        rect: Union[Rect, Sequence[float]],
+        keywords: Sequence[int],
+        budget: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> Tuple[KeywordObject, ...]:
+        """Serve one query concurrently; same answers as the sync engines.
+
+        Raises :class:`~repro.errors.BudgetExceeded` when admission control
+        sheds the query (recorded with ``reason="shed:admission"`` in the
+        wrapped engine's records); every *admitted* query returns exactly
+        what the synchronous engine would return.
+        """
+        budget = (
+            budget if budget is not None else self.engine.default_budget
+        )
+        reservation = budget if budget is not None else DEFAULT_RESERVATION
+        try:
+            self.admission.admit(reservation)
+        except BudgetExceeded:
+            self._record_shed(rect, keywords, budget)
+            raise
+        self.metrics.counter("admitted_total").inc()
+        self._meter_inflight()
+        try:
+            if self._sharded:
+                return await self._query_sharded(rect, keywords, budget, counter)
+            return await self._query_plain(rect, keywords, budget, counter)
+        finally:
+            self.admission.release(reservation)
+            self._meter_inflight()
+
+    async def batch(
+        self,
+        queries: Sequence[Tuple[Union[Rect, Sequence[float]], Sequence[int]]],
+        budget: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> List[Optional[Tuple[KeywordObject, ...]]]:
+        """Serve a workload concurrently, preserving order.
+
+        Shed queries come back as ``None`` (their refusal is already in the
+        engine's records); other exceptions propagate.
+        """
+
+        async def one(spec):
+            rect, keywords = spec
+            try:
+                return await self.query(rect, keywords, budget, counter)
+            except BudgetExceeded:
+                return None
+
+        return list(await asyncio.gather(*(one(spec) for spec in queries)))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _meter_inflight(self) -> None:
+        self.metrics.gauge("inflight_cost").set(self.admission.inflight_cost)
+        self.metrics.gauge("inflight_queries").set(
+            self.admission.inflight_queries
+        )
+
+    def _record_shed(
+        self,
+        rect: Union[Rect, Sequence[float]],
+        keywords: Sequence[int],
+        budget: Optional[int],
+    ) -> None:
+        """Append a refused query's record (strategy ``shed``) and meter it."""
+        self._shed_count += 1
+        self.metrics.counter("shed_total").inc()
+        try:
+            rect = QueryEngine._coerce_rect(rect)
+            lo, hi = rect.lo, rect.hi
+        except ValidationError:
+            lo = hi = ()
+        record = QueryRecord(
+            query_id=0,  # never served; ids belong to admitted queries
+            rect_lo=lo,
+            rect_hi=hi,
+            keywords=tuple(keywords),
+            strategy="shed",
+            cache="bypass",
+            budget=budget,
+            reason="shed:admission",
+        )
+        self.engine._records.append(record)
+
+    async def _query_plain(
+        self,
+        rect: Union[Rect, Sequence[float]],
+        keywords: Sequence[int],
+        budget: Optional[int],
+        counter: Optional[CostCounter],
+    ) -> Tuple[KeywordObject, ...]:
+        """One-at-a-time serve of an unsharded engine from the pool."""
+        loop = asyncio.get_running_loop()
+
+        def run() -> Tuple[KeywordObject, ...]:
+            with self._engine_lock:
+                return self.engine.query(
+                    rect, keywords, budget=budget, counter=counter
+                )
+
+        return await loop.run_in_executor(self._pool, run)
+
+    async def _query_sharded(
+        self,
+        rect: Union[Rect, Sequence[float]],
+        keywords: Sequence[int],
+        budget: Optional[int],
+        counter: Optional[CostCounter],
+    ) -> Tuple[KeywordObject, ...]:
+        """Concurrent fan-out with pruning and an exact upfront budget split.
+
+        Validation, cache, merging, and recording all happen on the loop
+        thread (the engine's bookkeeping is not thread-safe); only the
+        per-shard queries run on the pool, each under its shard's lock.
+        """
+        engine: ShardedQueryEngine = self.engine
+        loop = asyncio.get_running_loop()
+        rect, words = engine._validate(rect, keywords)
+        caller = ensure_counter(counter)
+        engine._queries_served += 1
+        query_id = engine._queries_served
+        engine.metrics.counter("queries_total").inc()
+
+        tracer: Optional[Tracer] = None
+        if engine.tracing:
+            tracer = Tracer(
+                "sharded_query", "sharding",
+                query_id=query_id, shards=engine.num_shards, fanout="async",
+            )
+
+        key = (rect.lo, rect.hi, frozenset(words))
+        cached, hit = engine._cache.lookup(key)
+        if hit:
+            return engine._finish_cache_hit(
+                query_id, rect, words, budget, cached, tracer
+            )
+        engine.metrics.counter("cache_misses_total").inc()
+
+        # Prune shards whose bounding box misses the rectangle (empty shards
+        # have no box and are always pruned).  The budget is split exactly
+        # over the shards that actually run.
+        active = [
+            shard_id
+            for shard_id, bounds in enumerate(engine.shard_bounds)
+            if bounds is not None and rect.intersects(bounds)
+        ]
+        shares: Dict[int, Optional[int]]
+        if budget is None:
+            shares = {shard_id: None for shard_id in active}
+        else:
+            shares = dict(
+                zip(active, split_budget_exact(budget, max(len(active), 1)))
+            )
+        self.metrics.counter("shards_pruned_total").inc(
+            engine.num_shards - len(active)
+        )
+
+        def run_shard(shard_id: int):
+            share = shares[shard_id]
+            # One tracer per worker (tracers are single-stack); its finished
+            # spans are grafted into the fan-out tree on the loop thread.
+            shard_tracer = (
+                Tracer("fanout", "sharding") if tracer is not None else None
+            )
+            with self._shard_locks[shard_id]:
+                objs, probe, record = engine._query_shard(
+                    shard_id,
+                    engine.shard_engines[shard_id],
+                    rect,
+                    words,
+                    share,
+                    shard_tracer,
+                )
+            return shard_id, objs, probe, record, shard_tracer
+
+        outcomes = await asyncio.gather(
+            *(
+                loop.run_in_executor(self._pool, run_shard, shard_id)
+                for shard_id in active
+            )
+        )
+
+        spent = CostCounter()
+        fallbacks: List[Dict[str, Any]] = []
+        slices: List[Dict[str, Any]] = []
+        merged: List[KeywordObject] = []
+        by_shard = {outcome[0]: outcome for outcome in outcomes}
+        for shard_id in range(engine.num_shards):
+            if shard_id not in by_shard:
+                slices.append(
+                    {
+                        "shard_id": shard_id,
+                        "strategy": "pruned",
+                        "budget": 0,
+                        "cost": 0,
+                        "degraded": False,
+                    }
+                )
+                continue
+            _, objs, probe, record, shard_tracer = by_shard[shard_id]
+            merged.extend(objs)
+            for fallback in record.fallbacks:
+                fallbacks.append(dict(fallback, shard=shard_id))
+            slices.append(
+                {
+                    "shard_id": shard_id,
+                    "strategy": record.strategy,
+                    "budget": shares[shard_id],
+                    "cost": probe.total,
+                    "degraded": record.degraded,
+                }
+            )
+            spent.merge(probe)
+            if tracer is not None and shard_tracer is not None:
+                for child in shard_tracer.finish().children:
+                    tracer.root.graft(child)
+
+        results = engine._merge_results(merged)
+        return engine._finish_fanout(
+            query_id=query_id,
+            rect=rect,
+            words=words,
+            budget=budget,
+            spent=spent,
+            fallbacks=fallbacks,
+            slices=slices,
+            results=results,
+            caller=caller,
+            tracer=tracer,
+            cache_key=key,
+        )
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving-layer stats above the wrapped engine's own ``stats()``."""
+        return {
+            "engine": self.engine.stats(),
+            "shed": self._shed_count,
+            "max_inflight_cost": self.admission.max_inflight_cost,
+            "inflight_cost": self.admission.inflight_cost,
+            "inflight_queries": self.admission.inflight_queries,
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+class AsyncDynamicIndex:
+    """Single-writer/many-reader async front over a dynamic index.
+
+    Writes (:meth:`insert`, :meth:`insert_many`, :meth:`delete`) serialize
+    behind an :class:`asyncio.Lock` and run on the worker pool; each
+    publishes one immutable epoch.  Reads (:meth:`query`) pin a
+    :class:`~repro.service.snapshots.Snapshot` and run lock-free — a reader
+    admitted before a write completes serves the pre-write epoch, one
+    admitted after serves the post-write epoch, and nothing in between is
+    observable.
+    """
+
+    def __init__(
+        self,
+        index,
+        metrics: Optional[MetricsRegistry] = None,
+        max_workers: int = 4,
+    ):
+        self.index = index
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.snapshots = SnapshotManager(index, metrics=self.metrics)
+        self._writer_lock = asyncio.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-dyn"
+        )
+
+    async def __aenter__(self) -> "AsyncDynamicIndex":
+        return self
+
+    async def __aexit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def _meter(self) -> None:
+        self.metrics.gauge("published_epoch").set(self.index.epoch.epoch_id)
+        self.metrics.gauge("live_objects").set(len(self.index))
+
+    async def insert(self, point: Sequence[float], doc) -> int:
+        """Insert one object (serialized with other writers)."""
+        loop = asyncio.get_running_loop()
+        async with self._writer_lock:
+            oid = await loop.run_in_executor(
+                self._pool, self.index.insert, point, doc
+            )
+        self.metrics.counter("writes_total").inc()
+        self._meter()
+        return oid
+
+    async def insert_many(self, points, docs) -> List[int]:
+        """Bulk insert; readers see none of the batch or all of it."""
+        loop = asyncio.get_running_loop()
+        async with self._writer_lock:
+            oids = await loop.run_in_executor(
+                self._pool, self.index.insert_many, points, docs
+            )
+        self.metrics.counter("writes_total").inc()
+        self._meter()
+        return oids
+
+    async def delete(self, oid: int) -> None:
+        """Tombstone one object (may publish a rebuilt epoch)."""
+        loop = asyncio.get_running_loop()
+        async with self._writer_lock:
+            await loop.run_in_executor(self._pool, self.index.delete, oid)
+        self.metrics.counter("writes_total").inc()
+        self._meter()
+
+    async def query(
+        self,
+        rect: Rect,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Snapshot-isolated read; never blocks on (or observes) a writer."""
+        loop = asyncio.get_running_loop()
+        snapshot = self.snapshots.pin()
+        self.metrics.counter("reads_total").inc()
+        result = await loop.run_in_executor(
+            self._pool, snapshot.query, rect, keywords, counter
+        )
+        self.snapshots.observe(snapshot)
+        return result
+
+    def pin(self) -> Snapshot:
+        """Pin the current epoch synchronously (diagnostics, tests)."""
+        return self.snapshots.pin()
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe snapshot/staleness summary."""
+        return self.snapshots.stats()

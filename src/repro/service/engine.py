@@ -66,6 +66,10 @@ class QueryRecord:
     #: Finished span tree (:meth:`~repro.trace.TraceSpan.to_dict`) when the
     #: serving engine ran with tracing enabled; ``None`` otherwise.
     trace: Optional[Dict[str, Any]] = None
+    #: Why a query was refused without being served (admission-control
+    #: shedding in the async front end, e.g. ``"shed:admission"``); ``None``
+    #: for every served query.
+    reason: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """A plain-JSON rendering of the record."""
@@ -83,6 +87,9 @@ class QueryRecord:
             "result_count": self.result_count,
             "shards": [dict(s) for s in self.shards],
             "trace": self.trace,
+            # getattr: records unpickled from pre-async-serving snapshots
+            # lack the field entirely.
+            "reason": getattr(self, "reason", None),
         }
 
     def to_json(self) -> str:

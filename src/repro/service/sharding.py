@@ -20,13 +20,23 @@ work.  This module is that step for :mod:`repro`:
 Budget split and redistribution
 -------------------------------
 A query budget ``B`` is divided across the fan-out: shard ``i`` (of the
-``S - i`` not yet served) receives ``max(remaining // (S - i), 1)`` units,
-so the first shard starts at ``~B // S``.  A shard that finishes under its
-share returns the unused units to the pool — later shards (the stragglers,
-which in a spatial partition are often the ones actually intersecting the
-query rectangle) see a larger share.  A shard that *overruns* its share
-(fallbacks, degradation) is charged at most its share against the pool, so
-one hot shard cannot starve the rest into cascading degradation.
+``S - i`` not yet served) receives ``ceil(remaining / (S - i))`` units
+(:func:`shard_share`), so the first shard starts at ``ceil(B / S)``.  A
+shard that finishes under its share returns the unused units to the pool —
+later shards (the stragglers, which in a spatial partition are often the
+ones actually intersecting the query rectangle) see a larger share.  A
+shard that *overruns* its share (fallbacks, degradation) is charged at most
+its share against the pool, so one hot shard cannot starve the rest into
+cascading degradation.
+
+The ceiling split is *exact*: every granted share is at most the pool, so
+the pool never goes negative, and if every shard spends its full share the
+grants telescope to exactly ``B`` — no unit is silently lost or granted
+twice.  (The previous ``max(remaining // left, 1)`` rule minted budget out
+of thin air once the pool ran dry: with ``B = 2`` over four shards it
+granted four units.)  A shard whose share works out to zero is served with
+a zero budget — its first charge degrades it to the unbudgeted exact path,
+so answers stay correct and the degradation is visible in its slice.
 
 Degradation stays per-slice: a shard that exhausts every strategy degrades
 only its slice of the answer (recorded in the merged trace's ``shards``
@@ -60,6 +70,33 @@ from ..geometry.rectangles import Rect
 from ..trace import MetricsRegistry, Tracer
 from .cache import LRUCache
 from .engine import QueryEngine, QueryRecord, QuerySpec
+
+
+def shard_share(pool: int, shards_left: int) -> int:
+    """The next shard's budget grant: ``ceil(pool / shards_left)``.
+
+    Never exceeds ``pool`` (so the running pool cannot go negative), and
+    telescopes exactly: granting ``shard_share`` to each of ``shards_left``
+    shards in turn, with every shard spending its full grant, hands out
+    ``pool`` units in total — the no-loss/no-double-grant invariant the
+    budget-split property test enforces.  Returns 0 once the pool is empty
+    (a zero-budget shard degrades rather than borrowing units that were
+    never in the budget).
+    """
+    return (pool + shards_left - 1) // shards_left
+
+
+def split_budget_exact(budget: int, parts: int) -> List[int]:
+    """Split ``budget`` into ``parts`` near-equal shares summing exactly.
+
+    The concurrent fan-out cannot redistribute a straggler pool (all shards
+    run at once), so it fixes every share upfront: ``budget // parts`` each,
+    with the first ``budget % parts`` shares one unit larger.
+    """
+    if parts < 1:
+        raise ValidationError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(budget, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
 def partition_dataset(dataset: Dataset, shards: int) -> List[Dataset]:
@@ -101,6 +138,16 @@ def partition_dataset(dataset: Dataset, shards: int) -> List[Dataset]:
     return [
         Dataset(piece) if piece else Dataset.empty(dim) for piece in pieces
     ]
+
+
+def _bounding_rect(dataset: Dataset) -> Optional[Rect]:
+    """Tightest axis-aligned box around ``dataset`` (``None`` when empty)."""
+    if not len(dataset):
+        return None
+    points = [obj.point for obj in dataset.objects]
+    lo = tuple(min(p[axis] for p in points) for axis in range(dataset.dim))
+    hi = tuple(max(p[axis] for p in points) for axis in range(dataset.dim))
+    return Rect(lo, hi)
 
 
 class ShardedQueryEngine:
@@ -160,6 +207,13 @@ class ShardedQueryEngine:
         self._degraded_count = 0  # queries with >= 1 degraded slice
         self._degraded_slices = 0
         self.shard_datasets = partition_dataset(dataset, shards)
+        #: Per-shard bounding boxes (``None`` for empty shards).  The
+        #: sequential path fans out to every shard regardless (preserving
+        #: the pinned trace shape); the concurrent front end uses these to
+        #: skip shards whose bounds miss the query rectangle.
+        self.shard_bounds: List[Optional[Rect]] = [
+            _bounding_rect(shard) for shard in self.shard_datasets
+        ]
         self.shard_engines: List[QueryEngine] = [
             QueryEngine(
                 shard,
@@ -180,6 +234,11 @@ class ShardedQueryEngine:
         self.__dict__.setdefault("tracing", False)
         if self.__dict__.get("metrics") is None:
             self.metrics = MetricsRegistry()
+        if "shard_bounds" not in self.__dict__:
+            # Engines pickled before the concurrent fan-out existed.
+            self.shard_bounds = [
+                _bounding_rect(shard) for shard in self.shard_datasets
+            ]
 
     # -- serving ----------------------------------------------------------------
 
@@ -197,17 +256,7 @@ class ShardedQueryEngine:
         deterministic order), a per-query trace in :attr:`last_record`, and
         ``BudgetExceeded`` never escaping.
         """
-        rect = QueryEngine._coerce_rect(rect)
-        words = sorted(set(validate_nonempty_keywords(keywords)))
-        if len(words) > self.max_k:
-            raise ValidationError(
-                f"{len(words)} distinct keywords exceed max_k={self.max_k}"
-            )
-        if self.dataset.dim is not None and rect.dim != self.dataset.dim:
-            raise ValidationError(
-                f"query rectangle is {rect.dim}-dimensional, "
-                f"data is {self.dataset.dim}-dimensional"
-            )
+        rect, words = self._validate(rect, keywords)
         budget = budget if budget is not None else self.default_budget
         caller = ensure_counter(counter)
         self._queries_served += 1
@@ -224,23 +273,9 @@ class ShardedQueryEngine:
         key = (rect.lo, rect.hi, frozenset(words))
         cached, hit = self._cache.lookup(key)
         if hit:
-            record = QueryRecord(
-                query_id=query_id,
-                rect_lo=rect.lo,
-                rect_hi=rect.hi,
-                keywords=tuple(words),
-                strategy="cache",
-                cache="hit",
-                budget=budget,
-                result_count=len(cached),
+            return self._finish_cache_hit(
+                query_id, rect, words, budget, cached, tracer
             )
-            if tracer is not None:
-                record.trace = tracer.finish().to_dict()
-            self._records.append(record)
-            self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
-            self.metrics.counter("cache_hits_total").inc()
-            self.metrics.counter("strategy_cache_total").inc()
-            return cached
         self.metrics.counter("cache_misses_total").inc()
 
         spent = CostCounter()  # merged per-query accumulator, never budgeted
@@ -252,24 +287,17 @@ class ShardedQueryEngine:
             if budget is None:
                 share: Optional[int] = None
             else:
-                shards_left = self.num_shards - shard_id
-                share = max(remaining // shards_left, 1)
-            probe = CostCounter()
-            if tracer is None:
-                merged.extend(engine.query(rect, words, budget=share, counter=probe))
-            else:
-                with tracer.span(f"shard-{shard_id}", "sharding", budget=share):
-                    merged.extend(
-                        engine.query(
-                            rect, words, budget=share, counter=probe, tracer=tracer
-                        )
-                    )
-            trace = engine.last_record
+                share = shard_share(remaining, self.num_shards - shard_id)
+            objs, probe, trace = self._query_shard(
+                shard_id, engine, rect, words, share, tracer
+            )
+            merged.extend(objs)
             if budget is not None:
                 # Unused share returns to the pool for the stragglers; an
                 # overrun (fallbacks / degradation) is charged at most the
-                # share, so one hot shard cannot starve the rest.
-                remaining = max(remaining - min(probe.total, share), 0)
+                # share, so one hot shard cannot starve the rest.  The share
+                # never exceeds the pool, so the pool stays non-negative.
+                remaining -= min(probe.total, share)
             for fallback in trace.fallbacks:
                 fallbacks.append(dict(fallback, shard=shard_id))
             slices.append(
@@ -283,9 +311,102 @@ class ShardedQueryEngine:
             )
             spent.merge(probe)
 
-        # The shards partition the objects, so duplicates cannot arise; the
-        # dedup guards the invariant anyway (a future overlap bug must not
-        # silently double-report) and the sort fixes a deterministic order.
+        results = self._merge_results(merged)
+        return self._finish_fanout(
+            query_id=query_id,
+            rect=rect,
+            words=words,
+            budget=budget,
+            spent=spent,
+            fallbacks=fallbacks,
+            slices=slices,
+            results=results,
+            caller=caller,
+            tracer=tracer,
+            cache_key=key,
+        )
+
+    def _validate(
+        self, rect: Union[Rect, Sequence[float]], keywords: Sequence[int]
+    ) -> Tuple[Rect, List[int]]:
+        """Coerce and validate a query's rectangle and keyword set."""
+        rect = QueryEngine._coerce_rect(rect)
+        words = sorted(set(validate_nonempty_keywords(keywords)))
+        if len(words) > self.max_k:
+            raise ValidationError(
+                f"{len(words)} distinct keywords exceed max_k={self.max_k}"
+            )
+        if self.dataset.dim is not None and rect.dim != self.dataset.dim:
+            raise ValidationError(
+                f"query rectangle is {rect.dim}-dimensional, "
+                f"data is {self.dataset.dim}-dimensional"
+            )
+        return rect, words
+
+    def _finish_cache_hit(
+        self,
+        query_id: int,
+        rect: Rect,
+        words: Sequence[int],
+        budget: Optional[int],
+        cached: Tuple[KeywordObject, ...],
+        tracer: Optional[Tracer],
+    ) -> Tuple[KeywordObject, ...]:
+        """Record and meter a cache hit (shared with the async front end)."""
+        record = QueryRecord(
+            query_id=query_id,
+            rect_lo=rect.lo,
+            rect_hi=rect.hi,
+            keywords=tuple(words),
+            strategy="cache",
+            cache="hit",
+            budget=budget,
+            result_count=len(cached),
+        )
+        if tracer is not None:
+            record.trace = tracer.finish().to_dict()
+        self._records.append(record)
+        self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
+        self.metrics.counter("cache_hits_total").inc()
+        self.metrics.counter("strategy_cache_total").inc()
+        return cached
+
+    def _query_shard(
+        self,
+        shard_id: int,
+        engine: QueryEngine,
+        rect: Rect,
+        words: Sequence[int],
+        share: Optional[int],
+        tracer: Optional[Tracer],
+    ) -> Tuple[List[KeywordObject], CostCounter, QueryRecord]:
+        """Serve one shard's slice under its budget share.
+
+        Returns the shard's objects, the probe counter holding its spend,
+        and its :class:`QueryRecord` (read back immediately after the query,
+        so callers that serialize per-engine access can run shards from a
+        worker pool without racing on ``last_record``).
+        """
+        probe = CostCounter()
+        if tracer is None:
+            objs = list(engine.query(rect, words, budget=share, counter=probe))
+        else:
+            with tracer.span(f"shard-{shard_id}", "sharding", budget=share):
+                objs = list(
+                    engine.query(
+                        rect, words, budget=share, counter=probe, tracer=tracer
+                    )
+                )
+        return objs, probe, engine.last_record
+
+    @staticmethod
+    def _merge_results(merged: List[KeywordObject]) -> Tuple[KeywordObject, ...]:
+        """Dedup by object id and fix a deterministic (id-sorted) order.
+
+        The shards partition the objects, so duplicates cannot arise; the
+        dedup guards the invariant anyway (a future overlap bug must not
+        silently double-report).
+        """
         seen: set = set()
         unique = []
         for obj in merged:
@@ -293,11 +414,34 @@ class ShardedQueryEngine:
                 seen.add(obj.oid)
                 unique.append(obj)
         unique.sort(key=lambda obj: obj.oid)
-        results = tuple(unique)
+        return tuple(unique)
 
+    def _finish_fanout(
+        self,
+        *,
+        query_id: int,
+        rect: Rect,
+        words: Sequence[int],
+        budget: Optional[int],
+        spent: CostCounter,
+        fallbacks: List[Dict[str, Any]],
+        slices: List[Dict[str, Any]],
+        results: Tuple[KeywordObject, ...],
+        caller: CostCounter,
+        tracer: Optional[Tracer],
+        cache_key: Optional[Tuple] = None,
+    ) -> Tuple[KeywordObject, ...]:
+        """Record, cache, meter, and account one completed fan-out.
+
+        Shared between the sequential path and the async front end (which
+        assembles ``slices``/``spent`` from a concurrent fan-out and then
+        finishes on its event-loop thread — the cache and the record deque
+        are not thread-safe, so this must not run concurrently with itself).
+        """
         degraded_slices = sum(1 for s in slices if s["degraded"])
         degraded = degraded_slices > 0
-        self._cache.put(key, results)
+        if cache_key is not None:
+            self._cache.put(cache_key, results)
         record = QueryRecord(
             query_id=query_id,
             rect_lo=rect.lo,

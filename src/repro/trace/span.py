@@ -75,6 +75,28 @@ class TraceSpan:
         """Accumulate ``units`` of ``category`` into this span's own costs."""
         self.costs[category] = self.costs.get(category, 0) + units
 
+    def graft(self, span: "TraceSpan") -> None:
+        """Attach a finished span tree as a child of this span.
+
+        Used by the concurrent fan-out: each shard records into its own
+        :class:`Tracer` (tracers are single-stack and must not be shared
+        across workers), and the finished per-shard roots are grafted under
+        the fan-out span afterwards.  If a child with the same
+        ``(name, component)`` key already exists, the grafted span's costs
+        and subtrees are merged into it (keyed-span semantics).
+        """
+        key = (span.name, span.component)
+        existing = self._by_key.get(key)
+        if existing is None:
+            self._by_key[key] = span
+            self.children.append(span)
+            return
+        existing.attrs.update(span.attrs)
+        for category, units in span.costs.items():
+            existing.add_cost(category, units)
+        for child in span.children:
+            existing.graft(child)
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TraceSpan":
         """Rebuild a span tree from a :meth:`to_dict` rendering."""

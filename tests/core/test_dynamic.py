@@ -127,6 +127,116 @@ class TestDeletions:
                 assert got == brute(reference, rect, words)
 
 
+class TestLiveSpaceAccounting:
+    def test_delete_then_measure_space_shrinks(self, rng):
+        """Regression: space accounting must track the *live* set.  Before
+        the fix, tombstoned objects kept their stored entries counted until
+        the half-dead rebuild, so space drifted upward under delete-heavy
+        churn even as the live set shrank."""
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((rng.random(), rng.random()), {1, 2}) for _ in range(32)]
+        space_before = index.space_units
+        # Stay under the 50%-dead rebuild threshold: tombstones only.
+        for oid in oids[:5]:
+            index.delete(oid)
+        assert sum(index.bucket_sizes) == len(index) == 27
+        space_after = index.space_units
+        assert space_after < space_before
+        # Each further delete shrinks the reported space monotonically.
+        index.delete(oids[5])
+        assert index.space_units < space_after
+
+    def test_bucket_sizes_exclude_tombstones(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((rng.random(), rng.random()), {1, 2}) for _ in range(16)]
+        assert sum(index.bucket_sizes) == 16
+        for oid in oids[:3]:
+            index.delete(oid)
+        assert sum(index.bucket_sizes) == 13
+        # Doubling caps still hold for live counts (live <= physical).
+        for level, size in enumerate(index.bucket_sizes):
+            assert size <= 2**level
+
+    def test_rebuild_restores_physical_space(self, rng):
+        """After the half-dead rebuild purges tombstones, live space and
+        physical space coincide with a fresh index over the survivors."""
+        index = DynamicOrpKw(k=2, dim=2)
+        points = [(rng.random(), rng.random()) for _ in range(32)]
+        oids = [index.insert(p, {1, 2}) for p in points]
+        for oid in oids[:16]:
+            index.delete(oid)  # triggers the rebuild
+        fresh = DynamicOrpKw(k=2, dim=2)
+        fresh.insert_many(points[16:], [{1, 2}] * 16)
+        assert index.space_units == fresh.space_units
+
+
+class TestDeleteFailureAtomicity:
+    def test_double_delete_leaves_no_side_effects(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((float(i), float(i)), {1, 2}) for i in range(8)]
+        index.delete(oids[0])
+        epoch_before = index.epoch
+        with pytest.raises(ValidationError):
+            index.delete(oids[0])
+        # The failing path published nothing: the epoch object is untouched
+        # (same identity, same id), tombstones and live count unchanged.
+        assert index.epoch is epoch_before
+        assert index.epoch.tombstones == frozenset({oids[0]})
+        assert len(index) == 7
+
+    def test_unknown_delete_leaves_no_side_effects(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        index.insert((0.0, 0.0), {1, 2})
+        epoch_before = index.epoch
+        with pytest.raises(ValidationError):
+            index.delete(999)
+        assert index.epoch is epoch_before
+        assert index.epoch.tombstones == frozenset()
+        assert len(index) == 1
+
+    def test_failed_delete_never_triggers_rebuild(self):
+        """A rejected delete one short of the rebuild threshold must not
+        tip the structure into a rebuild."""
+        index = DynamicOrpKw(k=2, dim=2)
+        oids = [index.insert((float(i), 0.5), {1, 2}) for i in range(4)]
+        index.delete(oids[0])  # 1 of 4 dead; one more would rebuild
+        epoch_before = index.epoch
+        with pytest.raises(ValidationError):
+            index.delete(oids[0])
+        assert index.epoch is epoch_before
+
+
+class TestEpochSnapshots:
+    def test_pinned_epoch_unaffected_by_later_writes(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        first = index.insert_many(
+            [(rng.random(), rng.random()) for _ in range(10)], [{1, 2}] * 10
+        )
+        pinned = index.snapshot()
+        index.insert_many(
+            [(rng.random(), rng.random()) for _ in range(20)], [{1, 2}] * 20
+        )
+        index.delete(first[0])
+        got = sorted(o.oid for o in pinned.query(Rect.full(2), [1, 2]))
+        assert got == sorted(first)  # the pin still answers pre-write state
+        assert pinned.live_oids() == frozenset(first)
+
+    def test_each_mutation_publishes_exactly_one_epoch(self, rng):
+        index = DynamicOrpKw(k=2, dim=2)
+        assert index.epoch.epoch_id == 0
+        index.insert((0.1, 0.1), {1, 2})
+        assert index.epoch.epoch_id == 1
+        index.insert_many([(0.2, 0.2), (0.3, 0.3)], [{1, 2}, {1, 2}])
+        assert index.epoch.epoch_id == 2  # the whole batch is one epoch
+        index.delete(0)
+        assert index.epoch.epoch_id == 3  # tombstone-or-rebuild, still one
+
+    def test_empty_insert_many_publishes_nothing(self):
+        index = DynamicOrpKw(k=2, dim=2)
+        assert index.insert_many([], []) == []
+        assert index.epoch.epoch_id == 0
+
+
 class TestValidation:
     def test_bad_parameters(self):
         with pytest.raises(ValidationError):

@@ -225,6 +225,69 @@ class TestEngineCommands:
         assert stats["queries"] == 12
         assert stats["cache"]["hits"] >= 6
 
+    def test_serve_matches_batch_results(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        """The async serve path reports the same result counts as batch."""
+        index_path = tmp_path / "engine.bin"
+        main(
+            [
+                "build", str(dataset_file), str(index_path),
+                "--kind", "sharded", "--shards", "2", "--k", "3",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "batch", str(index_path),
+                "--queries", str(queries_file), "--budget", "64",
+            ]
+        )
+        assert code == 0
+        batch_counts = [
+            json.loads(line)["result_count"]
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        code = main(
+            [
+                "serve", str(index_path),
+                "--queries", str(queries_file),
+                "--budget", "64", "--concurrency", "2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        served = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(served) == 12
+        assert all(not entry["shed"] for entry in served)
+        assert [entry["result_count"] for entry in served] == batch_counts
+        assert "12 served" in captured.err
+
+    def test_serve_sheds_above_inflight_bound(
+        self, dataset_file, queries_file, tmp_path, capsys
+    ):
+        index_path = tmp_path / "engine.bin"
+        main(
+            [
+                "build", str(dataset_file), str(index_path),
+                "--kind", "engine", "--k", "3",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "serve", str(index_path),
+                "--queries", str(queries_file),
+                "--budget", "64", "--max-inflight-cost", "64",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        served = [json.loads(line) for line in captured.out.strip().splitlines()]
+        shed = [entry for entry in served if entry["shed"]]
+        assert shed and all(entry["reason"] == "shed:admission" for entry in shed)
+        assert "shed" in captured.err
+
     def test_batch_requires_engine_index(self, dataset_file, tmp_path, capsys):
         index_path = tmp_path / "orp.bin"
         main(["build", str(dataset_file), str(index_path), "--kind", "orp"])
