@@ -148,7 +148,12 @@ def cmd_build(args: argparse.Namespace) -> int:
         described = f"{len(rectangles)} rectangles (N={index.input_size})"
     elif args.kind == "engine":
         dataset = load_jsonl_dataset(args.dataset)
-        index = QueryEngine(dataset, max_k=args.k, default_budget=args.budget)
+        index = QueryEngine(
+            dataset,
+            max_k=args.k,
+            default_budget=args.budget,
+            backend=args.backend,
+        )
         described = f"{len(dataset)} objects (N={dataset.total_doc_size})"
     elif args.kind == "sharded":
         dataset = load_jsonl_dataset(args.dataset)
@@ -157,6 +162,7 @@ def cmd_build(args: argparse.Namespace) -> int:
             shards=args.shards,
             max_k=args.k,
             default_budget=args.budget,
+            backend=args.backend,
         )
         described = (
             f"{len(dataset)} objects (N={dataset.total_doc_size}) "
@@ -490,6 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="spatial shard count (sharded kind only)",
+    )
+    p_build.add_argument(
+        "--backend",
+        choices=("cost_model", "vectorized", "auto"),
+        default="cost_model",
+        help="execution backend (engine/sharded kinds only)",
     )
     p_build.set_defaults(func=cmd_build)
 

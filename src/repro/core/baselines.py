@@ -88,20 +88,62 @@ class StructuredOnlyIndex:
 
 
 class KeywordsOnlyIndex:
-    """Inverted-index intersection + geometric post-filter."""
+    """Inverted-index intersection + geometric post-filter.
 
-    def __init__(self, dataset: Dataset, inverted: Optional[InvertedIndex] = None):
+    ``backend="vectorized"`` routes rectangle and halfspace-conjunction
+    queries through the numpy fast path (:mod:`repro.fast`): identical
+    results and charged cost totals, batched execution.  The cost-model
+    path remains the oracle (``tests/fast/test_backend_oracle.py``);
+    predicate queries with an arbitrary callable always run scalar.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        inverted: Optional[InvertedIndex] = None,
+        backend: str = "cost_model",
+    ):
+        from ..fast import validate_backend
+
         self.dataset = dataset
         self._inverted = inverted if inverted is not None else InvertedIndex(dataset)
+        self.backend = validate_backend(backend)
+        self._fast = None
+
+    def __getstate__(self):
+        # The array mirror is derived state: rebuild on demand after
+        # unpickling instead of bloating index files with numpy blocks.
+        state = dict(self.__dict__)
+        state["_fast"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Indexes pickled before the vectorized backend existed.
+        self.__dict__.setdefault("backend", "cost_model")
+        self.__dict__.setdefault("_fast", None)
+
+    def _fast_backend(self):
+        if self._fast is None:
+            from ..fast import VectorizedBackend
+
+            self._fast = VectorizedBackend(self.dataset)
+        return self._fast
 
     def query_rect(
         self, rect: Rect, keywords: Sequence[int], counter: Optional[CostCounter] = None
     ) -> List[KeywordObject]:
+        if self.backend == "vectorized":
+            return self._fast_backend().query_rect(rect, keywords, counter)
         return self.query_predicate(rect.contains_point, keywords, counter)
 
     def query_region(
         self, region, keywords: Sequence[int], counter: Optional[CostCounter] = None
     ) -> List[KeywordObject]:
+        if self.backend == "vectorized" and isinstance(region, ConvexRegion):
+            return self._fast_backend().query_halfspaces(
+                region.halfspaces, keywords, counter
+            )
         return self.query_predicate(region.contains_point, keywords, counter)
 
     def query_constraints(
@@ -111,7 +153,7 @@ class KeywordsOnlyIndex:
         counter: Optional[CostCounter] = None,
     ) -> List[KeywordObject]:
         region = ConvexRegion(constraints)
-        return self.query_predicate(region.contains_point, keywords, counter)
+        return self.query_region(region, keywords, counter)
 
     def query_predicate(
         self,

@@ -58,16 +58,28 @@ def large_small_split(
         ``materialized`` — for each candidate that is small *and present*,
         the explicit object list ``D_act_u(w)``.
     """
-    threshold = weight ** (1.0 - 1.0 / k)
     lists: Dict[int, List[KeywordObject]] = {}
     for obj in objects:
         for word in obj.doc:
             if word in candidates:
                 lists.setdefault(word, []).append(obj)
+    if weight <= 0:
+        # Empty node: the paper allows at most N_u^(1/k) = 0 large keywords,
+        # but the old float threshold 0.0 classified every present keyword
+        # as large.  With a weight consistent with ``objects`` the lists are
+        # empty anyway; an inconsistent caller still gets the honest answer
+        # (everything small, hence materialized).
+        return set(), lists
     large: Set[int] = set()
     materialized: Dict[int, List[KeywordObject]] = {}
+    weight_power = weight ** (k - 1)
     for word, members in lists.items():
-        if len(members) >= threshold:
+        # Exact integer form of |D_act_u(w)| >= N_u^(1-1/k): raising both
+        # sides to the k-th power avoids the float ``weight ** (1 - 1/k)``,
+        # whose rounding can flip the boundary (e.g. N_u = 8, k = 3: the
+        # float threshold is 4.000000000000001, so a 4-member list — exactly
+        # at the paper's threshold — was misclassified as small).
+        if len(members) ** k >= weight_power:
             large.add(word)
         else:
             materialized[word] = members

@@ -110,11 +110,22 @@ class LcKwIndex:
     simplices share facets), and apply the exact constraint filter.
     """
 
-    def __init__(self, dataset: Dataset, k: int, scheme=None):
+    def __init__(self, dataset: Dataset, k: int, scheme=None, backend: str = "cost_model"):
+        from ..fast import validate_backend
+
         self._sp = SpKwIndex(dataset, k, scheme=scheme)
         self.dataset = dataset
         self.k = k
         self.dim = dataset.dim
+        #: ``"vectorized"`` batches the exact constraint post-filter
+        #: (:func:`repro.fast.region_mask`): same predicate term order, same
+        #: per-candidate ``comparisons`` charge, identical results.
+        self.backend = validate_backend(backend)
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Indexes pickled before the vectorized backend existed.
+        self.__dict__.setdefault("backend", "cost_model")
 
     def query(
         self,
@@ -143,10 +154,16 @@ class LcKwIndex:
             with span_for(counter, "region", "lc_kw"):
                 found = self._sp.query_region(region, words, counter, max_report)
                 result = []
-                for obj in found:
-                    counter.charge("comparisons")
-                    if self._satisfies(obj, constraints):
-                        result.append(obj)
+                if self.backend == "vectorized" and found:
+                    counter.charge("comparisons", len(found))
+                    for obj, ok in zip(found, self._batch_satisfies(found, constraints)):
+                        if ok:
+                            result.append(obj)
+                else:
+                    for obj in found:
+                        counter.charge("comparisons")
+                        if self._satisfies(obj, constraints):
+                            result.append(obj)
             return result
 
         polytope = polytope_from_constraints(
@@ -163,11 +180,18 @@ class LcKwIndex:
                 found = self._sp.query_simplex(
                     simplex, words, counter, max_report=remaining
                 )
-                for obj in found:
-                    counter.charge("comparisons")
-                    if obj.oid not in seen and self._satisfies(obj, constraints):
-                        seen.add(obj.oid)
-                        result.append(obj)
+                if self.backend == "vectorized" and found:
+                    counter.charge("comparisons", len(found))
+                    for obj, ok in zip(found, self._batch_satisfies(found, constraints)):
+                        if obj.oid not in seen and ok:
+                            seen.add(obj.oid)
+                            result.append(obj)
+                else:
+                    for obj in found:
+                        counter.charge("comparisons")
+                        if obj.oid not in seen and self._satisfies(obj, constraints):
+                            seen.add(obj.oid)
+                            result.append(obj)
         return result
 
     def is_empty(
@@ -195,6 +219,13 @@ class LcKwIndex:
     @staticmethod
     def _satisfies(obj: KeywordObject, constraints: Sequence[HalfSpace]) -> bool:
         return all(h.contains(obj.point) for h in constraints)
+
+    @staticmethod
+    def _batch_satisfies(found: Sequence[KeywordObject], constraints):
+        """Vectorized :meth:`_satisfies` over a candidate list (bool mask)."""
+        from ..fast import points_array, region_mask
+
+        return region_mask(points_array(found), constraints)
 
     @property
     def input_size(self) -> int:

@@ -24,7 +24,9 @@ from .lc_kw import SpKwIndex
 class SrpKwIndex:
     """The Corollary-6 index for spherical range reporting with keywords."""
 
-    def __init__(self, dataset: Dataset, k: int, scheme=None):
+    def __init__(self, dataset: Dataset, k: int, scheme=None, backend: str = "cost_model"):
+        from ..fast import validate_backend
+
         self.dataset = dataset
         self.k = k
         self.dim = dataset.dim
@@ -34,6 +36,15 @@ class SrpKwIndex:
         ]
         self._originals = {obj.oid: obj for obj in dataset.objects}
         self._sp = SpKwIndex(Dataset(lifted), k, scheme=scheme)
+        #: ``"vectorized"`` batches the exact distance post-filter
+        #: (:func:`repro.fast.ball_mask`): same axis-order accumulation and
+        #: tolerance as the scalar loop, identical results.
+        self.backend = validate_backend(backend)
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Indexes pickled before the vectorized backend existed.
+        self.__dict__.setdefault("backend", "cost_model")
 
     def query(
         self,
@@ -75,12 +86,22 @@ class SrpKwIndex:
                 ConvexRegion([halfspace]), words, counter, max_report
             )
             result = []
-            for lifted_obj in found:
-                counter.charge("comparisons")
-                obj = self._originals[lifted_obj.oid]
-                dist_sq = sum((a - b) ** 2 for a, b in zip(obj.point, center))
-                if dist_sq <= radius_squared + 1e-9 * max(1.0, radius_squared):
-                    result.append(obj)
+            if self.backend == "vectorized" and found:
+                from ..fast import ball_mask, points_array
+
+                counter.charge("comparisons", len(found))
+                originals = [self._originals[lifted_obj.oid] for lifted_obj in found]
+                mask = ball_mask(points_array(originals), center, radius_squared)
+                for obj, ok in zip(originals, mask):
+                    if ok:
+                        result.append(obj)
+            else:
+                for lifted_obj in found:
+                    counter.charge("comparisons")
+                    obj = self._originals[lifted_obj.oid]
+                    dist_sq = sum((a - b) ** 2 for a, b in zip(obj.point, center))
+                    if dist_sq <= radius_squared + 1e-9 * max(1.0, radius_squared):
+                        result.append(obj)
         return result
 
     def is_empty(

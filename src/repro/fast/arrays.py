@@ -1,0 +1,175 @@
+"""Contiguous-array data layout for the vectorized execution backend.
+
+The cost-model implementations walk Python objects one at a time; this
+module lays the same data out as numpy arrays so the hot loops — posting
+-list intersection, rectangle containment, halfspace and ball post-filters —
+run as a handful of vectorized passes.
+
+Correctness contract (the oracle contract, DESIGN.md section 12): every
+predicate here mirrors its scalar counterpart *operation for operation*, so
+a vectorized query returns the byte-identical result set:
+
+* rectangle containment is the same closed ``lo <= p <= hi`` corner
+  comparison as :meth:`~repro.geometry.rectangles.Rect.contains_point`;
+* halfspace membership accumulates the dot product term by term in axis
+  order (matching ``sum(c * x for ...)``'s left-to-right rounding) and uses
+  the same relative-tolerance scale as
+  :meth:`~repro.geometry.halfspaces.HalfSpace.contains`;
+* the ball filter accumulates squared per-axis differences in axis order
+  and applies SRP-KW's exact ``1e-9 * max(1.0, r^2)`` tolerance.
+
+Cost contract: charges are *batch-granularity* — one
+``charge(category, n)`` per vectorized pass — but the per-category totals
+equal the scalar path's unit-at-a-time totals exactly (the intersection
+even reproduces the scalar path's short-circuit: a candidate eliminated by
+an earlier keyword is never charged a probe for a later one).  Under a
+budget the raise/no-raise outcome therefore coincides with the scalar
+path's; only the recorded overshoot past the budget can differ, because a
+batch charge lands whole.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..costmodel import CostCounter, ensure_counter
+from ..dataset import Dataset
+from ..geometry.halfspaces import EPS, HalfSpace
+from ..geometry.rectangles import Rect
+
+
+class ArrayStore:
+    """Array mirror of a :class:`~repro.dataset.Dataset`.
+
+    Holds the coordinates as one contiguous ``(n, d)`` float64 block (rows
+    in ascending object-id order) and each posting list as a sorted int64
+    array.  Built once per dataset and shared by every vectorized executor
+    over it.
+    """
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        ordered = sorted(dataset.objects, key=lambda obj: obj.oid)
+        self.oids = np.array([obj.oid for obj in ordered], dtype=np.int64)
+        if ordered:
+            self.coords = np.array(
+                [obj.point for obj in ordered], dtype=np.float64
+            )
+        else:
+            self.coords = np.zeros((0, dataset.dim or 1), dtype=np.float64)
+        postings: Dict[int, List[int]] = {}
+        for obj in ordered:
+            for word in obj.doc:
+                postings.setdefault(word, []).append(obj.oid)
+        self.postings: Dict[int, np.ndarray] = {
+            word: np.array(sorted(plist), dtype=np.int64)
+            for word, plist in postings.items()
+        }
+
+    def frequency(self, keyword: int) -> int:
+        """``|D(w)|`` (mirrors :meth:`InvertedIndex.frequency`)."""
+        plist = self.postings.get(keyword)
+        return 0 if plist is None else int(plist.size)
+
+    def rows(self, oids: np.ndarray) -> np.ndarray:
+        """Row indexes into :attr:`coords` for known object ids."""
+        return np.searchsorted(self.oids, oids)
+
+    # -- vectorized passes ------------------------------------------------------
+
+    def intersect(
+        self, keywords: Sequence[int], counter: Optional[CostCounter] = None
+    ) -> np.ndarray:
+        """``D(w1..wk)`` as a sorted int64 oid array.
+
+        Mirrors :meth:`InvertedIndex.matching_objects` exactly: the same
+        shortest-list-first order (stable sort by frequency), the same
+        charge totals (one ``objects_examined`` per shortest-list entry, one
+        ``structure_probes`` per membership test actually performed — a
+        candidate already eliminated by an earlier keyword is never probed
+        for a later one), and the same result order (ascending oid).
+        """
+        counter = ensure_counter(counter)
+        words = list(keywords)
+        if any(self.postings.get(w) is None for w in words):
+            return np.empty(0, dtype=np.int64)
+        words.sort(key=self.frequency)
+        shortest = self.postings[words[0]]
+        counter.charge("objects_examined", int(shortest.size))
+        alive = np.ones(shortest.size, dtype=bool)
+        for word in words[1:]:
+            live = int(alive.sum())
+            if live == 0:
+                break
+            counter.charge("structure_probes", live)
+            alive &= np.isin(shortest, self.postings[word], assume_unique=True)
+        return shortest[alive]
+
+    def rect_mask(self, oids: np.ndarray, rect: Rect) -> np.ndarray:
+        """Closed containment mask over the points with the given oids.
+
+        The batched rank-space containment test: both corner comparisons run
+        as whole-column vector predicates over the contiguous coordinate
+        block.  Infinite bounds behave exactly as in the scalar test.
+        """
+        pts = self.coords[self.rows(oids)]
+        lo = np.asarray(rect.lo, dtype=np.float64)
+        hi = np.asarray(rect.hi, dtype=np.float64)
+        return ((pts >= lo) & (pts <= hi)).all(axis=1)
+
+
+def halfspace_mask(points: np.ndarray, halfspace: HalfSpace) -> np.ndarray:
+    """Batched :meth:`HalfSpace.contains` over an ``(n, d)`` point block.
+
+    The dot product and the tolerance scale are accumulated axis by axis in
+    the same order as the scalar genexp sums, so every boundary-adjacent
+    point classifies identically.
+    """
+    n = points.shape[0]
+    values = np.zeros(n, dtype=np.float64)
+    scale = np.zeros(n, dtype=np.float64)
+    for axis, coeff in enumerate(halfspace.coeffs):
+        term = coeff * points[:, axis]
+        values += term
+        np.maximum(scale, np.abs(term), out=scale)
+    np.maximum(scale, max(abs(halfspace.bound), 1.0), out=scale)
+    return values <= halfspace.bound + EPS * scale
+
+
+def region_mask(
+    points: np.ndarray, halfspaces: Sequence[HalfSpace]
+) -> np.ndarray:
+    """Conjunction of :func:`halfspace_mask` over all constraints.
+
+    An empty constraint list keeps every point (matching the scalar
+    ``all(...)`` over an empty sequence).
+    """
+    mask = np.ones(points.shape[0], dtype=bool)
+    for halfspace in halfspaces:
+        mask &= halfspace_mask(points, halfspace)
+    return mask
+
+
+def ball_mask(
+    points: np.ndarray, center: Sequence[float], radius_squared: float
+) -> np.ndarray:
+    """Batched SRP-KW exact-distance post-filter.
+
+    Accumulates squared per-axis differences in axis order and applies the
+    identical ``1e-9 * max(1.0, r^2)`` relative tolerance as
+    :meth:`SrpKwIndex.query_squared`'s scalar loop.
+    """
+    dist_sq = np.zeros(points.shape[0], dtype=np.float64)
+    for axis, coord in enumerate(center):
+        diff = points[:, axis] - coord
+        dist_sq += diff**2
+    return dist_sq <= radius_squared + 1e-9 * max(1.0, radius_squared)
+
+
+def points_array(objects: Sequence) -> np.ndarray:
+    """``(n, d)`` float64 coordinate block for a candidate object list."""
+    if not objects:
+        return np.zeros((0, 1), dtype=np.float64)
+    return np.array([obj.point for obj in objects], dtype=np.float64)

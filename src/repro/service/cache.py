@@ -38,7 +38,14 @@ class LRUCache:
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Insert-pressure evictions only: entries pushed out by :meth:`put`
+        #: on a full cache.  Evictions caused by shrinking the capacity at
+        #: runtime are counted separately in :attr:`capacity_evictions` —
+        #: lumping them together made a post-reconfiguration ``stats()``
+        #: read as sudden workload pressure.
         self.evictions = 0
+        #: Entries dropped by :meth:`resize` shrinking the capacity.
+        self.capacity_evictions = 0
 
     def get(self, key: Hashable) -> Any:
         """Return the cached value (refreshing recency) or ``None`` on miss.
@@ -69,6 +76,21 @@ class LRUCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def resize(self, capacity: int) -> None:
+        """Change the capacity at runtime (engine reconfiguration).
+
+        Shrinking below the current size drops the least-recently-used
+        entries immediately, counted in :attr:`capacity_evictions` — not in
+        :attr:`evictions`, which stays a pure insert-pressure signal.
+        Resizing to ``0`` disables caching (and empties the cache).
+        """
+        if capacity < 0:
+            raise ValidationError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+            self.capacity_evictions += 1
+
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
@@ -93,5 +115,8 @@ class LRUCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            # getattr: caches unpickled from pre-resize snapshots lack the
+            # counter entirely.
+            "capacity_evictions": getattr(self, "capacity_evictions", 0),
             "hit_rate": self.hit_rate,
         }

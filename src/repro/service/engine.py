@@ -54,6 +54,9 @@ class QueryRecord:
     strategy: str
     cache: str  # "hit" | "miss" | "bypass"
     budget: Optional[int]
+    #: Which execution backend served the query ("cost_model" or
+    #: "vectorized"; for an ``auto`` engine this is the resolved choice).
+    backend: str = "cost_model"
     degraded: bool = False
     fallbacks: List[Dict[str, Any]] = field(default_factory=list)
     cost: Dict[str, int] = field(default_factory=dict)
@@ -80,6 +83,9 @@ class QueryRecord:
             "strategy": self.strategy,
             "cache": self.cache,
             "budget": self.budget,
+            # getattr: records unpickled from pre-vectorized-backend
+            # snapshots lack the field entirely.
+            "backend": getattr(self, "backend", "cost_model"),
             "degraded": self.degraded,
             "fallbacks": list(self.fallbacks),
             "cost": dict(self.cost),
@@ -126,7 +132,7 @@ class QueryEngine:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Optional[Dataset],
         max_k: int = 4,
         default_budget: Optional[int] = None,
         cache_size: int = 128,
@@ -135,13 +141,37 @@ class QueryEngine:
         keep_records: int = 1024,
         tracing: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        backend: str = "cost_model",
+        dynamic_index=None,
     ):
+        from ..fast import VectorizedBackend, validate_backend
         from .cache import LRUCache
 
         if default_budget is not None and default_budget < 1:
             raise ValidationError(f"default_budget must be >= 1, got {default_budget}")
         if keep_records < 1:
             raise ValidationError(f"keep_records must be >= 1, got {keep_records}")
+        self.backend = validate_backend(backend, allow_auto=True)
+        self._dynamic = dynamic_index
+        if dynamic_index is not None:
+            # Dynamic serving: the engine fronts a DynamicOrpKw — every
+            # query runs the "dynamic" strategy against the currently
+            # published epoch, and cache entries are keyed by epoch id so a
+            # publish can never serve a stale pre-write result.
+            if dataset is not None and dataset.objects:
+                raise ValidationError(
+                    "pass dataset=None when serving a dynamic_index "
+                    "(the engine reads the published epochs, not a static corpus)"
+                )
+            if backend != "cost_model":
+                raise ValidationError(
+                    "dynamic_index engines serve the instrumented dynamic "
+                    "path; backend must be 'cost_model'"
+                )
+            dataset = Dataset.empty(dynamic_index.dim)
+            max_k = dynamic_index.k
+        elif dataset is None:
+            raise ValidationError("dataset is required without a dynamic_index")
         self.dataset = dataset
         self.max_k = max_k
         self.default_budget = default_budget
@@ -154,6 +184,14 @@ class QueryEngine:
         self._strategy_counts: Dict[str, int] = {}
         self._fallback_count = 0
         self._degraded_count = 0
+        # The numpy mirror used for vectorized keywords-only execution.
+        # Built eagerly (it is cheap relative to the fused indexes below) so
+        # the first query does not pay a hidden build cost.
+        self._fast = (
+            VectorizedBackend(dataset)
+            if dataset.objects and self.backend != "cost_model"
+            else None
+        )
 
         if dataset.objects:
             self._index: Optional[MultiKOrpIndex] = MultiKOrpIndex(dataset, max_k)
@@ -183,6 +221,13 @@ class QueryEngine:
             self._planners = {}
             self._inverted = None
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # The array mirror is derived state: rebuild after unpickling
+        # instead of bloating index files with numpy blocks.
+        state = dict(self.__dict__)
+        state["_fast"] = None
+        return state
+
     def __setstate__(self, state: Dict[str, Any]) -> None:
         # Engines pickled before the trace layer existed lack these fields;
         # default them so old index files keep serving (and stats()) cleanly.
@@ -190,11 +235,23 @@ class QueryEngine:
         self.__dict__.setdefault("tracing", False)
         if self.__dict__.get("metrics") is None:
             self.metrics = MetricsRegistry()
+        # Engines pickled before the vectorized backend / dynamic serving.
+        self.__dict__.setdefault("backend", "cost_model")
+        self.__dict__.setdefault("_dynamic", None)
+        self.__dict__.setdefault("_fast", None)
+        if self.backend != "cost_model" and self.dataset.objects:
+            from ..fast import VectorizedBackend
+
+            self._fast = VectorizedBackend(self.dataset)
 
     # -- planning ---------------------------------------------------------------
 
     def _plan(self, rect: Rect, words: Sequence[int]) -> Tuple[List[str], Dict[str, float]]:
         """Strategy chain (cheapest estimate first) plus the raw estimates."""
+        if self._dynamic is not None:
+            # Dynamic engines have exactly one strategy: the currently
+            # published epoch of the LSM-style index.
+            return ["dynamic"], {}
         k = len(words)
         if k >= 2:
             planner = self._planners[k]
@@ -215,12 +272,51 @@ class QueryEngine:
         )
         return order, estimates
 
+    #: Below this estimated candidate count the numpy fast path's fixed
+    #: per-call overhead (array allocation, searchsorted) beats any batching
+    #: win, so ``auto`` stays on the scalar path.
+    AUTO_MIN_CANDIDATES = 64
+
+    def _resolve_backend(self, estimates: Dict[str, float]) -> str:
+        """Pick the execution backend for one ``auto``-mode query.
+
+        The rule reads the engine's own :class:`~repro.trace.MetricsRegistry`:
+        vectorize when this query's keywords-only candidate estimate is at
+        least ``AUTO_MIN_CANDIDATES`` *and* at least half the mean estimate
+        observed so far (i.e. the query is intersection-heavy relative to
+        this engine's workload).  Deterministic given the query history.
+        """
+        if self.backend != "auto":
+            return self.backend
+        estimate = float(estimates.get("keywords_only", 0.0))
+        history = self.metrics.histogram("auto_candidate_estimate")
+        threshold = float(self.AUTO_MIN_CANDIDATES)
+        if history.count:
+            threshold = max(threshold, 0.5 * history.total / history.count)
+        history.observe(estimate)
+        if "selectivity" in estimates:
+            self.metrics.histogram("auto_selectivity").observe(
+                float(estimates["selectivity"])
+            )
+        choice = "vectorized" if estimate >= threshold else "cost_model"
+        self.metrics.counter(f"backend_{choice}_total").inc()
+        return choice
+
     def _run_strategy(
-        self, strategy: str, rect: Rect, words: Sequence[int], counter: CostCounter
+        self,
+        strategy: str,
+        rect: Rect,
+        words: Sequence[int],
+        counter: CostCounter,
+        backend: str = "cost_model",
     ) -> List[KeywordObject]:
+        if strategy == "dynamic":
+            return self._dynamic.query(rect, words, counter)
         if strategy == "fused":
             return self._index.query(rect, words, counter)
         if strategy == "keywords_only":
+            if backend == "vectorized" and self._fast is not None:
+                return self._fast.query_rect(rect, words, counter)
             return self._keywords.query_rect(rect, words, counter)
         return self._structured.query_rect(rect, words, counter)
 
@@ -267,7 +363,12 @@ class QueryEngine:
         if owned:
             tracer = Tracer("query", "engine", query_id=query_id)
 
-        key = (rect.lo, rect.hi, frozenset(words))
+        # The epoch id pins a cache entry to the index version that produced
+        # it: a dynamic engine's publish bumps the id, so post-write queries
+        # can never be served a stale pre-write result.  Static engines are
+        # version 0 forever (same key shape, zero overhead).
+        epoch = self._dynamic.epoch.epoch_id if self._dynamic is not None else 0
+        key = (epoch, rect.lo, rect.hi, frozenset(words))
         cached, hit = self._cache.lookup(key)
         if hit:
             record = QueryRecord(
@@ -289,7 +390,7 @@ class QueryEngine:
             return cached
         self.metrics.counter("cache_misses_total").inc()
 
-        if self._index is None and not self._planners:
+        if self._index is None and not self._planners and self._dynamic is None:
             # Empty corpus: nothing can match; zero cost, honest trace.
             return self._finish(
                 query_id, rect, words, (), "empty_dataset", [], {}, budget,
@@ -297,6 +398,7 @@ class QueryEngine:
             )
 
         order, estimates = self._plan(rect, words)
+        backend = self._resolve_backend(estimates)
         spent = CostCounter()  # per-query accumulator, never budgeted
         fallbacks: List[Dict[str, Any]] = []
         results: Optional[List[KeywordObject]] = None
@@ -307,7 +409,9 @@ class QueryEngine:
             probe.tracer = tracer
             try:
                 with span_for(probe, strategy, "engine", budget=budget):
-                    results = self._run_strategy(strategy, rect, words, probe)
+                    results = self._run_strategy(
+                        strategy, rect, words, probe, backend=backend
+                    )
                 spent.merge(probe)
                 chosen = strategy
                 break
@@ -323,18 +427,22 @@ class QueryEngine:
             probe = CostCounter()
             probe.tracer = tracer
             with span_for(probe, order[0], "engine", degraded=True):
-                results = self._run_strategy(order[0], rect, words, probe)
+                results = self._run_strategy(
+                    order[0], rect, words, probe, backend=backend
+                )
             spent.merge(probe)
             chosen = order[0]
             degraded = True
         return self._finish(
             query_id, rect, words, results, chosen, fallbacks,
             estimates, budget, degraded, spent, caller, key, tracer, owned,
+            backend=backend,
         )
 
     def _finish(
         self, query_id, rect, words, results, chosen, fallbacks,
         estimates, budget, degraded, spent, caller, key, tracer=None, owned=False,
+        backend="cost_model",
     ) -> Tuple[KeywordObject, ...]:
         # Record and cache before touching the caller's counter, and fold the
         # spent units into it with absorb() (never merge()): a caller-supplied
@@ -356,6 +464,7 @@ class QueryEngine:
             strategy=chosen,
             cache="miss",
             budget=budget,
+            backend=backend,
             degraded=degraded,
             fallbacks=fallbacks,
             cost=spent.snapshot(),
@@ -464,6 +573,10 @@ class QueryEngine:
             },
             "max_k": self.max_k,
             "default_budget": self.default_budget,
+            "backend": getattr(self, "backend", "cost_model"),
+            "dynamic_epoch": (
+                self._dynamic.epoch.epoch_id if self._dynamic is not None else None
+            ),
             "metrics": self.metrics.snapshot(),
         }
 
@@ -509,6 +622,8 @@ class QueryEngine:
         units = 0
         if self._index is not None:
             units += self._index.space_units
+        if self._dynamic is not None:
+            units += self._dynamic.space_units
         for planner in self._planners.values():
             units += len(planner._sample)
         return units

@@ -182,7 +182,10 @@ class ShardedQueryEngine:
         keep_records: int = 1024,
         tracing: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        backend: str = "cost_model",
     ):
+        from ..fast import validate_backend
+
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
         if default_budget is not None and default_budget < 1:
@@ -192,6 +195,9 @@ class ShardedQueryEngine:
         self.dataset = dataset
         self.num_shards = shards
         self.max_k = max_k
+        #: Execution backend handed to every shard engine ("auto" resolves
+        #: per shard, per query, against that shard's own metrics history).
+        self.backend = validate_backend(backend, allow_auto=True)
         self.default_budget = default_budget
         self.tracing = tracing
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -223,6 +229,7 @@ class ShardedQueryEngine:
                 sample_size=sample_size,
                 seed=seed,
                 keep_records=keep_records,
+                backend=backend,
             )
             for shard in self.shard_datasets
         ]
@@ -239,6 +246,8 @@ class ShardedQueryEngine:
             self.shard_bounds = [
                 _bounding_rect(shard) for shard in self.shard_datasets
             ]
+        # Engines pickled before the vectorized backend existed.
+        self.__dict__.setdefault("backend", "cost_model")
 
     # -- serving ----------------------------------------------------------------
 
@@ -557,6 +566,7 @@ class ShardedQueryEngine:
             },
             "max_k": self.max_k,
             "default_budget": self.default_budget,
+            "backend": getattr(self, "backend", "cost_model"),
             "metrics": self.metrics.snapshot(),
         }
 

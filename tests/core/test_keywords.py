@@ -44,6 +44,45 @@ class TestLargeSmallSplit:
         large, materialized = large_small_split(objs, {1, 9}, 1, 2)
         assert 9 not in materialized
 
+    def test_exact_boundary_weight_8_k_3(self):
+        # N_u = 8, k = 3: threshold N_u^(1-1/k) = 4 exactly.  The float form
+        # ``8 ** (2/3)`` rounds to 4.000000000000001, which misclassified a
+        # 4-member list (exactly at the paper's >= threshold) as small.
+        objs = [obj(i, {1} if i < 4 else {2}) for i in range(8)]
+        large, materialized = large_small_split(objs, {1, 2}, 8, 3)
+        assert large == {1, 2}
+        assert materialized == {}
+
+    def test_exact_boundary_weight_9_k_2(self):
+        # N_u = 9, k = 2: threshold = 3 exactly; a 3-member list is large,
+        # a 2-member list is small.
+        objs = [
+            *(obj(i, {1}) for i in range(3)),
+            *(obj(i, {2}) for i in range(3, 5)),
+            *(obj(i, {3}) for i in range(5, 9)),
+        ]
+        large, materialized = large_small_split(objs, {1, 2, 3}, 9, 2)
+        assert 1 in large
+        assert 3 in large
+        assert set(materialized) == {2}
+
+    def test_one_below_boundary_is_small(self):
+        # N_u = 16, k = 2: threshold = 4; a 3-member list is strictly small.
+        objs = [
+            *(obj(i, {1}) for i in range(3)),
+            *(obj(i, {2}) for i in range(3, 16)),
+        ]
+        large, materialized = large_small_split(objs, {1, 2}, 16, 2)
+        assert large == {2}
+        assert set(materialized) == {1}
+
+    def test_zero_weight_has_no_large_keywords(self):
+        # At most N_u^(1/k) = 0 keywords may be large at an empty node; the
+        # old float threshold 0.0 made every present keyword large.
+        large, materialized = large_small_split([], {1, 2}, 0, 2)
+        assert large == set()
+        assert materialized == {}
+
     def test_at_most_weight_pow_1_over_k_large(self, rng):
         objs = [
             obj(i, rng.sample(range(1, 30), rng.randint(1, 4)))

@@ -1,0 +1,431 @@
+"""The vectorized backend's correctness oracle: the cost-model path.
+
+Contract (DESIGN.md §12): for every query the vectorized numpy backend must
+return the *same objects in the same order* as the scalar cost-model path
+and charge the *same cost-model units in every category*.  The scalar path
+is the oracle — these tests sweep both paths over the benchmark workload
+families (zipf, planted, disjoint-pair — the Table-1 rows), seeds, budgets,
+and sharded/unsharded serving, and demand byte-identical sorted object-id
+sets plus identical cost snapshots wherever a single index runs both paths.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.runner import analyze_paths
+from repro.core.baselines import KeywordsOnlyIndex
+from repro.core.lc_kw import LcKwIndex
+from repro.core.srp_kw import SrpKwIndex
+from repro.costmodel import CATEGORIES, CostCounter
+from repro.dataset import Dataset, make_objects
+from repro.errors import ValidationError
+from repro.fast import ArrayStore, VectorizedBackend, validate_backend
+from repro.geometry.halfspaces import rect_to_halfspaces
+from repro.geometry.rectangles import Rect
+from repro.service import QueryEngine, ShardedQueryEngine
+from repro.trace import Tracer
+from repro.workloads.generators import (
+    WorkloadConfig,
+    disjoint_pair_dataset,
+    planted_dataset,
+    zipf_dataset,
+)
+
+#: The benchmark workload families the sweep runs over (Table-1 rows).
+WORKLOADS = ("zipf", "planted", "disjoint")
+
+
+def workload_dataset(name: str, seed: int, num_objects: int = 160) -> Dataset:
+    if name == "zipf":
+        config = WorkloadConfig(
+            num_objects=num_objects, dim=2, vocabulary=16,
+            doc_min=1, doc_max=4, zipf_s=1.0, seed=seed,
+        )
+        return zipf_dataset(config)
+    if name == "planted":
+        return planted_dataset(
+            num_objects, 2, keywords=[1, 2], planted_fraction=0.1,
+            seed=seed, vocabulary=16,
+        )
+    return disjoint_pair_dataset(num_objects, dim=2, seed=seed)
+
+
+def random_rect(rng, span: float = 10.0) -> Rect:
+    a, b = sorted([rng.uniform(-1, span + 1), rng.uniform(-1, span + 1)])
+    c, d = sorted([rng.uniform(-1, span + 1), rng.uniform(-1, span + 1)])
+    return Rect((a, c), (b, d))
+
+
+def bounding_span(dataset: Dataset) -> float:
+    return max(max(obj.point) for obj in dataset.objects)
+
+
+def assert_same_answer_and_cost(scalar_pair, vectorized_pair, context=()):
+    """Identical result order *and* identical per-category cost charges."""
+    (scalar_result, scalar_counter) = scalar_pair
+    (vector_result, vector_counter) = vectorized_pair
+    assert [o.oid for o in scalar_result] == [o.oid for o in vector_result], context
+    assert scalar_counter.snapshot() == vector_counter.snapshot(), (
+        context, scalar_counter.snapshot(), vector_counter.snapshot()
+    )
+
+
+class TestValidateBackend:
+    def test_known_backends(self):
+        assert validate_backend("cost_model") == "cost_model"
+        assert validate_backend("vectorized") == "vectorized"
+        assert validate_backend("auto", allow_auto=True) == "auto"
+
+    def test_auto_rejected_for_indexes(self):
+        with pytest.raises(ValidationError):
+            validate_backend("auto")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_backend("gpu")
+
+
+class TestKeywordsOnlyOracle:
+    """KeywordsOnlyIndex: the tightest oracle — order and cost must match."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rect_sweep(self, workload, seed):
+        dataset = workload_dataset(workload, seed)
+        span = bounding_span(dataset)
+        rng = random.Random(seed + 100)
+        scalar = KeywordsOnlyIndex(dataset)
+        vectorized = KeywordsOnlyIndex(dataset, backend="vectorized")
+        for _ in range(12):
+            rect = random_rect(rng, span)
+            words = rng.sample(range(1, 9), rng.randint(1, 3))
+            c1, c2 = CostCounter(), CostCounter()
+            assert_same_answer_and_cost(
+                (scalar.query_rect(rect, words, c1), c1),
+                (vectorized.query_rect(rect, words, c2), c2),
+                (workload, seed, rect, words),
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_halfspace_region_sweep(self, seed):
+        dataset = workload_dataset("zipf", seed)
+        span = bounding_span(dataset)
+        rng = random.Random(seed + 200)
+        scalar = KeywordsOnlyIndex(dataset)
+        vectorized = KeywordsOnlyIndex(dataset, backend="vectorized")
+        for _ in range(10):
+            rect = random_rect(rng, span)
+            constraints = list(rect_to_halfspaces(rect.lo, rect.hi))
+            words = rng.sample(range(1, 9), rng.randint(1, 3))
+            c1, c2 = CostCounter(), CostCounter()
+            assert_same_answer_and_cost(
+                (scalar.query_constraints(constraints, words, c1), c1),
+                (vectorized.query_constraints(constraints, words, c2), c2),
+                (seed, rect, words),
+            )
+
+    def test_empty_result_query(self):
+        dataset = workload_dataset("zipf", 0)
+        rect = Rect((-5.0, -5.0), (-4.0, -4.0))  # outside every point
+        c1, c2 = CostCounter(), CostCounter()
+        assert_same_answer_and_cost(
+            (KeywordsOnlyIndex(dataset).query_rect(rect, [1, 2], c1), c1),
+            (
+                KeywordsOnlyIndex(dataset, backend="vectorized").query_rect(
+                    rect, [1, 2], c2
+                ),
+                c2,
+            ),
+        )
+
+    def test_absent_keyword_short_circuits_identically(self):
+        dataset = workload_dataset("zipf", 0)
+        c1, c2 = CostCounter(), CostCounter()
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        assert_same_answer_and_cost(
+            (KeywordsOnlyIndex(dataset).query_rect(rect, [1, 9999], c1), c1),
+            (
+                KeywordsOnlyIndex(dataset, backend="vectorized").query_rect(
+                    rect, [1, 9999], c2
+                ),
+                c2,
+            ),
+        )
+
+    def test_single_object_dataset(self):
+        dataset = Dataset(make_objects([(1.0, 1.0)], [[1, 2]]))
+        for rect in (Rect((0.0, 0.0), (2.0, 2.0)), Rect((3.0, 3.0), (4.0, 4.0))):
+            c1, c2 = CostCounter(), CostCounter()
+            assert_same_answer_and_cost(
+                (KeywordsOnlyIndex(dataset).query_rect(rect, [1, 2], c1), c1),
+                (
+                    KeywordsOnlyIndex(dataset, backend="vectorized").query_rect(
+                        rect, [1, 2], c2
+                    ),
+                    c2,
+                ),
+            )
+
+    def test_duplicate_keywords(self):
+        dataset = workload_dataset("zipf", 1)
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        c1, c2 = CostCounter(), CostCounter()
+        assert_same_answer_and_cost(
+            (KeywordsOnlyIndex(dataset).query_rect(rect, [2, 2, 2], c1), c1),
+            (
+                KeywordsOnlyIndex(dataset, backend="vectorized").query_rect(
+                    rect, [2, 2, 2], c2
+                ),
+                c2,
+            ),
+        )
+
+    def test_zero_area_rect(self):
+        # A degenerate Rect(p, p) is a closed point query; both paths use
+        # closed lo <= x <= hi comparisons.
+        dataset = Dataset(make_objects([(1.0, 2.0), (3.0, 4.0)], [[1, 2], [1, 2]]))
+        rect = Rect((1.0, 2.0), (1.0, 2.0))
+        c1, c2 = CostCounter(), CostCounter()
+        scalar = KeywordsOnlyIndex(dataset).query_rect(rect, [1, 2], c1)
+        vector = KeywordsOnlyIndex(dataset, backend="vectorized").query_rect(
+            rect, [1, 2], c2
+        )
+        assert [o.oid for o in scalar] == [o.oid for o in vector] == [0]
+        assert c1.snapshot() == c2.snapshot()
+
+    def test_budget_raise_outcome_matches(self):
+        # Cumulative totals are identical, so a budget raises on exactly the
+        # same queries.  Only the *recorded overshoot* may differ (a batch
+        # charge lands whole before the check), so totals are compared only
+        # on served queries.
+        from repro.errors import BudgetExceeded
+
+        dataset = workload_dataset("zipf", 2)
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        for budget in (1, 5, 50, 100000):
+            outcomes = []
+            for backend in ("cost_model", "vectorized"):
+                index = KeywordsOnlyIndex(dataset, backend=backend)
+                counter = CostCounter(budget=budget)
+                try:
+                    index.query_rect(rect, [1, 2], counter)
+                    outcomes.append(("served", counter.total))
+                except BudgetExceeded:
+                    outcomes.append(("exceeded", None))
+            assert outcomes[0] == outcomes[1], (budget, outcomes)
+
+    def test_pickle_roundtrip_drops_arrays_keeps_backend(self):
+        import pickle
+
+        index = KeywordsOnlyIndex(workload_dataset("zipf", 0), backend="vectorized")
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        before = [o.oid for o in index.query_rect(rect, [1, 2])]
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone.backend == "vectorized"
+        assert clone._fast is None  # derived state was dropped
+        assert [o.oid for o in clone.query_rect(rect, [1, 2])] == before
+
+
+class TestLcSrpOracle:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_lc_kw_single_constraint_and_simplex(self, seed):
+        dataset = workload_dataset("zipf", seed, num_objects=80)
+        span = bounding_span(dataset)
+        rng = random.Random(seed + 300)
+        scalar = LcKwIndex(dataset, k=2)
+        vectorized = LcKwIndex(dataset, k=2, backend="vectorized")
+        for _ in range(6):
+            rect = random_rect(rng, span)
+            constraints = list(rect_to_halfspaces(rect.lo, rect.hi))
+            words = rng.sample(range(1, 9), 2)
+            for subset in (constraints[:1], constraints):  # 1 vs 4 constraints
+                c1, c2 = CostCounter(), CostCounter()
+                assert_same_answer_and_cost(
+                    (scalar.query(subset, words, c1), c1),
+                    (vectorized.query(subset, words, c2), c2),
+                    (seed, rect, words, len(subset)),
+                )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_srp_kw_ball_queries(self, seed):
+        dataset = workload_dataset("zipf", seed, num_objects=80)
+        span = bounding_span(dataset)
+        rng = random.Random(seed + 400)
+        scalar = SrpKwIndex(dataset, k=2)
+        vectorized = SrpKwIndex(dataset, k=2, backend="vectorized")
+        for _ in range(6):
+            center = (rng.uniform(0, span), rng.uniform(0, span))
+            radius = rng.uniform(0.1, span / 2)
+            words = rng.sample(range(1, 9), 2)
+            c1, c2 = CostCounter(), CostCounter()
+            assert_same_answer_and_cost(
+                (scalar.query(center, radius, words, c1), c1),
+                (vectorized.query(center, radius, words, c2), c2),
+                (seed, center, radius, words),
+            )
+
+    def test_srp_kw_zero_radius(self):
+        dataset = Dataset(make_objects([(1.0, 2.0), (3.0, 4.0)], [[1, 2], [1, 2]]))
+        c1, c2 = CostCounter(), CostCounter()
+        scalar = SrpKwIndex(dataset, k=2).query((1.0, 2.0), 0.0, [1, 2], c1)
+        vector = SrpKwIndex(dataset, k=2, backend="vectorized").query(
+            (1.0, 2.0), 0.0, [1, 2], c2
+        )
+        assert [o.oid for o in scalar] == [o.oid for o in vector] == [0]
+        assert c1.snapshot() == c2.snapshot()
+
+
+class TestEngineSweep:
+    """The full differential matrix: workloads x seeds x budgets x sharding."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("seed", range(2))
+    def test_unsharded_backends_agree(self, workload, seed):
+        dataset = workload_dataset(workload, seed)
+        span = bounding_span(dataset)
+        engines = {
+            backend: QueryEngine(dataset, max_k=3, cache_size=0, backend=backend)
+            for backend in ("cost_model", "vectorized", "auto")
+        }
+        rng = random.Random(seed + 500)
+        for _ in range(8):
+            rect = random_rect(rng, span)
+            words = rng.sample(range(1, 9), rng.randint(1, 3))
+            for budget in (None, 4096):
+                answers = {
+                    backend: sorted(
+                        o.oid for o in engine.query(rect, words, budget=budget)
+                    )
+                    for backend, engine in engines.items()
+                }
+                oracle = answers["cost_model"]
+                assert answers["vectorized"] == oracle, (workload, seed, rect, words, budget)
+                assert answers["auto"] == oracle, (workload, seed, rect, words, budget)
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sharded_backends_agree(self, shards):
+        for workload in WORKLOADS:
+            dataset = workload_dataset(workload, seed=0)
+            span = bounding_span(dataset)
+            oracle_engine = ShardedQueryEngine(
+                dataset, shards=shards, max_k=3, cache_size=0
+            )
+            fast_engine = ShardedQueryEngine(
+                dataset, shards=shards, max_k=3, cache_size=0, backend="vectorized"
+            )
+            assert fast_engine.backend == "vectorized"
+            assert all(e.backend == "vectorized" for e in fast_engine.shard_engines)
+            rng = random.Random(600)
+            for _ in range(6):
+                rect = random_rect(rng, span)
+                words = rng.sample(range(1, 9), rng.randint(1, 3))
+                for budget in (None, 4096):
+                    want = sorted(
+                        o.oid for o in oracle_engine.query(rect, words, budget=budget)
+                    )
+                    got = sorted(
+                        o.oid for o in fast_engine.query(rect, words, budget=budget)
+                    )
+                    assert got == want, (workload, shards, rect, words, budget)
+
+    def test_record_reports_resolved_backend(self):
+        dataset = workload_dataset("zipf", 0)
+        engine = QueryEngine(dataset, max_k=2, cache_size=0, backend="vectorized")
+        engine.query(Rect((0.0, 0.0), (10.0, 10.0)), [1, 2])
+        record = engine.last_record
+        if record.strategy == "keywords_only":
+            assert record.backend == "vectorized"
+        assert record.to_dict()["backend"] == record.backend
+
+    def test_auto_resolves_from_metrics_history(self):
+        # auto vectorizes intersection-heavy queries (candidate estimate at
+        # least AUTO_MIN_CANDIDATES and at least half the running mean).
+        dataset = workload_dataset("zipf", 3, num_objects=400)
+        engine = QueryEngine(dataset, max_k=2, cache_size=0, backend="auto")
+        rare = max(dataset.vocabulary)  # Zipf tail: tiny posting list
+        common = min(dataset.vocabulary)
+        rect = Rect((0.0, 0.0), (bounding_span(dataset),) * 2)
+        engine.query(Rect(rect.lo, rect.hi), [common])
+        assert engine.last_record.backend == "vectorized"
+        engine.query(Rect(rect.lo, rect.hi), [rare])
+        assert engine.last_record.backend == "cost_model"
+        snapshot = engine.stats()["metrics"]
+        assert snapshot["counters"].get("backend_vectorized_total", 0) >= 1
+        assert snapshot["counters"].get("backend_cost_model_total", 0) >= 1
+        assert "auto_candidate_estimate" in snapshot["histograms"]
+
+    def test_vectorized_engine_pickle_roundtrip(self):
+        import pickle
+
+        dataset = workload_dataset("zipf", 0)
+        engine = QueryEngine(dataset, max_k=2, backend="vectorized")
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        want = sorted(o.oid for o in engine.query(rect, [1, 2]))
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.backend == "vectorized"
+        assert sorted(o.oid for o in clone.query(rect, [1, 2])) == want
+
+
+class TestTraceInvariant:
+    def test_vectorized_batch_charges_keep_leaf_sum_invariant(self):
+        # Batch-granularity charges must still land inside spans: the span
+        # tree's leaf costs account for every charged unit, per category.
+        dataset = workload_dataset("zipf", 0)
+        span = bounding_span(dataset)
+        engine = QueryEngine(
+            dataset, max_k=3, cache_size=0, tracing=True, backend="vectorized"
+        )
+        rng = random.Random(700)
+        checked = 0
+        for _ in range(10):
+            rect = random_rect(rng, span)
+            words = rng.sample(range(1, 9), rng.randint(1, 3))
+            engine.query(rect, words)
+            record = engine.last_record
+            assert record.trace is not None
+            leaf_total = _leaf_total(record.trace)
+            assert leaf_total == record.cost.get("total", 0), (rect, words)
+            checked += 1
+        assert checked == 10
+
+    def test_traced_vectorized_store_matches_untraced(self):
+        # The tracer hook must not change what the fast path charges.
+        dataset = workload_dataset("zipf", 1)
+        store = ArrayStore(dataset)
+        plain = CostCounter()
+        store.intersect([1, 2], plain)
+        traced = CostCounter()
+        traced.tracer = Tracer()
+        store.intersect([1, 2], traced)
+        traced.tracer.finish()
+        assert plain.snapshot() == traced.snapshot()
+
+
+def _leaf_total(span_dict) -> int:
+    children = span_dict.get("children") or []
+    if not children:
+        return sum(span_dict.get("costs", {}).get(c, 0) for c in CATEGORIES)
+    return sum(_leaf_total(child) for child in children)
+
+
+class TestReprolint:
+    def test_fast_package_is_lint_clean(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        findings = analyze_paths([root / "src" / "repro" / "fast"], root=root)
+        assert findings == [], [str(f) for f in findings]
+
+
+class TestVectorizedBackendUnit:
+    def test_rejects_empty_keywords(self):
+        backend = VectorizedBackend(workload_dataset("zipf", 0))
+        with pytest.raises(ValidationError):
+            backend.query_rect(Rect((0.0, 0.0), (1.0, 1.0)), [])
+
+    def test_store_intersection_order_is_oid_sorted(self):
+        dataset = workload_dataset("zipf", 0)
+        store = ArrayStore(dataset)
+        oids = store.intersect([1, 2], CostCounter())
+        assert list(oids) == sorted(oids)

@@ -56,5 +56,51 @@ class TestLRUCache:
             "hits": 1,
             "misses": 0,
             "evictions": 0,
+            "capacity_evictions": 0,
             "hit_rate": 1.0,
         }
+
+    def test_resize_shrink_evicts_lru_separately(self):
+        # Capacity-shrink evictions must not masquerade as insert-pressure
+        # evictions: the two counters answer different capacity questions.
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.resize(1)
+        assert cache.capacity == 1
+        assert "a" in cache
+        assert "b" not in cache and "c" not in cache
+        assert cache.capacity_evictions == 2
+        assert cache.evictions == 0
+
+    def test_resize_to_zero_disables_caching(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.resize(0)
+        assert len(cache) == 0
+        assert cache.capacity_evictions == 1
+        cache.put("b", 2)
+        assert cache.get("b") is None
+
+    def test_resize_grow_keeps_entries(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.resize(4)
+        assert cache.get("a") == 1
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.evictions == 0
+        assert cache.capacity_evictions == 0
+
+    def test_resize_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            LRUCache(2).resize(-1)
+
+    def test_insert_pressure_eviction_not_counted_as_capacity(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 1
+        assert cache.capacity_evictions == 0
