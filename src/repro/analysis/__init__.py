@@ -11,22 +11,32 @@ syntax, and the baseline workflow.
 Run it as ``python -m repro.analysis src`` or ``python -m repro.cli lint``.
 """
 
-from .baseline import load_baseline, split_findings, write_baseline
+from .baseline import dangling_entries, load_baseline, split_findings, write_baseline
+from .cfg import CFG, build_cfg, reaching_definitions
 from .findings import Finding
-from .rules import ALL_RULES, RULES_BY_ID, select_rules
-from .runner import analyze_paths, main
+from .rules import ALL_RULES, RULES_BY_ID, ProjectRule, Rule, select_rules
+from .runner import analyze_paths, main, sarif_payload
 from .source import SourceFile, iter_python_files, load_source
+from .symbols import ProjectModel
 
 __all__ = [
     "ALL_RULES",
+    "CFG",
     "Finding",
+    "ProjectModel",
+    "ProjectRule",
     "RULES_BY_ID",
+    "Rule",
     "SourceFile",
     "analyze_paths",
+    "build_cfg",
+    "dangling_entries",
     "iter_python_files",
     "load_baseline",
     "load_source",
     "main",
+    "reaching_definitions",
+    "sarif_payload",
     "select_rules",
     "split_findings",
     "write_baseline",

@@ -7,7 +7,9 @@ The workflow mirrors ruff's ``--add-noqa`` / mypy's baseline tools:
 2. Subsequent runs subtract baselined findings; only **new** findings fail
    the build (exit code 1).
 3. Baseline entries whose finding no longer exists are reported as *stale*
-   so the file shrinks over time instead of fossilizing.
+   so the file shrinks over time instead of fossilizing.  Stale entries
+   whose *file* no longer exists are **dangling** and fail the build: a
+   baseline that references deleted files no longer describes the tree.
 
 Matching is by ``(path, rule, message)`` — line numbers are recorded for
 human readers but ignored for matching, so pure code movement does not
@@ -60,6 +62,15 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
     }
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def dangling_entries(stale: Sequence[Key], root: Path) -> List[Key]:
+    """Stale keys whose referenced file no longer exists under ``root``.
+
+    These gate CI (exit 1) rather than merely being reported: a rename or
+    deletion must regenerate the baseline in the same change.
+    """
+    return [key for key in stale if not (root / key[0]).exists()]
 
 
 def split_findings(

@@ -1,0 +1,483 @@
+"""Intraprocedural control-flow graphs and reaching definitions.
+
+PR 3's rules were single-pass AST pattern matches: one function, one walk,
+no notion of *order* or *paths*.  The post-PR-6 invariants are path
+properties — "every exit path publishes exactly one epoch", "no
+read-modify-write of shared state straddles an ``await``", "a pushed span is
+popped on every exception path" — so this module gives the rule families a
+small statement-level CFG plus a classic reaching-definitions dataflow pass.
+
+Model (deliberately modest, documented where it approximates):
+
+* One :class:`CFGNode` per *statement* (plus synthetic ``entry``/``exit``).
+  Compound statements contribute a node for their header (the ``if``/
+  ``while``/``for`` test, the ``with`` items) and recurse into their bodies;
+  :meth:`CFGNode.header_ast` exposes only the header expressions so rules
+  never accidentally scan a whole subtree through its header node.
+* Edges carry a kind: ``next``, ``true``/``false`` (branch), ``back`` (loop
+  back edge), ``break``/``continue``, ``return``, ``raise`` (explicit
+  ``raise``), ``except`` (implicit potential exception inside a ``try``).
+* ``try``/``finally`` duplicates the ``finally`` suite per provenance — a
+  normal-completion copy, an exceptional copy that re-raises, and one copy
+  per ``return`` routed through it — so "the finally ran" and "the function
+  still raised/returned" stay distinguishable on the edge set.  Copies get
+  ``x<N>``-suffixed labels (``L12x1``) since they share line numbers.
+* Inside a ``try``, every statement gets ``except`` edges to the handler
+  entries (and to the exceptional ``finally`` copy when present): any
+  statement may raise.  Outside a ``try``, implicit exceptions are not
+  modeled; ``with`` blocks do not model ``__exit__`` as a barrier; ``break``
+  and ``continue`` do not route through intervening ``finally`` suites.
+  These are documented approximations, acceptable for lint-grade analysis.
+
+Labels are stable and test-friendly: ``entry``, ``exit``, else
+``L<lineno>`` (+ copy suffix), so fixtures can assert *exact* edge sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Edge kinds considered "normal completion" when asking whether a path
+#: reaches the function exit without raising.
+NORMAL_EXIT_KINDS = frozenset({"next", "true", "false", "return", "break"})
+
+#: Edge kinds that represent exceptional control transfer.
+EXCEPTIONAL_KINDS = frozenset({"raise", "except"})
+
+
+class CFGNode:
+    """One statement (or synthetic entry/exit) in the graph."""
+
+    __slots__ = ("index", "stmt", "kind", "label", "succ", "pred")
+
+    def __init__(
+        self,
+        index: int,
+        stmt: Optional[ast.AST] = None,
+        kind: str = "stmt",
+        suffix: str = "",
+    ):
+        self.index = index
+        self.stmt = stmt
+        self.kind = kind  # "entry" | "exit" | "stmt"
+        if kind in ("entry", "exit"):
+            self.label = kind
+        else:
+            self.label = f"L{getattr(stmt, 'lineno', 0)}{suffix}"
+        #: outgoing edges as (node, edge_kind) pairs, in creation order.
+        self.succ: List[Tuple["CFGNode", str]] = []
+        #: incoming edges as (node, edge_kind) pairs.
+        self.pred: List[Tuple["CFGNode", str]] = []
+
+    def header_ast(self) -> List[ast.AST]:
+        """The AST parts evaluated *at* this node (compound bodies excluded)."""
+        stmt = self.stmt
+        if stmt is None:
+            return []
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.target, stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return list(stmt.items)
+        if isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        return [stmt]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CFGNode({self.label})"
+
+
+class CFG:
+    """A built graph: nodes, synthetic entry/exit, and path queries."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(kind="entry")
+        self.exit = self._new(kind="exit")
+
+    def _new(
+        self, stmt: Optional[ast.AST] = None, kind: str = "stmt", suffix: str = ""
+    ) -> CFGNode:
+        node = CFGNode(len(self.nodes), stmt, kind, suffix)
+        self.nodes.append(node)
+        return node
+
+    def link(self, src: CFGNode, dst: CFGNode, kind: str = "next") -> None:
+        src.succ.append((dst, kind))
+        dst.pred.append((src, kind))
+
+    # -- queries ---------------------------------------------------------------
+
+    def edges(self) -> Set[Tuple[str, str, str]]:
+        """``{(src_label, dst_label, kind)}`` — what the CFG fixtures assert."""
+        return {
+            (node.label, dst.label, kind)
+            for node in self.nodes
+            for dst, kind in node.succ
+        }
+
+    def statement_nodes(self) -> List[CFGNode]:
+        return [node for node in self.nodes if node.kind == "stmt"]
+
+    def reachable(
+        self,
+        start: CFGNode,
+        avoid_nodes: Iterable[CFGNode] = (),
+        avoid_kinds: FrozenSet[str] = frozenset(),
+    ) -> Set[CFGNode]:
+        """Nodes reachable from ``start`` without *entering* an avoided node
+        or traversing an edge of an avoided kind.  ``start`` itself is not
+        returned unless a cycle leads back into it."""
+        blocked = set(avoid_nodes)
+        seen: Set[CFGNode] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for succ, kind in node.succ:
+                if kind in avoid_kinds or succ in blocked or succ in seen:
+                    continue
+                seen.add(succ)
+                stack.append(succ)
+        return seen
+
+    def path_exists(
+        self,
+        start: CFGNode,
+        goal: CFGNode,
+        avoid_nodes: Iterable[CFGNode] = (),
+        avoid_kinds: FrozenSet[str] = frozenset(),
+    ) -> bool:
+        return goal in self.reachable(start, avoid_nodes, avoid_kinds)
+
+
+class _LoopCtx:
+    __slots__ = ("continue_node", "break_frontier")
+
+    def __init__(self, continue_node: CFGNode):
+        self.continue_node = continue_node
+        self.break_frontier: List[Tuple[CFGNode, str]] = []
+
+
+class _Ctx:
+    """Builder context: where raises, breaks, and returns route to."""
+
+    __slots__ = ("except_targets", "loops", "finally_stack")
+
+    def __init__(self) -> None:
+        #: handler/exceptional-finally entry nodes a raise jumps to.
+        self.except_targets: List[CFGNode] = []
+        self.loops: List[_LoopCtx] = []
+        #: (finalbody, ctx-at-that-level) pairs, innermost last, that a
+        #: ``return`` must route through before reaching the exit.
+        self.finally_stack: List[Tuple[Sequence[ast.stmt], "_Ctx"]] = []
+
+    def child(self) -> "_Ctx":
+        ctx = _Ctx()
+        ctx.except_targets = list(self.except_targets)
+        ctx.loops = self.loops  # shared: break/continue see the same stack
+        ctx.finally_stack = list(self.finally_stack)
+        return ctx
+
+
+Frontier = List[Tuple[CFGNode, str]]
+
+
+class CFGBuilder:
+    """Builds a :class:`CFG` for one function (or a bare statement list)."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._copies = 0
+        self._suffix = ""
+
+    def build(self, func: ast.AST) -> CFG:
+        body = getattr(func, "body", None)
+        if body is None:
+            raise TypeError(f"cannot build a CFG for {func!r}")
+        frontier = self._stmts(body, [(self.cfg.entry, "next")], _Ctx())
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _connect(self, frontier: Frontier, node: CFGNode) -> None:
+        for src, kind in frontier:
+            self.cfg.link(src, node, kind)
+
+    def _fresh_suffix(self) -> str:
+        self._copies += 1
+        return f"x{self._copies}"
+
+    def _node(self, stmt: ast.AST, ctx: _Ctx, frontier: Frontier) -> CFGNode:
+        node = self.cfg._new(stmt, suffix=self._suffix)
+        self._connect(frontier, node)
+        # Any statement inside a try may raise into the handlers.
+        for target in ctx.except_targets:
+            self.cfg.link(node, target, "except")
+        return node
+
+    def _block(
+        self, stmts: Sequence[ast.stmt], frontier: Frontier, ctx: _Ctx
+    ) -> Tuple[Optional[CFGNode], Frontier]:
+        """Build ``stmts``; returns (entry node or None, out frontier)."""
+        before = len(self.cfg.nodes)
+        out = self._stmts(stmts, frontier, ctx)
+        entry = self.cfg.nodes[before] if len(self.cfg.nodes) > before else None
+        return entry, out
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def _stmts(
+        self, stmts: Sequence[ast.stmt], frontier: Frontier, ctx: _Ctx
+    ) -> Frontier:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier, ctx)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: Frontier, ctx: _Ctx) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._node(stmt, ctx, frontier)
+            return self._stmts(stmt.body, [(node, "next")], ctx)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, frontier, ctx)
+        if isinstance(stmt, ast.Raise):
+            node = self._node(stmt, ctx, frontier)
+            self._route_raise(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._node(stmt, ctx, frontier)
+            if ctx.loops:
+                ctx.loops[-1].break_frontier.append((node, "break"))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._node(stmt, ctx, frontier)
+            if ctx.loops:
+                self.cfg.link(node, ctx.loops[-1].continue_node, "continue")
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are opaque single statements here; their own
+            # bodies get their own CFGs when a rule asks for them.
+            node = self._node(stmt, ctx, frontier)
+            return [(node, "next")]
+        node = self._node(stmt, ctx, frontier)
+        return [(node, "next")]
+
+    # -- compound statements ---------------------------------------------------
+
+    def _if(self, stmt: ast.If, frontier: Frontier, ctx: _Ctx) -> Frontier:
+        test = self._node(stmt, ctx, frontier)
+        _, then_out = self._block(stmt.body, [(test, "true")], ctx)
+        if stmt.orelse:
+            _, else_out = self._block(stmt.orelse, [(test, "false")], ctx)
+            return then_out + else_out
+        return then_out + [(test, "false")]
+
+    def _loop(self, stmt: ast.stmt, frontier: Frontier, ctx: _Ctx) -> Frontier:
+        test = self._node(stmt, ctx, frontier)
+        loop = _LoopCtx(test)
+        ctx.loops.append(loop)
+        try:
+            _, body_out = self._block(stmt.body, [(test, "true")], ctx)
+        finally:
+            ctx.loops.pop()
+        for src, _kind in body_out:
+            self.cfg.link(src, test, "back")
+        after: Frontier = list(loop.break_frontier)
+        if stmt.orelse:
+            # while/else and for/else: the else suite runs on normal loop
+            # exit (test false), and a break skips it.
+            _, else_out = self._block(stmt.orelse, [(test, "false")], ctx)
+            return after + else_out
+        return after + [(test, "false")]
+
+    def _return(self, stmt: ast.Return, frontier: Frontier, ctx: _Ctx) -> Frontier:
+        node = self._node(stmt, ctx, frontier)
+        route: Frontier = [(node, "return")]
+        # An early return runs every enclosing finally, innermost first; each
+        # gets its own labeled copy so the provenance stays visible.
+        for finalbody, fctx in reversed(ctx.finally_stack):
+            saved = self._suffix
+            self._suffix = self._fresh_suffix()
+            try:
+                route = self._stmts(finalbody, route, fctx.child())
+            finally:
+                self._suffix = saved
+            route = [(src, "return") for src, _kind in route]
+        self._connect(route, self.cfg.exit)
+        return []
+
+    def _route_raise(self, node: CFGNode) -> None:
+        """Explicit ``raise``: into the handlers, or straight off the end."""
+        targets = [
+            target for target, kind in node.succ if kind == "except"
+        ]
+        if not targets:
+            self.cfg.link(node, self.cfg.exit, "raise")
+        # (the implicit "except" edges added by _node already cover the
+        # in-try case; an explicit raise adds no normal-completion edge)
+
+    def _try(self, stmt: ast.Try, frontier: Frontier, ctx: _Ctx) -> Frontier:
+        outer_ctx = ctx
+        has_finally = bool(stmt.finalbody)
+
+        # Exceptional finally copy: entered from a raising statement, exits
+        # by re-raising (to the outer handlers, or off the function).
+        exc_entry: Optional[CFGNode] = None
+        if has_finally:
+            saved = self._suffix
+            self._suffix = self._fresh_suffix()
+            try:
+                exc_entry, exc_out = self._block(
+                    stmt.finalbody, [], outer_ctx.child()
+                )
+            finally:
+                self._suffix = saved
+            for src, _kind in exc_out:
+                if outer_ctx.except_targets:
+                    for target in outer_ctx.except_targets:
+                        self.cfg.link(src, target, "raise")
+                else:
+                    self.cfg.link(src, self.cfg.exit, "raise")
+
+        # Handlers: their own raises route through this try's finally (the
+        # exceptional copy), then outward.
+        handler_ctx = outer_ctx.child()
+        if has_finally:
+            handler_ctx.except_targets = [exc_entry]
+            handler_ctx.finally_stack = outer_ctx.finally_stack + [
+                (stmt.finalbody, outer_ctx)
+            ]
+        handler_entries: List[CFGNode] = []
+        handler_out: Frontier = []
+        for handler in stmt.handlers:
+            entry, out = self._block(handler.body, [], handler_ctx.child())
+            if entry is not None:
+                handler_entries.append(entry)
+            handler_out.extend(out)
+
+        # Body: any statement may raise into the handlers (and, when a
+        # finally exists, into its exceptional copy for non-matching kinds).
+        body_ctx = outer_ctx.child()
+        body_ctx.except_targets = list(handler_entries)
+        if has_finally:
+            body_ctx.except_targets.append(exc_entry)
+            body_ctx.finally_stack = outer_ctx.finally_stack + [
+                (stmt.finalbody, outer_ctx)
+            ]
+        _, body_out = self._block(stmt.body, frontier, body_ctx)
+        if stmt.orelse:
+            _, body_out = self._block(stmt.orelse, body_out, body_ctx)
+
+        normal_in = body_out + handler_out
+        if has_finally:
+            _, out = self._block(stmt.finalbody, normal_in, outer_ctx.child())
+            return out
+        return normal_in
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a function (or any node with a ``body``)."""
+    return CFGBuilder().build(func)
+
+
+# --------------------------------------------------------------------------
+# reaching definitions
+
+
+def assigned_names(node: ast.AST) -> Set[str]:
+    """Names and dotted ``self``-rooted chains assigned in a header AST."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                out.update(_target_names(target))
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            out.update(_target_names(sub.target))
+        elif isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    out.update(_target_names(item.optional_vars))
+        elif isinstance(sub, ast.NamedExpr):
+            out.update(_target_names(sub.target))
+    return out
+
+
+def attribute_chain(node: ast.AST) -> Optional[str]:
+    """Dotted chain for ``a.b.c``-style expressions rooted at a Name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    if isinstance(target, ast.Name):
+        out.add(target.id)
+    elif isinstance(target, ast.Attribute):
+        chain = attribute_chain(target)
+        if chain is not None:
+            out.add(chain)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            out.update(_target_names(element))
+    elif isinstance(target, ast.Starred):
+        out.update(_target_names(target.value))
+    elif isinstance(target, ast.Subscript):
+        chain = attribute_chain(target.value)
+        if chain is not None:
+            out.add(chain)
+    return out
+
+
+Definition = Tuple[str, int]  # (variable, defining node index)
+
+
+def reaching_definitions(cfg: CFG) -> Dict[int, Set[Definition]]:
+    """Classic forward may-analysis over the statement-level CFG.
+
+    Returns, per node index, the set of ``(variable, defining-node-index)``
+    pairs that may reach the node's entry.  Variables are plain names and
+    dotted attribute chains (``self.count``), matching
+    :func:`assigned_names`.
+    """
+    gen: Dict[int, Set[Definition]] = {}
+    for node in cfg.nodes:
+        names: Set[str] = set()
+        for header in node.header_ast():
+            names.update(assigned_names(header))
+        gen[node.index] = {(name, node.index) for name in names}
+
+    in_sets: Dict[int, Set[Definition]] = {node.index: set() for node in cfg.nodes}
+    out_sets: Dict[int, Set[Definition]] = {node.index: set() for node in cfg.nodes}
+    work = list(cfg.nodes)
+    while work:
+        node = work.pop()
+        new_in: Set[Definition] = set()
+        for pred, _kind in node.pred:
+            new_in |= out_sets[pred.index]
+        killed = {name for name, _idx in gen[node.index]}
+        new_out = {
+            definition for definition in new_in if definition[0] not in killed
+        } | gen[node.index]
+        if new_in != in_sets[node.index] or new_out != out_sets[node.index]:
+            in_sets[node.index] = new_in
+            out_sets[node.index] = new_out
+            for succ, _kind in node.succ:
+                work.append(succ)
+    return in_sets

@@ -26,6 +26,11 @@ class Finding:
     col: int
     rule: str
     message: str
+    #: ``"error"`` or ``"warning"`` — reporting metadata carried into the
+    #: JSON/SARIF outputs.  Severity does not change gating: a new finding
+    #: fails the build either way, and it is excluded from :attr:`key` so
+    #: re-classifying a rule never invalidates a committed baseline.
+    severity: str = "error"
 
     @property
     def key(self) -> Tuple[str, str, str]:
@@ -44,4 +49,5 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
         }

@@ -6,7 +6,8 @@ Entry points:
 * ``python -m repro.cli lint [paths...]`` (the CLI subcommand delegates here)
 * :func:`analyze_paths` — the library API the tests use.
 
-Exit codes: 0 = clean (or baselined), 1 = new findings, 2 = usage error.
+Exit codes: 0 = clean (or baselined), 1 = new findings or baseline entries
+referencing deleted files, 2 = usage error.
 """
 
 from __future__ import annotations
@@ -20,8 +21,9 @@ from typing import Iterable, List, Optional, Sequence
 from ..errors import ReproError
 from . import baseline as baseline_mod
 from .findings import Finding
-from .rules import ALL_RULES, Rule, select_rules
-from .source import iter_python_files, load_source
+from .rules import ALL_RULES, ProjectRule, Rule, select_rules
+from .source import SourceFile, iter_python_files, load_source
+from .symbols import ProjectModel
 
 
 def analyze_paths(
@@ -33,13 +35,20 @@ def analyze_paths(
     """Run ``rules`` (default: all) over every .py file under ``paths``.
 
     ``root`` anchors display paths (default: the current directory).
-    ``respect_scope=False`` applies path-scoped rules (R4/R5/R6) everywhere —
+    ``respect_scope=False`` applies path-scoped rules (R4-R10) everywhere —
     the fixture tests use this to exercise rules outside their home packages.
-    Unparseable files yield a single ``PARSE`` finding instead of raising.
+    Per-file rules run file by file; :class:`ProjectRule` subclasses (R9,
+    R10) run once over a :class:`ProjectModel` of every loaded file, and
+    their findings are filtered through the *finding's own* file scope and
+    suppressions.  Unparseable files yield a ``PARSE`` finding instead of
+    raising.
     """
     active = list(rules) if rules is not None else list(ALL_RULES)
+    file_rules = [rule for rule in active if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
     anchor = root if root is not None else Path.cwd()
     findings: List[Finding] = []
+    sources: List[SourceFile] = []
     for file_path in iter_python_files(paths):
         try:
             src = load_source(file_path, root=anchor)
@@ -55,21 +64,100 @@ def analyze_paths(
                 )
             )
             continue
-        for rule in active:
+        sources.append(src)
+        for rule in file_rules:
             if respect_scope and not rule.applies_to(src.display_path):
                 continue
             for finding in rule.check(src):
                 if not src.suppressed(finding.line, rule.tags):
                     findings.append(finding)
+    if project_rules and sources:
+        model = ProjectModel(sources)
+        for rule in project_rules:
+            for finding in rule.check_project(model):
+                if respect_scope and not rule.applies_to(finding.path):
+                    continue
+                src_for = model.files.get(finding.path)
+                if src_for is not None and src_for.suppressed(
+                    finding.line, rule.tags
+                ):
+                    continue
+                findings.append(finding)
     return sorted(findings)
+
+
+#: SARIF severity levels corresponding to reprolint severities.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def sarif_payload(
+    new: Sequence[Finding], baselined: Sequence[Finding]
+) -> dict:
+    """A minimal SARIF 2.1.0 document for CI annotation uploads.
+
+    Baselined findings are included with ``baselineState: "unchanged"`` so
+    dashboards can render them without failing the gate; new findings carry
+    ``baselineState: "new"``.
+    """
+    rule_ids = sorted({f.rule for f in list(new) + list(baselined)})
+    rule_meta = []
+    for rule_id in rule_ids:
+        rule = next((r for r in ALL_RULES if r.id == rule_id), None)
+        entry: dict = {"id": rule_id}
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.title}
+            entry["defaultConfiguration"] = {
+                "level": _SARIF_LEVELS.get(rule.severity, "error")
+            }
+        rule_meta.append(entry)
+
+    def result(finding: Finding, state: str) -> dict:
+        return {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "error"),
+            "baselineState": state,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+
+    return {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "DESIGN.md#8",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": [result(f, "new") for f in new]
+                + [result(f, "unchanged") for f in baselined],
+            }
+        ],
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
         description=(
-            "reprolint: AST-based cost-accounting and invariant auditor "
-            "(rules R1-R6, see DESIGN.md section 8)"
+            "reprolint: CFG/dataflow cost-accounting and invariant auditor "
+            "(rules R1-R10, see DESIGN.md section 8)"
         ),
     )
     parser.add_argument(
@@ -80,9 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (text = ruff-style lines, json = machine-readable)",
+        help=(
+            "output format (text = ruff-style lines, json = machine-readable "
+            "report, sarif = SARIF 2.1.0 for CI annotation uploads)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -112,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--all-paths",
         action="store_true",
-        help="apply path-scoped rules (R4/R5/R6) to every analyzed file",
+        help="apply path-scoped rules (R4-R10) to every analyzed file",
     )
     return parser
 
@@ -152,6 +243,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parts = baseline_mod.split_findings(findings, accepted)
     new, baselined, stale = parts["new"], parts["baselined"], parts["stale"]
+    # A stale entry whose *file* is gone is not drift to shrink later — the
+    # baseline no longer describes the tree, so it gates like a finding.
+    dangling = baseline_mod.dangling_entries(stale, root)
 
     if args.format == "json":
         print(
@@ -161,16 +255,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "new": [f.to_dict() for f in new],
                     "baselined": [f.to_dict() for f in baselined],
                     "stale_baseline_entries": [list(key) for key in stale],
+                    "dangling_baseline_entries": [list(key) for key in dangling],
                     "summary": {
                         "total": len(findings),
                         "new": len(new),
                         "baselined": len(baselined),
                         "stale": len(stale),
+                        "dangling": len(dangling),
                     },
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(json.dumps(sarif_payload(new, baselined), indent=2))
     else:
         for finding in new:
             print(finding.render())
@@ -182,7 +280,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(summary, file=sys.stderr)
         if stale:
             for key in stale:
-                print(f"# stale baseline entry: {key[0]} {key[1]} {key[2]}",
-                      file=sys.stderr)
+                marker = " (file missing)" if key in dangling else ""
+                print(
+                    f"# stale baseline entry{marker}: {key[0]} {key[1]} {key[2]}",
+                    file=sys.stderr,
+                )
+        if dangling:
+            print(
+                f"# {len(dangling)} baseline entr"
+                f"{'y' if len(dangling) == 1 else 'ies'} reference(s) deleted "
+                "files; regenerate with --write-baseline",
+                file=sys.stderr,
+            )
 
-    return 1 if new else 0
+    return 1 if new or dangling else 0

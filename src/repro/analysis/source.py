@@ -52,30 +52,62 @@ class SourceFile:
         return any(tag.lower() in active for tag in tags)
 
 
+def _comment_tags(comment: str) -> Set[str]:
+    match = _SUPPRESS_RE.search(comment)
+    if not match:
+        return set()
+    payload = match.group(1).split("--", 1)[0]
+    return {part.strip().lower() for part in payload.split(",") if part.strip()}
+
+
 def _parse_suppressions(text: str) -> Dict[int, Set[str]]:
     """Extract ``# reprolint: ...`` tags via the tokenizer (not a line regex),
     so string literals that merely *contain* the marker are not treated as
-    suppressions."""
+    suppressions.
+
+    A comment attached to a *logical* line — including one sitting on any
+    physical line of a parenthesized continuation — suppresses every
+    physical line that logical line spans, so a finding anchored on the
+    first line of a multi-line call is silenced by a tag on (say) the
+    closing-paren line.  A standalone comment (no code on its logical line)
+    applies to its own line only.
+    """
     tags: Dict[int, Set[str]] = {}
+    logical_start: Optional[int] = None  # first code line since last NEWLINE
+    pending: Set[str] = set()  # tags seen inside the current logical line
+    last_line = 0
+    _JUNK = (tokenize.NL, tokenize.INDENT, tokenize.DEDENT, tokenize.ENCODING)
+
+    def flush(end_line: int) -> None:
+        nonlocal pending, logical_start
+        if pending and logical_start is not None:
+            for line in range(logical_start, end_line + 1):
+                tags.setdefault(line, set()).update(pending)
+        pending = set()
+        logical_start = None
+
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                parsed = _comment_tags(token.string)
+                if parsed:
+                    if logical_start is None:
+                        # Standalone comment: its own line only.
+                        tags.setdefault(token.start[0], set()).update(parsed)
+                    else:
+                        pending.update(parsed)
                 continue
-            match = _SUPPRESS_RE.search(token.string)
-            if not match:
+            if token.type == tokenize.NEWLINE:
+                flush(max(token.start[0], last_line))
                 continue
-            line = token.start[0]
-            payload = match.group(1).split("--", 1)[0]
-            parsed = {
-                part.strip().lower()
-                for part in payload.split(",")
-                if part.strip()
-            }
-            if parsed:
-                tags.setdefault(line, set()).update(parsed)
+            if token.type in _JUNK or token.type == tokenize.ENDMARKER:
+                continue
+            if logical_start is None:
+                logical_start = token.start[0]
+            last_line = token.end[0]
     except tokenize.TokenError:
         pass  # unterminated constructs: the ast parse will complain instead
+    flush(last_line)
     return tags
 
 

@@ -1,0 +1,339 @@
+"""Module-level symbol tables and a project call graph for cross-module rules.
+
+PR 3's rules see one function at a time; the backend-parity (R9) and
+span-discipline (R10) families need to reason *across* functions and across
+the ``core/`` ↔ ``fast/`` module pair: which charge categories a routine
+emits transitively, and whether a charging routine is only ever entered from
+inside an open :class:`~repro.trace.span.TraceSpan`.
+
+The model stays lint-grade on purpose:
+
+* Every function/method in the analyzed file set becomes a
+  :class:`FunctionInfo` carrying its direct cost-model **charge sites**
+  (``X.charge("<literal>", ...)``), **merge sites** (``X.merge(Y)`` between
+  counter-looking operands), and **call sites**.
+* Calls resolve *by bare callee name* across the project
+  (``self.store.intersect(...)`` resolves to every known function named
+  ``intersect``) — no type inference.  Rules narrow the candidate set with
+  module-path filters where collisions would hurt.
+* Each site records whether it is lexically inside an open span context:
+  a ``with span_for(...)`` / ``with tracer.span(...)`` block, or the
+  ``push(...); try: ... finally: pop()`` pattern the recursion hot paths use.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .source import SourceFile
+
+#: Names whose presence in an operand marks it as cost-counter-like for the
+#: merge-site heuristic (``spent.merge(probe)``; ``caller.merge(counter)``).
+_COUNTERISH = ("counter", "probe", "spent", "cost")
+
+
+def _is_counterish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        name = node.attr.lower()
+    else:
+        return False
+    return any(token in name for token in _COUNTERISH)
+
+
+def _is_span_with(stmt: ast.AST) -> bool:
+    """Whether a ``with`` statement opens a trace span."""
+    if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return False
+    for item in stmt.items:
+        expr = item.context_expr
+        if not isinstance(expr, ast.Call):
+            continue
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id == "span_for":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in ("span", "span_for"):
+            return True
+    return False
+
+
+def _push_call(stmt: ast.AST) -> Optional[ast.Call]:
+    """The ``tracer.push(...)`` call when ``stmt`` is exactly that."""
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "push"
+        and _receiver_is_tracer(stmt.value.func.value)
+    ):
+        return stmt.value
+    return None
+
+
+def _receiver_is_tracer(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "tracer" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "tracer" in node.attr.lower()
+    return False
+
+
+def _finalbody_pops(stmt: ast.Try) -> bool:
+    for sub in stmt.finalbody:
+        for call in ast.walk(sub):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "pop"
+                and _receiver_is_tracer(call.func.value)
+            ):
+                return True
+    return False
+
+
+@dataclass
+class ChargeSite:
+    """One ``X.charge(...)`` (or counter merge) call inside a function."""
+
+    call: ast.Call
+    category: Optional[str]  # literal first argument, when it is one
+    covered: bool  # lexically inside an open span context
+    is_merge: bool = False
+
+
+@dataclass
+class CallSite:
+    """One call to a (possibly project-internal) function, by bare name."""
+
+    call: ast.Call
+    callee: str
+    covered: bool
+
+
+@dataclass
+class PushSite:
+    """An explicit ``tracer.push(...)`` and whether a finally pops it."""
+
+    call: ast.Call
+    guarded: bool  # immediately followed by try/finally containing pop()
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method with its cost/span-relevant sites."""
+
+    path: str  # display path of the defining file
+    qualname: str  # "Class.method", "func", or "outer.<locals>.inner"
+    name: str  # bare name
+    node: ast.AST
+    charges: List[ChargeSite] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    pushes: List[PushSite] = field(default_factory=list)
+
+    @property
+    def direct_categories(self) -> Set[str]:
+        return {
+            site.category
+            for site in self.charges
+            if site.category is not None and not site.is_merge
+        }
+
+
+class _SiteCollector(ast.NodeVisitor):
+    """Walks one function body, tracking lexical span-context depth."""
+
+    def __init__(self, info: FunctionInfo):
+        self.info = info
+        self._span_depth = 0
+
+    def visit_body(self, stmts: Sequence[ast.stmt]) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            push = _push_call(stmt)
+            if push is not None:
+                follower = stmts[index + 1] if index + 1 < len(stmts) else None
+                guarded = isinstance(follower, ast.Try) and _finalbody_pops(follower)
+                self.info.pushes.append(PushSite(call=push, guarded=guarded))
+                if guarded:
+                    # The try body runs between push and pop: covered.
+                    self._span_depth += 1
+                    try:
+                        self.visit(follower)
+                    finally:
+                        self._span_depth -= 1
+                    index += 2
+                    continue
+            self.visit(stmt)
+            index += 1
+
+    # -- structure -------------------------------------------------------------
+
+    def _visit_compound(self, node: ast.AST) -> None:
+        for field_name in ("body", "orelse", "finalbody"):
+            self.visit_body(getattr(node, field_name, ()) or ())
+        for handler in getattr(node, "handlers", ()) or ():
+            self.visit_body(handler.body)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        self._visit_compound(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._visit_compound(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_compound(node)
+
+    visit_AsyncFor = visit_For
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._visit_compound(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+        if _is_span_with(node):
+            self._span_depth += 1
+            try:
+                self.visit_body(node.body)
+            finally:
+                self._span_depth -= 1
+        else:
+            self.visit_body(node.body)
+
+    visit_AsyncWith = visit_With
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested definitions are collected as their own FunctionInfo by the
+        # ProjectModel walk; don't double-attribute their sites here.
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    # -- sites -----------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        covered = self._span_depth > 0
+        if isinstance(func, ast.Attribute):
+            if func.attr == "charge":
+                category = None
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    value = node.args[0].value
+                    if isinstance(value, str):
+                        category = value
+                self.info.charges.append(
+                    ChargeSite(call=node, category=category, covered=covered)
+                )
+            elif func.attr == "merge" and (
+                _is_counterish(func.value)
+                or any(_is_counterish(arg) for arg in node.args)
+            ):
+                self.info.charges.append(
+                    ChargeSite(
+                        call=node, category=None, covered=covered, is_merge=True
+                    )
+                )
+            self.info.calls.append(
+                CallSite(call=node, callee=func.attr, covered=covered)
+            )
+        elif isinstance(func, ast.Name):
+            self.info.calls.append(
+                CallSite(call=node, callee=func.id, covered=covered)
+            )
+        self.generic_visit(node)
+
+
+class ProjectModel:
+    """Symbol tables + call graph over an analyzed set of source files."""
+
+    def __init__(self, sources: Iterable[SourceFile]):
+        self.files: Dict[str, SourceFile] = {}
+        self.functions: List[FunctionInfo] = []
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for src in sources:
+            self.add_file(src)
+
+    def add_file(self, src: SourceFile) -> None:
+        self.files[src.display_path] = src
+        self._walk(src, src.tree, prefix="")
+
+    def _walk(self, src: SourceFile, node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                self._walk(src, child, prefix=f"{prefix}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    path=src.display_path,
+                    qualname=f"{prefix}{child.name}",
+                    name=child.name,
+                    node=child,
+                )
+                collector = _SiteCollector(info)
+                collector.visit_body(child.body)
+                self.functions.append(info)
+                self.by_name.setdefault(child.name, []).append(info)
+                self._walk(src, child, prefix=f"{prefix}{child.name}.<locals>.")
+
+    # -- lookups ---------------------------------------------------------------
+
+    def resolve(
+        self, callee: str, path_filter: Optional[re.Pattern] = None
+    ) -> List[FunctionInfo]:
+        """Project functions named ``callee`` (optionally path-filtered)."""
+        found = self.by_name.get(callee, [])
+        if path_filter is None:
+            return list(found)
+        return [info for info in found if path_filter.search(info.path)]
+
+    def find(self, path_suffix: str, qualname: str) -> Optional[FunctionInfo]:
+        """The unique function at ``(*path_suffix, qualname)``, if present."""
+        for info in self.functions:
+            if info.qualname == qualname and info.path.endswith(path_suffix):
+                return info
+        return None
+
+    def call_sites_of(self, name: str) -> List[Tuple[FunctionInfo, CallSite]]:
+        """Every call site in the project whose bare callee name matches."""
+        out: List[Tuple[FunctionInfo, CallSite]] = []
+        for info in self.functions:
+            for site in info.calls:
+                if site.callee == name:
+                    out.append((info, site))
+        return out
+
+    def transitive_categories(
+        self, entry: FunctionInfo, path_filter: re.Pattern
+    ) -> Dict[str, List[Tuple[FunctionInfo, ChargeSite]]]:
+        """Charge categories reachable from ``entry`` through project calls.
+
+        Follows calls only into functions whose defining file matches
+        ``path_filter`` (the per-side module allowlist that keeps the
+        ``core``/``fast`` closures from leaking into each other).  Returns
+        ``{category: [(function, charge site), ...]}``.
+        """
+        out: Dict[str, List[Tuple[FunctionInfo, ChargeSite]]] = {}
+        seen: Set[int] = set()
+        stack = [entry]
+        while stack:
+            info = stack.pop()
+            if id(info) in seen:
+                continue
+            seen.add(id(info))
+            for site in info.charges:
+                if site.category is not None and not site.is_merge:
+                    out.setdefault(site.category, []).append((info, site))
+            for call in info.calls:
+                for callee in self.resolve(call.callee, path_filter):
+                    if id(callee) not in seen:
+                        stack.append(callee)
+        return out

@@ -37,6 +37,7 @@ from ..costmodel import CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject
 from ..errors import ValidationError
 from ..geometry.rectangles import Rect
+from ..trace import span_for
 from .orp_kw import OrpKwIndex
 
 
@@ -114,13 +115,14 @@ class Epoch:
         """Report matches across this epoch's buckets (tombstones filtered)."""
         counter = ensure_counter(counter)
         result: List[KeywordObject] = []
-        for bucket in self.buckets:
-            if bucket is None:
-                continue
-            for obj in bucket.query(rect, keywords, counter):
-                counter.charge("structure_probes")
-                if obj.oid not in self.tombstones:
-                    result.append(obj)
+        with span_for(counter, "epoch-scan", "dynamic", epoch=self.epoch_id):
+            for bucket in self.buckets:
+                if bucket is None:
+                    continue
+                for obj in bucket.query(rect, keywords, counter):
+                    counter.charge("structure_probes")
+                    if obj.oid not in self.tombstones:
+                        result.append(obj)
         return result
 
     def live_oids(self) -> FrozenSet[int]:

@@ -1,0 +1,67 @@
+"""R10 fixtures: charges/merges outside spans, and leaky span pushes.
+
+Coverage is lexical (``with span_for(...)`` / ``with tracer.span(...)`` /
+``push`` + ``try/finally pop``) or one-level interprocedural (every call
+site of the charging function is itself covered).
+"""
+
+
+class Uncovered:
+    def scan(self, counter):
+        counter.charge("structure_probes")  # EXPECT R10
+        return 0
+
+
+class CoveredLexically:
+    def scan_rect(self, counter):
+        with span_for(counter, "scan", "fixture"):
+            counter.charge("comparisons")
+        return 0
+
+    def managed(self, tracer, counter):
+        with tracer.span("shard", "fixture"):
+            counter.charge("comparisons")
+
+
+class CoveredViaCallers:
+    def helper_charge(self, counter):
+        counter.charge("objects_examined")
+
+    def outer(self, counter):
+        with span_for(counter, "outer", "fixture"):
+            self.helper_charge(counter)
+
+
+class MixedCallers:
+    def charge_probe(self, counter):
+        counter.charge("structure_probes")  # EXPECT R10
+
+    def covered_path(self, counter):
+        with span_for(counter, "covered", "fixture"):
+            self.charge_probe(counter)
+
+    def uncovered_path(self, counter):
+        self.charge_probe(counter)
+
+
+class Merges:
+    def collect(self, spent, probe):
+        spent.merge(probe)  # EXPECT R10
+
+    def collect_in_span(self, counter, probe):
+        with span_for(counter, "merge", "fixture"):
+            counter.merge(probe)
+
+
+class PushPop:
+    def guarded(self, tracer, counter):
+        tracer.push("query", "fixture")
+        try:
+            counter.charge("comparisons")
+        finally:
+            tracer.pop()
+
+    def leaky(self, tracer):
+        tracer.push("query", "fixture")  # EXPECT R10
+        self._work()
+        tracer.pop()

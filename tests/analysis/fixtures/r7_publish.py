@@ -1,0 +1,110 @@
+"""R7 fixtures: epoch-publication atomicity in copy-on-write mutators.
+
+A class is copy-on-write when it has a ``publish``-style method rebinding a
+published attribute.  Mutators then must not touch published state in
+place, must not publish twice on a path, and must publish on every
+non-exceptional exit once they build new state.
+"""
+
+
+class InPlaceMutation:
+    """Positive: mutators reach into the live epoch instead of copying."""
+
+    def __init__(self):
+        self._epoch = None
+
+    def _publish(self, epoch):
+        self._epoch = epoch
+
+    def insert(self, item):
+        self._epoch.items.append(item)  # EXPECT R7
+
+    def update(self, version):
+        self._epoch.version = version  # EXPECT R7
+
+    def remove(self, key):
+        del_marker = object()
+        self._epoch.slots[key] = del_marker  # EXPECT R7
+
+
+class DoublePublish:
+    """Positive: one control-flow path installs two epochs."""
+
+    def __init__(self):
+        self._epoch = None
+
+    def _publish(self, epoch):
+        self._epoch = epoch
+
+    def insert(self, item):
+        epoch = self._merged(item)
+        self._publish(epoch)
+        self._publish(epoch)  # EXPECT R7
+
+
+class LoopPublish:
+    """Positive: publishing per iteration exposes every intermediate epoch."""
+
+    def __init__(self):
+        self._epoch = None
+
+    def _publish(self, epoch):
+        self._epoch = epoch
+
+    def insert_many(self, items):
+        for item in items:
+            epoch = self._merged(item)
+            self._publish(epoch)  # EXPECT R7
+
+
+class ConditionalPublish:
+    """Positive: a built epoch silently dropped on the false branch."""
+
+    def __init__(self):
+        self._epoch = None
+
+    def _publish(self, epoch):
+        self._epoch = epoch
+
+    def insert(self, item):
+        epoch = self._merged(item)  # EXPECT R7
+        if item.priority:
+            self._publish(epoch)
+
+
+class CleanCopyOnWrite:
+    """Negative: validate, build off to the side, publish exactly once."""
+
+    def __init__(self):
+        self._epoch = None
+        self._index = {}
+
+    def _publish(self, epoch):
+        self._epoch = epoch
+
+    def insert(self, item):
+        if item is None:
+            return
+        epoch = self._merged(self._epoch, item)
+        self._publish(epoch)
+
+    def delete(self, oid):
+        # Publication through a helper that itself publishes is still a
+        # publication event (the DynamicOrpKw.delete -> _rebuild_all shape).
+        if oid not in self._index:
+            raise KeyError(oid)
+        epoch = self._without(oid)
+        self._rebuild(epoch)
+
+    def _rebuild(self, epoch):
+        self._publish(epoch)
+
+
+class NotCopyOnWrite:
+    """Negative: no publish method, so R7 never engages."""
+
+    def __init__(self):
+        self._items = []
+
+    def insert(self, item):
+        self._items.append(item)

@@ -1,0 +1,53 @@
+"""R8 fixtures: read-modify-write of shared state straddling an await.
+
+Positives capture a ``self.*`` snapshot, suspend, then write the stale
+value back; negatives either hold a lock across the region, recompute
+after the await, or only touch locals.
+"""
+
+
+class Races:
+    """Positive shapes."""
+
+    async def bump(self):
+        current = self._inflight
+        await self._refresh()
+        self._inflight = current + 1  # EXPECT R8
+
+    async def inline(self):
+        self._total = self._total + await self._delta()  # EXPECT R8
+
+    async def aug(self):
+        self._count += await self._delta()  # EXPECT R8
+
+    async def branchy(self, request):
+        snapshot = self._budget
+        if request.heavy:
+            await self._drain()
+        self._budget = snapshot - request.cost  # EXPECT R8
+
+
+class Guarded:
+    """Negative shapes."""
+
+    async def locked_bump(self):
+        async with self._lock:
+            current = self._inflight
+            await self._refresh()
+            self._inflight = current + 1
+
+    async def recompute(self):
+        await self._refresh()
+        self._inflight = self._inflight + 1
+
+    async def refreshed(self):
+        current = self._inflight
+        await self._refresh()
+        current = self._poll()
+        self._inflight = current + 1
+
+    async def local_only(self):
+        total = 0
+        for item in self._items:
+            total += await self._weight(item)
+        self._last_total = total

@@ -1,0 +1,8 @@
+"""R9 negative, scalar side: categories match the fast side transitively
+(structure_probes is charged by the inverted index this entry calls)."""
+
+
+class KeywordsOnlyIndex:
+    def query_predicate(self, query, counter):
+        counter.charge("comparisons")
+        return self._inverted.matching_objects(query.keywords, counter)

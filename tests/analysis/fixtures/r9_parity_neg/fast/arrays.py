@@ -1,0 +1,8 @@
+"""R9 negative: transitive fast callee inside the fast allowlist."""
+
+
+class ArrayStore:
+    def intersect(self, words, counter):
+        counter.charge("objects_examined", 8)
+        counter.charge("structure_probes", 8)
+        return None

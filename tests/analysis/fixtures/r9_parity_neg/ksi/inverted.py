@@ -1,0 +1,8 @@
+"""R9 negative: transitive scalar callee inside the core/ksi allowlist."""
+
+
+class InvertedIndex:
+    def matching_objects(self, words, counter):
+        counter.charge("objects_examined")
+        counter.charge("structure_probes")
+        return []

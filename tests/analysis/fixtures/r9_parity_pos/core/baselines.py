@@ -1,0 +1,12 @@
+"""R9 positive: the scalar path charges a category the fast path never
+mirrors (structure_probes), and the fast path charges one the scalar path
+never mirrors (simd_lanes) — one finding per direction, anchored on the
+entry point of the side that is *missing* the category."""
+
+
+class KeywordsOnlyIndex:
+    def query_predicate(self, query, counter):  # EXPECT R9
+        for obj in self._objects:
+            counter.charge("comparisons")
+            counter.charge("structure_probes")
+        return []

@@ -1,0 +1,12 @@
+"""R9 positive, fast side: missing structure_probes, extra simd_lanes."""
+
+
+class VectorizedBackend:
+    def query_rect(self, query, counter):  # EXPECT R9
+        counter.charge("comparisons", 1)
+        counter.charge("simd_lanes", 4)
+        return []
+
+    def query_halfspaces(self, query, counter):
+        counter.charge("comparisons", 1)
+        return []

@@ -1,10 +1,16 @@
-"""Baseline workflow tests: write, load, match, and stale detection."""
+"""Baseline workflow tests: write, load, match, stale and dangling
+detection."""
 
 import json
 
 import pytest
 
-from repro.analysis import load_baseline, split_findings, write_baseline
+from repro.analysis import (
+    dangling_entries,
+    load_baseline,
+    split_findings,
+    write_baseline,
+)
 from repro.analysis.findings import Finding
 from repro.errors import ValidationError
 
@@ -37,6 +43,21 @@ def test_stale_entries_reported(tmp_path):
 
     parts = split_findings([_finding()], accepted)
     assert parts["stale"] == [("pkg/mod.py", "R3", "gone")]
+
+
+def test_dangling_entries_require_a_missing_file(tmp_path):
+    """Stale-but-present files are drift (exit 0); missing files are
+    dangling (the runner gates on them)."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    stale = [
+        ("pkg/mod.py", "R3", "fixed finding, file still exists"),
+        ("pkg/deleted.py", "R3", "file is gone"),
+    ]
+    assert dangling_entries(stale, tmp_path) == [
+        ("pkg/deleted.py", "R3", "file is gone")
+    ]
+    assert dangling_entries([], tmp_path) == []
 
 
 def test_missing_baseline_is_empty(tmp_path):

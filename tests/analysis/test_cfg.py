@@ -1,0 +1,181 @@
+"""CFG builder tests: exact edge sets for the seeded control-flow shapes.
+
+Every test pins the *entire* edge set — labels are ``L<lineno>`` (plus an
+``x<N>`` suffix for duplicated ``finally`` copies), so an accidental extra
+or missing edge anywhere in the builder fails loudly.
+"""
+
+import ast
+
+from repro.analysis.cfg import (
+    EXCEPTIONAL_KINDS,
+    build_cfg,
+    reaching_definitions,
+)
+
+
+def cfg_of(src):
+    return build_cfg(ast.parse(src).body[0])
+
+
+def test_try_finally_edges():
+    """The finally suite is duplicated per provenance: a normal copy, an
+    exceptional re-raising copy (x1), and one copy per return (x2)."""
+    cfg = cfg_of(
+        """
+def f(xs):
+    acc = 0
+    try:
+        acc = risky(xs)
+        return acc
+    finally:
+        cleanup()
+"""
+    )
+    assert cfg.edges() == {
+        ("entry", "L3", "next"),
+        ("L3", "L5", "next"),
+        ("L5", "L6", "next"),
+        ("L5", "L8x1", "except"),
+        ("L6", "L8x1", "except"),
+        ("L6", "L8x2", "return"),
+        ("L8", "exit", "next"),
+        ("L8x1", "exit", "raise"),
+        ("L8x2", "exit", "return"),
+    }
+
+
+def test_early_return_edges():
+    cfg = cfg_of(
+        """
+def g(x):
+    if x < 0:
+        return -1
+    y = x + 1
+    return y
+"""
+    )
+    assert cfg.edges() == {
+        ("entry", "L3", "next"),
+        ("L3", "L4", "true"),
+        ("L3", "L5", "false"),
+        ("L4", "exit", "return"),
+        ("L5", "L6", "next"),
+        ("L6", "exit", "return"),
+    }
+
+
+def test_while_else_with_break_edges():
+    """break jumps past the else suite; normal exhaustion runs it."""
+    cfg = cfg_of(
+        """
+def h(xs):
+    while xs:
+        x = xs.pop()
+        if x:
+            break
+    else:
+        fallback()
+    done()
+"""
+    )
+    assert cfg.edges() == {
+        ("entry", "L3", "next"),
+        ("L3", "L4", "true"),
+        ("L3", "L8", "false"),
+        ("L4", "L5", "next"),
+        ("L5", "L6", "true"),
+        ("L5", "L3", "back"),
+        ("L6", "L9", "break"),
+        ("L8", "L9", "next"),
+        ("L9", "exit", "next"),
+    }
+
+
+def test_nested_with_edges():
+    cfg = cfg_of(
+        """
+def w(a, b):
+    with open(a) as fa:
+        with open(b) as fb:
+            copy(fa, fb)
+    finish()
+"""
+    )
+    assert cfg.edges() == {
+        ("entry", "L3", "next"),
+        ("L3", "L4", "next"),
+        ("L4", "L5", "next"),
+        ("L5", "L6", "next"),
+        ("L6", "exit", "next"),
+    }
+
+
+def test_path_queries_respect_avoided_nodes_and_kinds():
+    cfg = cfg_of(
+        """
+def f(x):
+    built = make(x)
+    if x:
+        publish(built)
+    return built
+"""
+    )
+    by_label = {node.label: node for node in cfg.nodes}
+    publish = by_label["L5"]
+    build = by_label["L3"]
+    # The false branch bypasses the publish statement entirely.
+    assert cfg.path_exists(build, cfg.exit, avoid_nodes=[publish])
+    # ...but every path still flows through the branch header.
+    assert not cfg.path_exists(build, cfg.exit, avoid_nodes=[by_label["L4"]])
+
+
+def test_exceptional_kinds_can_be_masked_out():
+    cfg = cfg_of(
+        """
+def f(x):
+    if x:
+        raise ValueError(x)
+    return x
+"""
+    )
+    by_label = {node.label: node for node in cfg.nodes}
+    raiser = by_label["L4"]
+    # The raise reaches the exit — but only over an exceptional edge.
+    assert cfg.path_exists(raiser, cfg.exit)
+    assert not cfg.path_exists(raiser, cfg.exit, avoid_kinds=EXCEPTIONAL_KINDS)
+
+
+def test_reaching_definitions_kill_and_merge():
+    cfg = cfg_of(
+        """
+def f(x):
+    v = 1
+    if x:
+        v = 2
+    use(v)
+"""
+    )
+    by_label = {node.label: node for node in cfg.nodes}
+    use = by_label["L6"]
+    defs = reaching_definitions(cfg)[use.index]
+    reaching_v = {idx for name, idx in defs if name == "v"}
+    # Both the initial def and the branch redef may reach the use...
+    assert reaching_v == {by_label["L3"].index, by_label["L5"].index}
+
+
+def test_reaching_definitions_tracks_attribute_chains():
+    cfg = cfg_of(
+        """
+def f(self):
+    self.count = 0
+    self.count = 1
+    use(self.count)
+"""
+    )
+    by_label = {node.label: node for node in cfg.nodes}
+    use = by_label["L5"]
+    defs = reaching_definitions(cfg)[use.index]
+    reaching = {idx for name, idx in defs if name == "self.count"}
+    # The second assignment kills the first.
+    assert reaching == {by_label["L4"].index}

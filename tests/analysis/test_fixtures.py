@@ -18,7 +18,7 @@ from repro.analysis.rules import select_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-_EXPECT_RE = re.compile(r"#\s*EXPECT\s+(R[1-6])\b")
+_EXPECT_RE = re.compile(r"#\s*EXPECT\s+(R\d+)\b")
 
 CASES = [
     ("R1", "r1_traversal.py"),
@@ -27,6 +27,16 @@ CASES = [
     ("R4", "r4_float_eq.py"),
     ("R5", "r5_wallclock.py"),
     ("R6", "r6_rng.py"),
+    ("R7", "r7_publish.py"),
+    ("R8", "r8_await.py"),
+    ("R10", "r10_span.py"),
+]
+
+#: Directory fixtures for the cross-module rule: R9 needs a core/ and a
+#: fast/ side in one analysis run, so each case is a mini source tree.
+DIR_CASES = [
+    ("R9", "r9_parity_pos"),
+    ("R9", "r9_parity_neg"),
 ]
 
 
@@ -83,6 +93,27 @@ def test_suppression_comments_honoured():
         assert {f.line for f in findings} == expected_lines(path, rule_id)
 
 
+@pytest.mark.parametrize("rule_id,dirname", DIR_CASES)
+def test_project_rule_flags_exactly_the_marked_lines(rule_id, dirname):
+    """R9 runs over a directory tree; expectations are per-file line sets."""
+    tree = FIXTURES / dirname
+    expected = set()
+    for path in sorted(tree.rglob("*.py")):
+        rel = path.relative_to(FIXTURES).as_posix()
+        expected |= {(rel, line) for line in expected_lines(path, rule_id)}
+    if dirname.endswith("_pos"):
+        assert expected, f"{dirname} must contain at least one EXPECT {rule_id}"
+
+    findings = analyze_paths(
+        [tree],
+        root=FIXTURES,
+        rules=select_rules([rule_id]),
+        respect_scope=False,
+    )
+    assert {f.rule for f in findings} <= {rule_id}
+    assert {(f.path, f.line) for f in findings} == expected
+
+
 def test_unknown_rule_rejected():
     with pytest.raises(ValueError):
-        select_rules(["R9"])
+        select_rules(["R99"])

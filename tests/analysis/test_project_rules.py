@@ -1,0 +1,117 @@
+"""Project-rule tests against the real tree: the R9 seeded-mutation drill
+and the differential regressions pinning tree fixes made under R7-R10.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.rules import select_rules
+from repro.costmodel import CostCounter
+from repro.core.dynamic import DynamicOrpKw
+from repro.geometry.rectangles import Rect
+from repro.trace.span import Tracer
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+#: The files participating in the keyword-intersection parity family.
+PARITY_FILES = [
+    "repro/core/baselines.py",
+    "repro/ksi/inverted.py",
+    "repro/fast/arrays.py",
+    "repro/fast/backend.py",
+]
+
+
+def _copy_parity_sandbox(tmp_path):
+    for rel in PARITY_FILES:
+        dst = tmp_path / rel
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(SRC / rel, dst)
+    return tmp_path
+
+
+class TestSeededMutation:
+    def test_unmutated_sandbox_is_parity_clean(self, tmp_path):
+        sandbox = _copy_parity_sandbox(tmp_path)
+        findings = analyze_paths(
+            [sandbox], root=sandbox, rules=select_rules(["R9"])
+        )
+        assert findings == []
+
+    def test_deleting_one_batch_charge_yields_exactly_one_finding(self, tmp_path):
+        """The acceptance drill: drop the structure_probes batch charge from
+        ArrayStore.intersect and R9 must report exactly one finding naming
+        the now-unmirrored category."""
+        sandbox = _copy_parity_sandbox(tmp_path)
+        arrays = sandbox / "repro/fast/arrays.py"
+        text = arrays.read_text()
+        target = 'counter.charge("structure_probes", live)'
+        assert target in text, "seeded-mutation target moved; update the drill"
+        arrays.write_text(
+            "\n".join(
+                line
+                for line in text.splitlines()
+                if target not in line
+            )
+            + "\n"
+        )
+
+        findings = analyze_paths(
+            [sandbox], root=sandbox, rules=select_rules(["R9"])
+        )
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "R9"
+        assert "'structure_probes'" in finding.message
+        assert finding.path.endswith("fast/backend.py")
+
+
+class TestTreeRegressions:
+    """Differential pins for true positives fixed in this PR: each assertion
+    fails on the pre-fix code."""
+
+    def test_dynamic_module_is_span_clean(self):
+        findings = analyze_paths(
+            [SRC / "repro/core/dynamic.py"],
+            root=REPO_ROOT,
+            rules=select_rules(["R10"]),
+        )
+        assert findings == []
+
+    def test_epoch_query_charges_inside_a_span(self):
+        """Runtime side of the same fix: with a tracer attached, the epoch
+        scan's structure probes land in a dedicated 'epoch-scan' span
+        instead of leaking into the caller's accounting."""
+        index = DynamicOrpKw(k=2, dim=2)
+        index.insert_many(
+            [(0.1, 0.1), (0.5, 0.5), (0.9, 0.9)],
+            [{1, 2}, {1, 3}, {2, 3}],
+        )
+        counter = CostCounter()
+        tracer = Tracer()
+        counter.tracer = tracer
+        tracer.push("query", "test")
+        try:
+            index.query(Rect((0.0, 0.0), (1.0, 1.0)), [1, 2], counter)
+        finally:
+            counter.tracer = None
+        root = tracer.finish()
+
+        def spans(span):
+            yield span
+            for child in span.children:
+                yield from spans(child)
+
+        epoch_spans = [s for s in spans(root) if s.name == "epoch-scan"]
+        assert epoch_spans, "Epoch.query must open an epoch-scan span"
+        assert all(s.component == "dynamic" for s in epoch_spans)
+        # Direct charges materialize as a "(self)" leaf at finish(); sum the
+        # whole epoch-scan subtree to see them.
+        probes = sum(
+            sub.costs.get("structure_probes", 0)
+            for top in epoch_spans
+            for sub in spans(top)
+        )
+        assert probes > 0

@@ -62,9 +62,30 @@ class TestMainExitCodes:
         payload = json.loads(capsys.readouterr().out)
         assert payload["tool"] == "reprolint"
         assert payload["summary"] == {
-            "total": 1, "new": 1, "baselined": 0, "stale": 0,
+            "total": 1, "new": 1, "baselined": 0, "stale": 0, "dangling": 0,
         }
         assert payload["new"][0]["rule"] == "R3"
+        assert payload["new"][0]["severity"] == "error"
+
+    def test_sarif_format(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        code = main(
+            [str(target), "--root", str(tmp_path), "--no-baseline",
+             "--format", "sarif"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert any(rule["id"] == "R3" for rule in run["tool"]["driver"]["rules"])
+        (result,) = run["results"]
+        assert result["ruleId"] == "R3"
+        assert result["level"] == "error"
+        assert result["baselineState"] == "new"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "bad.py"
+        assert location["region"] == {"startLine": 5, "startColumn": 9}
 
     def test_write_then_gate_with_baseline(self, tmp_path, capsys):
         target = self._bad_file(tmp_path)
@@ -80,6 +101,25 @@ class TestMainExitCodes:
         assert main(args) == 0
         assert "1 stale" in capsys.readouterr().err
 
+    def test_dangling_baseline_entry_fails_the_gate(self, tmp_path, capsys):
+        """A baseline entry whose file was deleted gates CI (exit 1): the
+        baseline no longer describes the tree and must be regenerated."""
+        target = self._bad_file(tmp_path)
+        other = tmp_path / "ok.py"
+        other.write_text("x = 1\n")
+        args = ["--root", str(tmp_path), "--baseline", "bl.json"]
+        assert main([str(target), str(other)] + args + ["--write-baseline"]) == 0
+        target.unlink()
+        capsys.readouterr()
+        assert main([str(other)] + args) == 1
+        err = capsys.readouterr().err
+        assert "file missing" in err
+        # the JSON report names the dangling entries explicitly
+        assert main([str(other)] + args + ["--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["dangling"] == 1
+        assert payload["dangling_baseline_entries"][0][0] == "bad.py"
+
     def test_unparseable_file_is_a_parse_finding(self, tmp_path, capsys):
         target = tmp_path / "broken.py"
         target.write_text("def f(:\n")
@@ -87,8 +127,23 @@ class TestMainExitCodes:
         assert "PARSE" in capsys.readouterr().out
 
     def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
-        assert main([str(tmp_path), "--rules", "R9"]) == 2
+        assert main([str(tmp_path), "--rules", "R99"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_new_family_smoke_run_is_clean(self):
+        """The CI smoke step: R7-R10 over the live tree gate at exit 0."""
+        assert (
+            main(
+                [
+                    str(REPO_ROOT / "src"),
+                    "--root",
+                    str(REPO_ROOT),
+                    "--rules",
+                    "R7,R8,R9,R10",
+                ]
+            )
+            == 0
+        )
 
 
 class TestCliSubcommand:

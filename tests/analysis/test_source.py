@@ -1,0 +1,102 @@
+"""Suppression-tokenizer tests: logical-line continuations, standalone
+comments, string-literal false markers, and rationale stripping."""
+
+import textwrap
+
+from repro.analysis.source import _parse_suppressions
+
+
+def parse(src):
+    return _parse_suppressions(textwrap.dedent(src))
+
+
+def test_trailing_comment_tags_its_own_line():
+    tags = parse(
+        """\
+        x = 1
+        y = items  # reprolint: r3
+        z = 3
+        """
+    )
+    assert tags == {2: {"r3"}}
+
+
+def test_continuation_comment_covers_the_whole_logical_line():
+    """A tag on any physical line of a parenthesized continuation applies
+    to every line the logical line spans — so a finding anchored on the
+    opening line is silenced by a tag near the closing paren."""
+    tags = parse(
+        """\
+        result = combine(
+            first,
+            second,  # reprolint: r1
+        )
+        after = 1
+        """
+    )
+    assert tags == {
+        1: {"r1"},
+        2: {"r1"},
+        3: {"r1"},
+        4: {"r1"},
+    }
+    assert 5 not in tags
+
+
+def test_comment_on_closing_paren_line():
+    tags = parse(
+        """\
+        value = f(
+            a,
+        )  # reprolint: exact
+        """
+    )
+    assert set(tags) == {1, 2, 3}
+    assert tags[1] == {"exact"}
+
+
+def test_standalone_comment_applies_to_its_own_line_only():
+    tags = parse(
+        """\
+        # reprolint: ignore
+        x = compute()
+        """
+    )
+    assert tags == {1: {"ignore"}}
+
+
+def test_multiple_tags_and_rationale():
+    tags = parse(
+        """\
+        return self.items  # reprolint: r3, exact -- documented zero-copy
+        """
+    )
+    assert tags == {1: {"r3", "exact"}}
+
+
+def test_marker_inside_string_literal_is_not_a_suppression():
+    tags = parse(
+        """\
+        doc = "use # reprolint: ignore to silence a line"
+        """
+    )
+    assert tags == {}
+
+
+def test_two_logical_lines_do_not_bleed_tags():
+    tags = parse(
+        """\
+        a = f(
+            1,
+        )  # reprolint: r1
+        b = g(
+            2,
+        )
+        """
+    )
+    assert set(tags) == {1, 2, 3}
+
+
+def test_unterminated_source_does_not_crash():
+    # TokenError path: ast.parse reports the syntax error elsewhere.
+    assert parse("x = (1,\n") == {}
