@@ -48,6 +48,14 @@ from .core.planner import HybridPlanner
 from .text import Vocabulary, dataset_from_texts, tokenize
 from .ksi import BitsetKSI, InvertedIndex, KSetIndex, NaiveKSI
 from .core.dynamic import DynamicOrpKw
+from .core.dynamize import (
+    DynamicKeywordsOnly,
+    DynamicLcKw,
+    DynamicMultiKOrp,
+    DynamicSrpKw,
+    Dynamized,
+    GaugeCompactionPolicy,
+)
 from .irtree import IrTree
 from .persist import load_index, save_index
 from .service import (
@@ -99,6 +107,12 @@ __all__ = [
     "NaiveKSI",
     "BitsetKSI",
     "DynamicOrpKw",
+    "Dynamized",
+    "DynamicKeywordsOnly",
+    "DynamicLcKw",
+    "DynamicMultiKOrp",
+    "DynamicSrpKw",
+    "GaugeCompactionPolicy",
     "IrTree",
     "MultiKOrpIndex",
     "RangeTree2D",

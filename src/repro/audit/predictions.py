@@ -89,6 +89,39 @@ class RowPrediction:
 #: planted OUT so descent cost, not output cost, dominates; ``planted_out``
 #: grows OUT at fixed N; ``n_sweep``/``t_sweep`` are the NN-index analogues.
 TABLE1: Dict[str, RowPrediction] = {
+    "CHURN": RowPrediction(
+        row="CHURN",
+        title="Dynamized ORP-KW under churn (Bentley-Saxe; extension)",
+        family="DynamicOrpKw",
+        k=2,
+        dim=2,
+        bound="amortized O(log n) rebuild participations per update; "
+        "query bound x O(log n)",
+        space="O(N)",
+        exponents=(
+            # Total maintenance cost over U updates is Theta(U log U):
+            # predicted exponent 1 with the log factor absorbed one-sidedly
+            # by the slack (measured ~1.15 over the sweep range).
+            ExponentPrediction(
+                sweep="churn_maintenance",
+                category="total",
+                parameter="U",
+                predicted=1.0,
+                slack=0.35,
+                tolerance=0.20,
+            ),
+            # Post-churn query on a planted (fixed-OUT) workload: the static
+            # sqrt(N) bound times the ladder's O(log n) bucket fan-out.
+            ExponentPrediction(
+                sweep="churn_query",
+                category="total",
+                parameter="N",
+                predicted=0.5,
+                slack=0.35,
+                tolerance=0.25,
+            ),
+        ),
+    ),
     "T1.1": RowPrediction(
         row="T1.1",
         title="ORP-KW, d <= 2 (Theorem 1)",

@@ -18,10 +18,12 @@ tables account cost identically.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.dim_reduction import DimReductionOrpKw
+from ..core.dynamic import DynamicOrpKw
 from ..core.nn_linf import LinfNnIndex
 from ..core.orp_kw import OrpKwIndex
 from ..core.srp_kw import SrpKwIndex
@@ -265,7 +267,68 @@ def _run_t1_7(mode: ModeConfig, seed: int, registry):
     return sweeps, structural
 
 
+#: Fraction of churn updates that are deletes (the rest are inserts).
+CHURN_DELETE_FRACTION = 0.25
+
+
+def _churned_index(num: int, seed: int, planted: bool = False) -> DynamicOrpKw:
+    """A :class:`DynamicOrpKw` grown through a seeded insert/delete mix.
+
+    Every object of the source dataset is inserted one at a time; after a
+    warm-up, roughly one delete per four inserts retires a uniformly random
+    live object.  The mix is fully seeded (R6), so the resulting bucket
+    ladder, tombstone history, and maintenance charges are reproducible
+    byte-for-byte — the determinism the gate depends on.
+    """
+    ds = _planted(num, 2) if planted else _zipf(num, dim=2, seed=seed)
+    rng = random.Random(seed * 100003 + num)
+    index = DynamicOrpKw(k=2, dim=2)
+    live: List[int] = []
+    for obj in ds.objects:
+        live.append(index.insert(obj.point, obj.doc))
+        if len(live) > 8 and rng.random() < CHURN_DELETE_FRACTION:
+            victim = live.pop(rng.randrange(len(live)))
+            index.delete(victim)
+    return index
+
+
+def _run_churn(mode: ModeConfig, seed: int, registry):
+    """The dynamization row: amortized maintenance + post-churn query cost.
+
+    ``churn_maintenance`` sweeps the *cumulative maintenance cost* (carry
+    merges + compaction rebuilds, as charged to ``Dynamized.maintenance``)
+    against the number of updates ``U``: Bentley–Saxe predicts ``U log U``
+    rebuild participations in total, i.e. a fitted exponent just above 1.
+    ``churn_query`` sweeps post-churn query cost against live input size on
+    a planted workload (fixed small OUT), where the static ``sqrt(N)``
+    bound picks up the ladder's ``O(log n)`` bucket fan-out.
+    """
+    sweeps: Dict[str, List[Dict[str, Any]]] = {
+        "churn_maintenance": [], "churn_query": [],
+    }
+    for num in mode.sweep_objects:
+        index = _churned_index(num, seed)
+        updates = index.epoch.epoch_id  # one epoch per insert/delete
+        sweeps["churn_maintenance"].append(
+            _point(
+                "U", updates,
+                {"out": len(index), "cost": index.maintenance.snapshot()},
+            )
+        )
+
+    index = None
+    for num in mode.sweep_objects:
+        index = _churned_index(num, seed, planted=True)
+        measured = measure_query(
+            lambda c: index.query(Rect.full(2), [1, 2], counter=c), registry
+        )
+        sweeps["churn_query"].append(_point("N", index.input_size, measured))
+    structural = [space_report(index, per_unit_cap=64.0)]
+    return sweeps, structural
+
+
 _ROW_RUNNERS = {
+    "CHURN": _run_churn,
     "T1.1": _run_t1_1,
     "T1.2": _run_t1_2,
     "T1.5": _run_t1_5,

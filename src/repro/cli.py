@@ -140,7 +140,57 @@ def load_jsonl_rectangles(path: str) -> List[RectangleObject]:
     return rectangles
 
 
+def _build_dynamic_index(kind: str, dataset: Dataset, k: int):
+    """Build a Bentley–Saxe dynamized index and bulk-load the dataset.
+
+    The load goes through :meth:`insert_many` (one carry merge, one
+    published epoch), so the saved index supports further inserts and
+    deletes after ``load_index`` — the point of ``build --dynamic``.
+    """
+    from .core.dynamic import DynamicOrpKw
+    from .core.dynamize import (
+        DynamicKeywordsOnly,
+        DynamicLcKw,
+        DynamicMultiKOrp,
+        DynamicSrpKw,
+    )
+
+    dim = dataset.dim
+    if kind == "orp":
+        index = DynamicOrpKw(k=k, dim=dim)
+    elif kind == "lc":
+        index = DynamicLcKw(k=k, dim=dim)
+    elif kind == "srp":
+        index = DynamicSrpKw(k=k, dim=dim)
+    elif kind == "keywords":
+        index = DynamicKeywordsOnly(dim=dim)
+    elif kind == "multi":
+        index = DynamicMultiKOrp(dim=dim, max_k=k)
+    else:
+        raise ValidationError(
+            f"--dynamic is not supported for --kind {kind}; "
+            "dynamizable kinds: keywords, lc, multi, orp, srp"
+        )
+    index.insert_many(
+        [obj.point for obj in dataset.objects],
+        [obj.doc for obj in dataset.objects],
+    )
+    return index
+
+
 def cmd_build(args: argparse.Namespace) -> int:
+    if args.dynamic:
+        dataset = load_jsonl_dataset(args.dataset)
+        index = _build_dynamic_index(args.kind, dataset, args.k)
+        save_index(index, args.index)
+        print(
+            f"# built {type(index).__name__} over {len(dataset)} objects "
+            f"(N={dataset.total_doc_size}), saved to {args.index}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.kind in ("keywords", "multi"):
+        raise ValidationError(f"--kind {args.kind} requires --dynamic")
     index_cls = INDEX_KINDS[args.kind]
     if args.kind == "rr":
         rectangles = load_jsonl_rectangles(args.dataset)
@@ -333,21 +383,30 @@ def cmd_query(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 0
-        if not isinstance(index, OrpKwIndex):
+        from .core.dynamic import DynamicOrpKw
+        from .core.dynamize import DynamicKeywordsOnly, DynamicMultiKOrp
+
+        rect_kinds = (OrpKwIndex, DynamicOrpKw, DynamicKeywordsOnly, DynamicMultiKOrp)
+        if not isinstance(index, rect_kinds):
             raise ValidationError(
-                "--rect queries need an index built with --kind orp or rr"
+                "--rect queries need an index built with --kind orp or rr "
+                "(or a rect-family --dynamic index)"
             )
         rect = Rect(args.rect[:dim], args.rect[dim:])
         found = index.query(rect, args.keywords, counter=counter)
     elif args.halfspace is not None:
-        if not isinstance(index, LcKwIndex):
+        from .core.dynamize import DynamicLcKw
+
+        if not isinstance(index, (LcKwIndex, DynamicLcKw)):
             raise ValidationError("--halfspace queries need an index built with --kind lc")
         from .geometry.halfspaces import HalfSpace
 
         *coeffs, bound = args.halfspace
         found = index.query([HalfSpace(coeffs, bound)], args.keywords, counter=counter)
     elif args.ball is not None:
-        if not isinstance(index, SrpKwIndex):
+        from .core.dynamize import DynamicSrpKw
+
+        if not isinstance(index, (SrpKwIndex, DynamicSrpKw)):
             raise ValidationError("--ball queries need an index built with --kind srp")
         *center, radius = args.ball
         found = index.query(center, radius, args.keywords, counter=counter)
@@ -418,7 +477,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
     """The scaling-law audit: run sweeps, gate against baselines, scorecard."""
     from . import audit
 
-    rows = args.rows if args.rows else list(audit.AUDITED_ROWS)
+    # Row ids are case-normalized so `--rows churn` and `--rows t1.1` work.
+    rows = (
+        [row.upper() for row in args.rows]
+        if args.rows
+        else list(audit.AUDITED_ROWS)
+    )
     for row in rows:
         audit.require_row(row)  # fail fast on typos before any sweep runs
     mode = "quick" if args.quick else "full"
@@ -483,8 +547,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_build = sub.add_parser("build", help="build an index from a JSONL dataset")
     p_build.add_argument("dataset", help="JSONL file of {point, doc} records")
     p_build.add_argument("index", help="output index file")
-    p_build.add_argument("--kind", choices=sorted(INDEX_KINDS), default="orp")
+    p_build.add_argument(
+        "--kind",
+        choices=sorted(set(INDEX_KINDS) | {"keywords", "multi"}),
+        default="orp",
+    )
     p_build.add_argument("--k", type=int, default=2, help="query keywords per query")
+    p_build.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="build a Bentley-Saxe dynamized index (insert/delete-capable; "
+        "kinds orp, lc, srp, keywords, multi)",
+    )
     p_build.add_argument(
         "--budget",
         type=int,

@@ -21,9 +21,23 @@ from .nn_linf import LinfNnIndex
 from .srp_kw import SrpKwIndex
 from .nn_l2 import L2NnIndex
 from .multi_k import MultiKOrpIndex
+from .dynamize import (
+    Dynamized,
+    DynamicKeywordsOnly,
+    DynamicLcKw,
+    DynamicMultiKOrp,
+    DynamicSrpKw,
+    GaugeCompactionPolicy,
+)
 
 __all__ = [
     "MultiKOrpIndex",
+    "Dynamized",
+    "DynamicKeywordsOnly",
+    "DynamicLcKw",
+    "DynamicMultiKOrp",
+    "DynamicSrpKw",
+    "GaugeCompactionPolicy",
     "OrpKwIndex",
     "DimReductionOrpKw",
     "LcKwIndex",

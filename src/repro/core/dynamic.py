@@ -1,4 +1,4 @@
-"""Dynamization of the static indexes (extension; not in the paper).
+"""Dynamization of the static ORP-KW index (extension; not in the paper).
 
 The paper's indexes are static.  This module adds insertions and deletions
 through the classic *logarithmic method* (Bentley–Saxe): maintain static
@@ -6,8 +6,15 @@ sub-indexes of doubling sizes; an insertion merges the carry chain of full
 buckets into the next empty one (amortized ``O(log n)`` index rebuilds per
 insertion); a query fans out over the ``O(log n)`` live buckets, which
 multiplies the static query bound by ``O(log n)``.  Deletions are lazy
-tombstones with a global rebuild once half the elements are dead, keeping
-the structure within a constant factor of its minimal size.
+tombstones with a compaction rebuild driven by the published tombstone
+fraction (the default policy reproduces the classic half-dead rebuild),
+keeping the structure within a constant factor of its minimal size.
+
+The machinery — bucket ladder, copy-on-write :class:`Epoch` publication,
+tombstone set, gauge-driven compaction, audited maintenance cost — is
+generic and lives in :mod:`repro.core.dynamize`; this module is the ORP-KW
+wiring (:class:`DynamicOrpKw`) and keeps the original import surface
+(``Epoch`` included) for existing callers.
 
 Snapshot isolation
 ------------------
@@ -22,169 +29,23 @@ during a carry merge, or a mid-rebuild empty bucket list — even when a
 writer thread races it.  The contract is single-writer/many-readers: writes
 must be serialized by the caller (the async serving layer does this with a
 writer lock), while any number of readers pin epochs lock-free.
-
-Works for any static index exposing the ``(dataset, k)`` constructor and a
-``query(region_args..., keywords, counter, ...)`` method; the concrete
-:class:`DynamicOrpKw` wires it to :class:`~repro.core.orp_kw.OrpKwIndex`.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..costmodel import CostCounter, ensure_counter
-from ..dataset import Dataset, KeywordObject
-from ..errors import ValidationError
+from ..costmodel import CostCounter
+from ..dataset import KeywordObject
 from ..geometry.rectangles import Rect
-from ..trace import span_for
-from .orp_kw import OrpKwIndex
+from .dynamize import Dynamized, OrpKwAdapter, RectEpoch
+
+#: The ORP-KW epoch type (re-exported so ``repro.core.dynamic.Epoch`` keeps
+#: working; the generic machinery lives in :mod:`repro.core.dynamize`).
+Epoch = RectEpoch
 
 
-class _Bucket:
-    """One static sub-index over a fixed object snapshot.
-
-    Buckets are immutable once built: a carry merge constructs *new* buckets
-    and leaves the old ones intact, so epochs pinned by concurrent readers
-    keep querying the structures they captured.
-    """
-
-    __slots__ = ("objects", "index")
-
-    def __init__(self, objects: List[KeywordObject], k: int):
-        self.objects = objects
-        # Re-id objects locally (Dataset requires unique ids; globals may
-        # collide after re-insertion) and keep the mapping positional.
-        local = [
-            KeywordObject(oid=i, point=obj.point, doc=obj.doc)
-            for i, obj in enumerate(objects)
-        ]
-        self.index = OrpKwIndex(Dataset(local), k)
-
-    def query(
-        self,
-        rect: Rect,
-        words: Sequence[int],
-        counter: CostCounter,
-    ) -> List[KeywordObject]:
-        found = self.index.query(rect, words, counter)
-        return [self.objects[obj.oid] for obj in found]
-
-    def live_space_units(self, tombstones: FrozenSet[int]) -> int:
-        """Stored entries attributable to this bucket's live objects."""
-        dead_local = {
-            i for i, obj in enumerate(self.objects) if obj.oid in tombstones
-        }
-        if not dead_local:
-            return self.index.space_units
-        return self.index.space_units_excluding(dead_local)
-
-
-class Epoch:
-    """One immutable published state of a :class:`DynamicOrpKw`.
-
-    An epoch is the unit of snapshot isolation: it freezes the bucket tuple
-    and the tombstone set together, so every answer derived from it is
-    internally consistent.  Epochs are cheap to pin (one attribute read) and
-    safe to query from any thread — nothing reachable from an epoch is ever
-    mutated after publication.
-    """
-
-    __slots__ = ("epoch_id", "buckets", "tombstones", "live_count")
-
-    def __init__(
-        self,
-        epoch_id: int,
-        buckets: Tuple[Optional[_Bucket], ...],
-        tombstones: FrozenSet[int],
-        live_count: int,
-    ):
-        self.epoch_id = epoch_id
-        self.buckets = buckets
-        self.tombstones = tombstones
-        self.live_count = live_count
-
-    # -- queries ----------------------------------------------------------------
-
-    def query(
-        self,
-        rect: Rect,
-        keywords: Sequence[int],
-        counter: Optional[CostCounter] = None,
-    ) -> List[KeywordObject]:
-        """Report matches across this epoch's buckets (tombstones filtered)."""
-        counter = ensure_counter(counter)
-        result: List[KeywordObject] = []
-        with span_for(counter, "epoch-scan", "dynamic", epoch=self.epoch_id):
-            for bucket in self.buckets:
-                if bucket is None:
-                    continue
-                for obj in bucket.query(rect, keywords, counter):
-                    counter.charge("structure_probes")
-                    if obj.oid not in self.tombstones:
-                        result.append(obj)
-        return result
-
-    def live_oids(self) -> FrozenSet[int]:
-        """The ids of every live object in this epoch (diagnostic)."""
-        return frozenset(
-            obj.oid
-            for bucket in self.buckets
-            if bucket is not None
-            for obj in bucket.objects
-            if obj.oid not in self.tombstones
-        )
-
-    # -- accounting -------------------------------------------------------------
-
-    def __len__(self) -> int:
-        return self.live_count
-
-    @property
-    def bucket_sizes(self) -> Tuple[int, ...]:
-        """Per-level *live* object counts, smallest level first.
-
-        Tombstoned objects are excluded: a physically full bucket whose
-        objects are all dead reports 0, so delete-heavy churn cannot inflate
-        the occupancy picture between rebuilds.
-        """
-        sizes = []
-        for bucket in self.buckets:
-            if bucket is None:
-                sizes.append(0)
-            elif not self.tombstones:
-                sizes.append(len(bucket.objects))
-            else:
-                sizes.append(
-                    sum(
-                        1
-                        for obj in bucket.objects
-                        if obj.oid not in self.tombstones
-                    )
-                )
-        return tuple(sizes)
-
-    @property
-    def space_units(self) -> int:
-        """Stored entries attributable to *live* objects.
-
-        Between rebuilds the sub-indexes still physically hold tombstoned
-        objects, but counting their entries would make space accounting (and
-        the near-linear-space audit probes fed by it) drift upward under
-        delete-heavy churn even though the live set shrinks.  Per-object
-        entries (pivot and materialized-list slots) of dead objects are
-        therefore excluded; shared keyword-level structure is counted as
-        stored, and the half-dead rebuild policy caps its dead weight at a
-        constant factor.
-        """
-        return sum(
-            bucket.live_space_units(self.tombstones)
-            for bucket in self.buckets
-            if bucket is not None
-        )
-
-
-class DynamicOrpKw:
+class DynamicOrpKw(Dynamized):
     """Insert/delete-capable ORP-KW via the logarithmic method.
 
     Parameters
@@ -196,165 +57,21 @@ class DynamicOrpKw:
 
     Query time: ``O(log n)`` static queries, i.e.
     ``O(N^(1-1/k)(1+OUT^(1/k)) * log n)``.  Insertion: amortized
-    ``O(log n)`` rebuild participations per object.
+    ``O(log n)`` rebuild participations per object, each charged to
+    :attr:`~repro.core.dynamize.Dynamized.maintenance`.
 
     Concurrency contract: one writer at a time (callers serialize updates),
     any number of readers.  Readers pin the current :class:`Epoch` via
-    :meth:`snapshot` (or implicitly through :meth:`query`) and never block
-    on — or observe intermediate states of — a concurrent mutation.
+    :meth:`~repro.core.dynamize.Dynamized.snapshot` (or implicitly through
+    :meth:`query`) and never block on — or observe intermediate states of —
+    a concurrent mutation.
     """
 
-    def __init__(self, k: int, dim: int):
-        if k < 2:
-            raise ValidationError(f"k must be >= 2, got {k}")
-        if dim < 1:
-            raise ValidationError(f"dim must be >= 1, got {dim}")
+    epoch_class = RectEpoch
+
+    def __init__(self, k: int, dim: int, metrics=None, policy=None):
+        super().__init__(OrpKwAdapter(k), dim, metrics=metrics, policy=policy)
         self.k = k
-        self.dim = dim
-        #: Writer-side master copy: every object inserted and not yet purged
-        #: by a rebuild (tombstoned objects stay here until then).  Readers
-        #: never touch it — all read state comes from the published epoch.
-        self._objects: Dict[int, KeywordObject] = {}
-        self._next_oid = 0
-        self._epoch = Epoch(0, (), frozenset(), 0)
-
-    # -- snapshots ---------------------------------------------------------------
-
-    @property
-    def epoch(self) -> Epoch:
-        """The currently published epoch (advances on every mutation)."""
-        return self._epoch
-
-    def snapshot(self) -> Epoch:
-        """Pin the current epoch for isolated reads.
-
-        The returned object is immutable: queries against it keep answering
-        from the pinned state no matter how many inserts, deletes, or
-        rebuilds are published afterwards.
-        """
-        return self._epoch
-
-    @property
-    def _buckets(self) -> Tuple[Optional[_Bucket], ...]:
-        # Backward-compatible view of the live bucket list (tests and
-        # diagnostics iterate it); the canonical state lives in the epoch.
-        return self._epoch.buckets
-
-    # -- updates ---------------------------------------------------------------
-
-    def _coerce_point(self, point: Sequence[float]) -> Tuple[float, ...]:
-        """Validate an incoming point *before* any index state changes.
-
-        Rejecting here (rather than relying on :class:`KeywordObject`) keeps
-        updates atomic: a bad point cannot burn an object id or leave a bulk
-        insert half-applied.  NaN in particular would make every later
-        containment test silently inconsistent, so it must never reach a
-        bucket.
-        """
-        coords = tuple(float(c) for c in point)
-        if len(coords) != self.dim:
-            raise ValidationError(
-                f"point is {len(coords)}-dimensional, index is {self.dim}-dimensional"
-            )
-        for coord in coords:
-            if not math.isfinite(coord):
-                raise ValidationError(
-                    f"point has a non-finite coordinate ({coord})"
-                )
-        return coords
-
-    def insert(self, point: Sequence[float], doc) -> int:
-        """Insert an object; returns its assigned id.
-
-        The new epoch (carry chain fully merged) is published atomically
-        after the merge completes; concurrent readers see the index either
-        entirely without or entirely with the new object.
-        """
-        coords = self._coerce_point(point)
-        oid = self._next_oid
-        obj = KeywordObject(oid=oid, point=coords, doc=frozenset(doc))
-        epoch = self._epoch
-        buckets = _merged(epoch.buckets, [obj], self.k)
-        self._next_oid += 1
-        self._objects[oid] = obj
-        self._publish(buckets, epoch.tombstones)
-        return oid
-
-    def insert_many(self, points, docs) -> List[int]:
-        """Bulk insert; cheaper than repeated :meth:`insert` for big batches.
-
-        Atomic twice over: every point is validated before the first object
-        is created (a malformed point anywhere in the batch leaves the index
-        unchanged), and the whole batch lands in one published epoch (a
-        concurrent reader sees none of the batch or all of it, never a
-        prefix).
-        """
-        coerced = [self._coerce_point(point) for point in points]
-        oids = []
-        batch = []
-        next_oid = self._next_oid
-        for coords, doc in zip(coerced, docs):
-            obj = KeywordObject(oid=next_oid, point=coords, doc=frozenset(doc))
-            batch.append(obj)
-            oids.append(next_oid)
-            next_oid += 1
-        if batch:
-            epoch = self._epoch
-            buckets = _merged(epoch.buckets, batch, self.k)
-            self._next_oid = next_oid
-            for obj in batch:
-                self._objects[obj.oid] = obj
-            self._publish(buckets, epoch.tombstones)
-        return oids
-
-    def delete(self, oid: int) -> None:
-        """Tombstone an object; physical removal happens at the next rebuild.
-
-        Deleting an unknown id or an already-tombstoned id raises
-        :class:`~repro.errors.ValidationError` uniformly, with **no** side
-        effects on the failing path: no tombstone is recorded, no epoch is
-        published, and no rebuild is triggered.
-        """
-        epoch = self._epoch
-        if oid not in self._objects:
-            raise ValidationError(f"unknown object id {oid}")
-        if oid in epoch.tombstones:
-            raise ValidationError(f"object {oid} already deleted")
-        tombstones = epoch.tombstones | {oid}
-        if len(tombstones) * 2 >= len(self._objects):
-            self._rebuild_all(tombstones)
-        else:
-            self._publish(epoch.buckets, tombstones)
-
-    def _rebuild_all(self, tombstones: FrozenSet[int]) -> None:
-        """Purge ``tombstones`` and re-pack the live objects into fresh buckets.
-
-        The rebuild happens entirely off to the side — the previous epoch
-        keeps serving readers throughout — and the result is published in a
-        single step, so there is no window in which a reader could observe
-        an empty (or partially packed) bucket list.
-        """
-        live = [
-            obj for oid, obj in self._objects.items() if oid not in tombstones
-        ]
-        self._objects = {obj.oid: obj for obj in live}
-        buckets: Tuple[Optional[_Bucket], ...] = ()
-        if live:
-            buckets = _merged((), live, self.k)
-        self._publish(buckets, frozenset())
-
-    def _publish(
-        self,
-        buckets: Sequence[Optional[_Bucket]],
-        tombstones: FrozenSet[int],
-    ) -> None:
-        """Atomically install the successor epoch (one reference assignment)."""
-        self._epoch = Epoch(
-            self._epoch.epoch_id + 1,
-            tuple(buckets),
-            frozenset(tombstones),
-            len(self._objects) - len(tombstones),
-        )
 
     # -- queries ------------------------------------------------------------------
 
@@ -370,44 +87,3 @@ class DynamicOrpKw:
         consistent snapshot even if a writer publishes mid-flight.
         """
         return self._epoch.query(rect, keywords, counter)
-
-    # -- introspection ---------------------------------------------------------------
-
-    def __len__(self) -> int:
-        return self._epoch.live_count
-
-    @property
-    def bucket_sizes(self) -> Tuple[int, ...]:
-        """Live bucket sizes, smallest level first (diagnostic)."""
-        return self._epoch.bucket_sizes
-
-    @property
-    def space_units(self) -> int:
-        """Stored entries attributable to live objects (see :class:`Epoch`)."""
-        return self._epoch.space_units
-
-
-def _merged(
-    buckets: Sequence[Optional[_Bucket]],
-    carry: List[KeywordObject],
-    k: int,
-) -> Tuple[Optional[_Bucket], ...]:
-    """The logarithmic-method carry merge, as a pure function.
-
-    Returns a new bucket tuple with ``carry`` folded in; the input buckets
-    are never mutated (merged-away levels are dropped from the *copy*), so
-    epochs holding the old tuple stay valid while the new sub-index builds.
-    """
-    new: List[Optional[_Bucket]] = list(buckets)
-    level = 0
-    while True:
-        if level == len(new):
-            new.append(None)
-        bucket = new[level]
-        if bucket is None and len(carry) <= (1 << level):
-            new[level] = _Bucket(carry, k)
-            return tuple(new)
-        if bucket is not None:
-            carry = carry + bucket.objects
-            new[level] = None
-        level += 1

@@ -303,6 +303,12 @@ class AsyncQueryEngine:
         loop = asyncio.get_running_loop()
         rect, words = engine._validate(rect, keywords)
         caller = ensure_counter(counter)
+        # Pin the published shard map once (on the loop thread): pruning,
+        # budget split, shard queries, and the cache key all run against one
+        # consistent layout even if a writer publishes an insert or a
+        # rebalance cutover mid-flight.
+        state = engine._state
+        num_shards = len(state.engines)
         engine._queries_served += 1
         query_id = engine._queries_served
         engine.metrics.counter("queries_total").inc()
@@ -311,10 +317,10 @@ class AsyncQueryEngine:
         if engine.tracing:
             tracer = Tracer(
                 "sharded_query", "sharding",
-                query_id=query_id, shards=engine.num_shards, fanout="async",
+                query_id=query_id, shards=num_shards, fanout="async",
             )
 
-        key = (rect.lo, rect.hi, frozenset(words))
+        key = (state.epoch_id, rect.lo, rect.hi, frozenset(words))
         cached, hit = engine._cache.lookup(key)
         if hit:
             return engine._finish_cache_hit(
@@ -323,11 +329,13 @@ class AsyncQueryEngine:
         engine.metrics.counter("cache_misses_total").inc()
 
         # Prune shards whose bounding box misses the rectangle (empty shards
-        # have no box and are always pruned).  The budget is split exactly
-        # over the shards that actually run.
+        # have no box and are always pruned).  The pinned map's bounds are
+        # refreshed on every publish, so a shard holding freshly inserted
+        # objects outside its build-time box is never pruned away.  The
+        # budget is split exactly over the shards that actually run.
         active = [
             shard_id
-            for shard_id, bounds in enumerate(engine.shard_bounds)
+            for shard_id, bounds in enumerate(state.bounds)
             if bounds is not None and rect.intersects(bounds)
         ]
         shares: Dict[int, Optional[int]]
@@ -338,8 +346,12 @@ class AsyncQueryEngine:
                 zip(active, split_budget_exact(budget, max(len(active), 1)))
             )
         self.metrics.counter("shards_pruned_total").inc(
-            engine.num_shards - len(active)
+            num_shards - len(active)
         )
+        # A rebalance may have grown the shard count since construction;
+        # extend the lock list on the loop thread before dispatching.
+        while len(self._shard_locks) < num_shards:
+            self._shard_locks.append(threading.Lock())
 
         def run_shard(shard_id: int):
             share = shares[shard_id]
@@ -350,8 +362,8 @@ class AsyncQueryEngine:
             )
             with self._shard_locks[shard_id]:
                 objs, probe, record = engine._query_shard(
+                    state,
                     shard_id,
-                    engine.shard_engines[shard_id],
                     rect,
                     words,
                     share,
@@ -371,7 +383,7 @@ class AsyncQueryEngine:
         slices: List[Dict[str, Any]] = []
         merged: List[KeywordObject] = []
         by_shard = {outcome[0]: outcome for outcome in outcomes}
-        for shard_id in range(engine.num_shards):
+        for shard_id in range(num_shards):
             if shard_id not in by_shard:
                 slices.append(
                     {

@@ -58,8 +58,20 @@ caller's counter receives the merged spend exactly once.
 from __future__ import annotations
 
 import json
+import math
 from collections import deque
-from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -67,7 +79,7 @@ from ..costmodel import CATEGORIES, CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 from ..errors import ValidationError
 from ..geometry.rectangles import Rect
-from ..trace import MetricsRegistry, Tracer
+from ..trace import MetricsRegistry, Tracer, span_for
 from .cache import LRUCache
 from .engine import QueryEngine, QueryRecord, QuerySpec
 
@@ -150,6 +162,108 @@ def _bounding_rect(dataset: Dataset) -> Optional[Rect]:
     return Rect(lo, hi)
 
 
+def _expand_rect(bounds: Optional[Rect], point: Tuple[float, ...]) -> Rect:
+    """The tightest box covering ``bounds`` and ``point``."""
+    if bounds is None:
+        return Rect(point, point)
+    lo = tuple(min(b, p) for b, p in zip(bounds.lo, point))
+    hi = tuple(max(b, p) for b, p in zip(bounds.hi, point))
+    return Rect(lo, hi)
+
+
+class ShardMap:
+    """One immutable published shard layout of a :class:`ShardedQueryEngine`.
+
+    The shard map is the sharded engine's epoch: datasets, per-shard engines,
+    pruning bounds, per-shard delta buffers (objects inserted since the last
+    rebalance), and the tombstone set are frozen together, so a reader that
+    pins the map (:meth:`ShardedQueryEngine.snapshot`) keeps a consistent
+    view across concurrent inserts, deletes, and rebalance cutovers.
+    Mutations publish a *successor* map with one reference assignment and
+    never touch a published one — the same copy-on-write discipline as
+    :class:`repro.core.dynamize.Epoch`.
+
+    ``query`` answers directly from the frozen datasets and deltas (an exact
+    scan, fully charged), so a pinned :class:`~repro.service.Snapshot` can
+    keep serving reads without touching the mutable per-shard engines.
+    """
+
+    __slots__ = (
+        "epoch_id",
+        "datasets",
+        "engines",
+        "bounds",
+        "deltas",
+        "tombstones",
+        "live_sizes",
+    )
+
+    def __init__(
+        self,
+        epoch_id: int,
+        datasets: Tuple[Dataset, ...],
+        engines: Tuple[QueryEngine, ...],
+        bounds: Tuple[Optional[Rect], ...],
+        deltas: Tuple[Tuple[KeywordObject, ...], ...],
+        tombstones: FrozenSet[int],
+        live_sizes: Tuple[int, ...],
+    ):
+        self.epoch_id = epoch_id
+        self.datasets = datasets
+        self.engines = engines
+        self.bounds = bounds
+        self.deltas = deltas
+        self.tombstones = tombstones
+        self.live_sizes = live_sizes
+
+    @property
+    def live_count(self) -> int:
+        return sum(self.live_sizes)
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    def query(
+        self,
+        rect: Rect,
+        keywords: Sequence[int],
+        counter: Optional[CostCounter] = None,
+    ) -> List[KeywordObject]:
+        """Answer one rect/keywords query from this frozen map alone.
+
+        Exact scan over the frozen datasets and delta buffers (tombstones
+        filtered), charged like the naive baseline: one ``objects_examined``
+        per candidate, one ``comparisons`` per geometric test.  This is the
+        snapshot read path — it never touches the mutable per-shard engines,
+        so pinned snapshots are safe under any concurrent writer activity.
+        """
+        counter = ensure_counter(counter)
+        words = set(keywords)
+        result: List[KeywordObject] = []
+        with span_for(counter, "shardmap-scan", "sharding", epoch=self.epoch_id):
+            for shard_id, dataset in enumerate(self.datasets):
+                for objects in (dataset.objects, self.deltas[shard_id]):
+                    for obj in objects:
+                        counter.charge("objects_examined")
+                        if obj.oid in self.tombstones:
+                            continue
+                        counter.charge("comparisons")
+                        if rect.contains_point(obj.point) and words <= obj.doc:
+                            result.append(obj)
+        result.sort(key=lambda obj: obj.oid)
+        return result
+
+    def live_oids(self) -> FrozenSet[int]:
+        """The ids of every live object in this map (diagnostic)."""
+        return frozenset(
+            obj.oid
+            for shard_id, dataset in enumerate(self.datasets)
+            for objects in (dataset.objects, self.deltas[shard_id])
+            for obj in objects
+            if obj.oid not in self.tombstones
+        )
+
+
 class ShardedQueryEngine:
     """Fan-out serving over ``S`` spatial shards with merged cost traces.
 
@@ -212,42 +326,357 @@ class ShardedQueryEngine:
         self._fallback_count = 0
         self._degraded_count = 0  # queries with >= 1 degraded slice
         self._degraded_slices = 0
-        self.shard_datasets = partition_dataset(dataset, shards)
-        #: Per-shard bounding boxes (``None`` for empty shards).  The
-        #: sequential path fans out to every shard regardless (preserving
-        #: the pinned trace shape); the concurrent front end uses these to
-        #: skip shards whose bounds miss the query rectangle.
-        self.shard_bounds: List[Optional[Rect]] = [
-            _bounding_rect(shard) for shard in self.shard_datasets
-        ]
-        self.shard_engines: List[QueryEngine] = [
+        # Shard-engine build parameters, kept so a rebalance can construct
+        # replacement engines with the original configuration.
+        self._sample_size = sample_size
+        self._seed = seed
+        self._keep_records = keep_records
+        #: New objects are routed to the shard whose bounds need the least
+        #: expansion; once the largest shard exceeds ``rebalance_threshold``
+        #: times its fair share (``live_total / shards``), the next mutation
+        #: publishes a rebalanced map (fresh ``partition_dataset`` over the
+        #: live set).  The largest possible ratio is the shard count, so the
+        #: default 1.5 fires for any shard count >= 2.
+        self.rebalance_threshold = 1.5
+        self._rebalances = 0
+        #: Writer-side master copy of every object (tombstoned objects stay
+        #: until a rebalance purges them) and each object's owning shard.
+        #: Readers never touch these — all read state comes from the map.
+        self._objects: Dict[int, KeywordObject] = {
+            obj.oid: obj for obj in dataset.objects
+        }
+        self._owner: Dict[int, int] = {}
+        self._next_oid = max(self._objects, default=-1) + 1
+        datasets = tuple(partition_dataset(dataset, shards))
+        for shard_id, shard in enumerate(datasets):
+            for obj in shard.objects:
+                self._owner[obj.oid] = shard_id
+        self._publish_state(
+            ShardMap(
+                0,
+                datasets,
+                tuple(self._build_engines(datasets)),
+                tuple(_bounding_rect(shard) for shard in datasets),
+                tuple(() for _ in datasets),
+                frozenset(),
+                tuple(len(shard) for shard in datasets),
+            )
+        )
+
+    def _build_engines(self, datasets: Sequence[Dataset]) -> List[QueryEngine]:
+        """Fresh per-shard engines with this engine's build configuration."""
+        return [
             QueryEngine(
                 shard,
-                max_k=max_k,
+                max_k=self.max_k,
                 default_budget=None,  # the fan-out hands each call its share
                 cache_size=0,  # merged results are cached once, at this level
-                sample_size=sample_size,
-                seed=seed,
-                keep_records=keep_records,
-                backend=backend,
+                sample_size=self._sample_size,
+                seed=self._seed,
+                keep_records=self._keep_records,
+                backend=self.backend,
             )
-            for shard in self.shard_datasets
+            for shard in datasets
         ]
+
+    def _publish_state(self, shard_map: ShardMap) -> None:
+        """Atomically install the successor shard map (one assignment)."""
+        self._state = shard_map
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         # Mirror QueryEngine.__setstate__: engines pickled before the trace
         # layer existed default to tracing-off with a fresh private registry.
+        # Engines pickled before the copy-on-write shard map existed carry
+        # plain shard_datasets / shard_engines / shard_bounds attributes
+        # (now read-only properties over the map): migrate them into an
+        # epoch-0 ShardMap with empty deltas and tombstones.
+        legacy_datasets = state.pop("shard_datasets", None)
+        legacy_engines = state.pop("shard_engines", None)
+        legacy_bounds = state.pop("shard_bounds", None)
         self.__dict__.update(state)
         self.__dict__.setdefault("tracing", False)
         if self.__dict__.get("metrics") is None:
             self.metrics = MetricsRegistry()
-        if "shard_bounds" not in self.__dict__:
-            # Engines pickled before the concurrent fan-out existed.
-            self.shard_bounds = [
-                _bounding_rect(shard) for shard in self.shard_datasets
-            ]
         # Engines pickled before the vectorized backend existed.
         self.__dict__.setdefault("backend", "cost_model")
+        # Engines pickled before online rebalancing existed.
+        self.__dict__.setdefault("_sample_size", 256)
+        self.__dict__.setdefault("_seed", 0)
+        self.__dict__.setdefault("_keep_records", 1024)
+        self.__dict__.setdefault("rebalance_threshold", 1.5)
+        self.__dict__.setdefault("_rebalances", 0)
+        if "_state" not in self.__dict__ and legacy_datasets is not None:
+            datasets = tuple(legacy_datasets)
+            engines = (
+                tuple(legacy_engines)
+                if legacy_engines is not None
+                else tuple(self._build_engines(datasets))
+            )
+            bounds = (
+                tuple(legacy_bounds)
+                if legacy_bounds is not None
+                # Engines pickled before the concurrent fan-out existed.
+                else tuple(_bounding_rect(shard) for shard in datasets)
+            )
+            self._objects = {
+                obj.oid: obj for shard in datasets for obj in shard.objects
+            }
+            self._owner = {
+                obj.oid: shard_id
+                for shard_id, shard in enumerate(datasets)
+                for obj in shard.objects
+            }
+            self._next_oid = max(self._objects, default=-1) + 1
+            self._publish_state(
+                ShardMap(
+                    0,
+                    datasets,
+                    engines,
+                    bounds,
+                    tuple(() for _ in datasets),
+                    frozenset(),
+                    tuple(len(shard) for shard in datasets),
+                )
+            )
+
+    # -- published shard map -----------------------------------------------------
+
+    @property
+    def epoch(self) -> ShardMap:
+        """The currently published shard map (advances on every mutation)."""
+        return self._state
+
+    def snapshot(self) -> ShardMap:
+        """Pin the current shard map for isolated reads.
+
+        The returned map is immutable: queries against it (directly or via a
+        :class:`~repro.service.Snapshot`) keep answering from the pinned
+        layout no matter how many inserts, deletes, or rebalances are
+        published afterwards — the snapshot-isolated cutover contract.
+        """
+        return self._state
+
+    def __len__(self) -> int:
+        return self._state.live_count
+
+    @property
+    def shard_datasets(self) -> List[Dataset]:
+        """Per-shard base datasets of the published map (delta objects live
+        in :attr:`ShardMap.deltas` until a rebalance folds them in)."""
+        return list(self._state.datasets)
+
+    @property
+    def shard_engines(self) -> List[QueryEngine]:
+        """Per-shard engines of the published map."""
+        return list(self._state.engines)
+
+    @property
+    def shard_bounds(self) -> List[Optional[Rect]]:
+        """Per-shard pruning boxes (``None`` for empty shards), refreshed on
+        every publish.  The sequential path fans out to every shard
+        regardless (preserving the pinned trace shape); the concurrent front
+        end uses these to skip shards whose bounds miss the query rectangle.
+        """
+        return list(self._state.bounds)
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, point: Sequence[float], doc) -> int:
+        """Insert an object; returns its assigned id.
+
+        The object joins the delta buffer of the shard whose bounds need the
+        least expansion (ties to the lowest shard id), the shard's pruning
+        box is expanded to cover it, and the successor map is published
+        atomically — in-flight readers on the previous map finish
+        consistently without the new object.  When the insert tips the
+        balance past :attr:`rebalance_threshold`, the published map is a
+        full rebalance instead (see :meth:`rebalance`).
+        """
+        coords = tuple(float(c) for c in point)
+        state = self._state
+        dim = self.dataset.dim if self.dataset.dim is not None else len(coords)
+        if len(coords) != dim:
+            raise ValidationError(
+                f"point is {len(coords)}-dimensional, data is {dim}-dimensional"
+            )
+        for coord in coords:
+            if not math.isfinite(coord):
+                raise ValidationError(
+                    f"point has a non-finite coordinate ({coord})"
+                )
+        obj = KeywordObject(oid=self._next_oid, point=coords, doc=frozenset(doc))
+        shard_id = self._route(state, coords)
+        self._next_oid += 1
+        self._objects[obj.oid] = obj
+        self._owner[obj.oid] = shard_id
+        deltas = tuple(
+            delta + (obj,) if sid == shard_id else delta
+            for sid, delta in enumerate(state.deltas)
+        )
+        bounds = tuple(
+            _expand_rect(bound, coords) if sid == shard_id else bound
+            for sid, bound in enumerate(state.bounds)
+        )
+        live_sizes = tuple(
+            size + (1 if sid == shard_id else 0)
+            for sid, size in enumerate(state.live_sizes)
+        )
+        if self._needs_rebalance(live_sizes, state.tombstones):
+            self._publish_state(self._rebalanced_map(state.tombstones, None))
+        else:
+            self._publish_state(
+                ShardMap(
+                    state.epoch_id + 1,
+                    state.datasets,
+                    state.engines,
+                    bounds,
+                    deltas,
+                    state.tombstones,
+                    live_sizes,
+                )
+            )
+        self._meter_shards()
+        return obj.oid
+
+    def delete(self, oid: int) -> None:
+        """Tombstone an object; physical removal happens at the next rebalance.
+
+        Deleting an unknown id or an already-tombstoned id raises
+        :class:`~repro.errors.ValidationError` with **no** side effects: no
+        tombstone is recorded and no map is published.  Once half the stored
+        objects are dead, the next delete publishes a rebalanced map (the
+        purge) instead of another tombstone-only map.
+        """
+        state = self._state
+        if oid not in self._objects:
+            raise ValidationError(f"unknown object id {oid}")
+        if oid in state.tombstones:
+            raise ValidationError(f"object {oid} already deleted")
+        tombstones = state.tombstones | {oid}
+        shard_id = self._owner[oid]
+        live_sizes = tuple(
+            size - (1 if sid == shard_id else 0)
+            for sid, size in enumerate(state.live_sizes)
+        )
+        if len(tombstones) * 2 >= len(self._objects) or self._needs_rebalance(
+            live_sizes, tombstones
+        ):
+            self._publish_state(self._rebalanced_map(tombstones, None))
+        else:
+            self._publish_state(
+                ShardMap(
+                    state.epoch_id + 1,
+                    state.datasets,
+                    state.engines,
+                    state.bounds,
+                    state.deltas,
+                    tombstones,
+                    live_sizes,
+                )
+            )
+        self._meter_shards()
+
+    def rebalance(self, shards: Optional[int] = None) -> None:
+        """Re-partition the live set into ``shards`` fresh shards now.
+
+        The new map — datasets re-cut by :func:`partition_dataset`, fresh
+        engines, tight bounds, empty deltas, tombstones purged — is built
+        entirely off to the side and published in one step: readers pinned
+        to the old map (e.g. through :class:`~repro.service.SnapshotManager`)
+        keep a consistent view of the pre-cutover layout, new queries see
+        the rebalanced layout.  The imbalance trigger calls this implicitly;
+        it is public for operator-driven splits (``shards`` > current count).
+        """
+        self._publish_state(self._rebalanced_map(self._state.tombstones, shards))
+        self._meter_shards()
+
+    def _route(self, state: ShardMap, coords: Tuple[float, ...]) -> int:
+        """The shard whose pruning box needs the least L1 expansion."""
+        best_id = 0
+        best_cost: Optional[float] = None
+        for shard_id, bound in enumerate(state.bounds):
+            if bound is None:
+                cost = 0.0  # an empty shard absorbs the point for free
+            else:
+                cost = sum(
+                    max(b_lo - c, 0.0) + max(c - b_hi, 0.0)
+                    for b_lo, b_hi, c in zip(bound.lo, bound.hi, coords)
+                )
+            if best_cost is None or cost < best_cost:
+                best_id, best_cost = shard_id, cost
+        return best_id
+
+    def _needs_rebalance(
+        self, live_sizes: Tuple[int, ...], tombstones: FrozenSet[int]
+    ) -> bool:
+        """Has the partition balance decayed past the threshold?
+
+        Balance is the largest shard's live size over the exact fair share
+        ``live_total / shards`` (a fresh :func:`partition_dataset` achieves
+        it up to one object); dead weight counts separately through the
+        half-dead purge in :meth:`delete`.  A one-object slack absorbs the
+        tiny-count regime where a single insert swings the ratio.
+        """
+        live_total = sum(live_sizes)
+        if live_total == 0:
+            return bool(tombstones)
+        fair = live_total / len(live_sizes)
+        return max(live_sizes) > self.rebalance_threshold * fair + 1.0
+
+    def _rebalanced_map(
+        self, tombstones: FrozenSet[int], shards: Optional[int]
+    ) -> ShardMap:
+        """Build (but do not publish) a fresh balanced map over the live set.
+
+        Purges ``tombstones`` from the writer-side master copy, re-cuts the
+        survivors with :func:`partition_dataset`, and rebuilds engines and
+        bounds.  The caller publishes the result — exactly once per
+        mutation, so a reader can never observe a half-cutover layout.
+        """
+        if shards is not None:
+            if shards < 1:
+                raise ValidationError(f"shards must be >= 1, got {shards}")
+            self.num_shards = shards
+        live = [
+            obj
+            for oid, obj in sorted(self._objects.items())
+            if oid not in tombstones
+        ]
+        self._objects = {obj.oid: obj for obj in live}
+        dim = self.dataset.dim if self.dataset.dim is not None else 1
+        dataset = Dataset(live) if live else Dataset.empty(dim)
+        datasets = tuple(partition_dataset(dataset, self.num_shards))
+        self._owner = {
+            obj.oid: shard_id
+            for shard_id, shard in enumerate(datasets)
+            for obj in shard.objects
+        }
+        self._rebalances += 1
+        self.metrics.counter("rebalances_total").inc()
+        return ShardMap(
+            self._state.epoch_id + 1,
+            datasets,
+            tuple(self._build_engines(datasets)),
+            tuple(_bounding_rect(shard) for shard in datasets),
+            tuple(() for _ in datasets),
+            frozenset(),
+            tuple(len(shard) for shard in datasets),
+        )
+
+    def _meter_shards(self) -> None:
+        """Publish the writer's post-mutation shard gauges."""
+        state = self._state
+        live_total = state.live_count
+        self.metrics.gauge("shard_epoch").set(state.epoch_id)
+        self.metrics.gauge("shard_live_objects").set(live_total)
+        self.metrics.gauge("shard_imbalance").set(
+            max(state.live_sizes) / (live_total / len(state.live_sizes))
+            if live_total
+            else 0.0
+        )
+        self.metrics.gauge("shard_tombstone_fraction").set(
+            len(state.tombstones) / max(len(self._objects), 1)
+        )
 
     # -- serving ----------------------------------------------------------------
 
@@ -268,6 +697,10 @@ class ShardedQueryEngine:
         rect, words = self._validate(rect, keywords)
         budget = budget if budget is not None else self.default_budget
         caller = ensure_counter(counter)
+        # Pin the published map once: the whole fan-out (and the cache key)
+        # runs against one consistent shard layout even if a writer
+        # publishes an insert or a rebalance cutover mid-flight.
+        state = self._state
         self._queries_served += 1
         query_id = self._queries_served
         self.metrics.counter("queries_total").inc()
@@ -276,10 +709,12 @@ class ShardedQueryEngine:
         if self.tracing:
             tracer = Tracer(
                 "sharded_query", "sharding",
-                query_id=query_id, shards=self.num_shards,
+                query_id=query_id, shards=len(state.engines),
             )
 
-        key = (rect.lo, rect.hi, frozenset(words))
+        # The map's epoch is part of the key, so a mutation implicitly
+        # invalidates every cached merged result from older layouts.
+        key = (state.epoch_id, rect.lo, rect.hi, frozenset(words))
         cached, hit = self._cache.lookup(key)
         if hit:
             return self._finish_cache_hit(
@@ -292,13 +727,14 @@ class ShardedQueryEngine:
         slices: List[Dict[str, Any]] = []
         merged: List[KeywordObject] = []
         remaining = budget
-        for shard_id, engine in enumerate(self.shard_engines):
+        num_shards = len(state.engines)
+        for shard_id in range(num_shards):
             if budget is None:
                 share: Optional[int] = None
             else:
-                share = shard_share(remaining, self.num_shards - shard_id)
+                share = shard_share(remaining, num_shards - shard_id)
             objs, probe, trace = self._query_shard(
-                shard_id, engine, rect, words, share, tracer
+                state, shard_id, rect, words, share, tracer
             )
             merged.extend(objs)
             if budget is not None:
@@ -382,20 +818,25 @@ class ShardedQueryEngine:
 
     def _query_shard(
         self,
+        state: ShardMap,
         shard_id: int,
-        engine: QueryEngine,
         rect: Rect,
         words: Sequence[int],
         share: Optional[int],
         tracer: Optional[Tracer],
     ) -> Tuple[List[KeywordObject], CostCounter, QueryRecord]:
-        """Serve one shard's slice under its budget share.
+        """Serve one shard's slice of the pinned map under its budget share.
 
-        Returns the shard's objects, the probe counter holding its spend,
-        and its :class:`QueryRecord` (read back immediately after the query,
-        so callers that serialize per-engine access can run shards from a
-        worker pool without racing on ``last_record``).
+        The base engine answers for the shard's build-time dataset; objects
+        inserted since the last rebalance live in the map's delta buffer and
+        are scanned on top (fully charged); tombstoned objects are filtered
+        from the combined slice.  Returns the shard's objects, the probe
+        counter holding its spend, and its :class:`QueryRecord` (read back
+        immediately after the query, so callers that serialize per-engine
+        access can run shards from a worker pool without racing on
+        ``last_record``).
         """
+        engine = state.engines[shard_id]
         probe = CostCounter()
         if tracer is None:
             objs = list(engine.query(rect, words, budget=share, counter=probe))
@@ -406,6 +847,23 @@ class ShardedQueryEngine:
                         rect, words, budget=share, counter=probe, tracer=tracer
                     )
                 )
+        delta = state.deltas[shard_id]
+        if delta:
+            required = set(words)
+            with span_for(probe, "delta-scan", "sharding", shard=shard_id):
+                for obj in delta:
+                    probe.charge("objects_examined")
+                    probe.charge("comparisons")
+                    if rect.contains_point(obj.point) and required <= obj.doc:
+                        objs.append(obj)
+        if state.tombstones:
+            with span_for(probe, "tombstone-filter", "sharding", shard=shard_id):
+                kept = []
+                for obj in objs:
+                    probe.charge("structure_probes")
+                    if obj.oid not in state.tombstones:
+                        kept.append(obj)
+                objs = kept
         return objs, probe, engine.last_record
 
     @staticmethod
@@ -553,6 +1011,11 @@ class ShardedQueryEngine:
             "shards": {
                 "count": self.num_shards,
                 "sizes": [len(shard) for shard in self.shard_datasets],
+                "epoch": self._state.epoch_id,
+                "live_sizes": list(self._state.live_sizes),
+                "delta_sizes": [len(delta) for delta in self._state.deltas],
+                "tombstones": len(self._state.tombstones),
+                "rebalances": self._rebalances,
                 "per_shard": [
                     {
                         "shard_id": shard_id,
