@@ -525,7 +525,12 @@ class WallClockInCostPath(Rule):
     title = "wall clock inside the RAM-model cost path"
     # trace/ is in scope on purpose: spans carry cost-unit deltas and must
     # stay timestamp-free, or traced and untraced runs would diverge.
-    scope = re.compile(r"(^|/)repro/(core|kdtree|partitiontree|ksi|irtree|trace)/")
+    # telemetry/ likewise: every estimator is keyed on cost units and event
+    # counts; the one sanctioned wall-clock (clock.MonotonicClock) is the
+    # single baselined R5 finding.
+    scope = re.compile(
+        r"(^|/)repro/(core|kdtree|partitiontree|ksi|irtree|trace|telemetry)/"
+    )
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
         for node in ast.walk(src.tree):

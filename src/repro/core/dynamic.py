@@ -69,8 +69,10 @@ class DynamicOrpKw(Dynamized):
 
     epoch_class = RectEpoch
 
-    def __init__(self, k: int, dim: int, metrics=None, policy=None):
-        super().__init__(OrpKwAdapter(k), dim, metrics=metrics, policy=policy)
+    def __init__(self, k: int, dim: int, metrics=None, policy=None, events=None):
+        super().__init__(
+            OrpKwAdapter(k), dim, metrics=metrics, policy=policy, events=events
+        )
         self.k = k
 
     # -- queries ------------------------------------------------------------------

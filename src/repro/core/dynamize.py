@@ -327,6 +327,11 @@ class Dynamized:
     policy:
         Compaction trigger; defaults to :class:`GaugeCompactionPolicy` with
         the classic half-dead threshold.
+    events:
+        A :class:`~repro.telemetry.EventLog` receiving ``epoch_publish``,
+        ``carry_merge``, and ``compaction`` events; ``None`` (the default)
+        disables emission.  Share the serving stack's log for one total
+        event order across queries and maintenance.
 
     Query time: ``O(log n)`` static queries.  Insertion: amortized
     ``O(log n)`` rebuild participations per object, every one charged to
@@ -343,6 +348,7 @@ class Dynamized:
         dim: int,
         metrics: Optional[MetricsRegistry] = None,
         policy: Optional[GaugeCompactionPolicy] = None,
+        events=None,
     ):
         if dim < 1:
             raise ValidationError(f"dim must be >= 1, got {dim}")
@@ -350,6 +356,7 @@ class Dynamized:
         self.dim = dim
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.policy = policy if policy is not None else GaugeCompactionPolicy()
+        self._events = events
         #: Cumulative maintenance cost: every carry-merge and compaction
         #: rebuild charges here, in the standard RAM-model categories
         #: (``objects_examined`` per rebuild participation, ``nodes_visited``
@@ -378,6 +385,10 @@ class Dynamized:
         compactions are published afterwards.
         """
         return self._epoch
+
+    def attach_events(self, events) -> None:
+        """Attach (or detach with ``None``) a telemetry event log."""
+        self._events = events
 
     @property
     def _buckets(self) -> Tuple[Optional[_Bucket], ...]:
@@ -502,6 +513,14 @@ class Dynamized:
             obj for oid, obj in self._objects.items() if oid not in tombstones
         ]
         self._objects = {obj.oid: obj for obj in live}
+        events = getattr(self, "_events", None)
+        if events is not None:
+            events.emit(
+                "compaction",
+                family=self.adapter.name,
+                purged=len(tombstones),
+                live=len(live),
+            )
         buckets: Tuple[Optional[_Bucket], ...] = ()
         if live:
             buckets = self._merged((), live)
@@ -520,6 +539,18 @@ class Dynamized:
             len(self._objects) - len(tombstones),
             self.maintenance.snapshot(),
         )
+        # getattr: instances unpickled from pre-telemetry snapshots lack
+        # the attribute until their next construction-time wiring.
+        events = getattr(self, "_events", None)
+        if events is not None:
+            epoch = self._epoch
+            events.emit(
+                "epoch_publish",
+                epoch=epoch.epoch_id,
+                live=epoch.live_count,
+                tombstones=len(epoch.tombstones),
+                buckets=sum(1 for b in epoch.buckets if b is not None),
+            )
 
     def _meter(self) -> None:
         """Publish the writer's post-mutation gauges (read back by policies,
@@ -550,7 +581,8 @@ class Dynamized:
         sub-index builds.
         """
         counter = self.maintenance
-        with span_for(counter, "carry-merge", "dynamize", carry=len(carry)):
+        incoming = len(carry)
+        with span_for(counter, "carry-merge", "dynamize", carry=incoming):
             new: List[Optional[_Bucket]] = list(buckets)
             level = 0
             while True:
@@ -559,6 +591,15 @@ class Dynamized:
                 bucket = new[level]
                 if bucket is None and len(carry) <= (1 << level):
                     new[level] = self._build_bucket(carry)
+                    events = getattr(self, "_events", None)
+                    if events is not None:
+                        events.emit(
+                            "carry_merge",
+                            family=self.adapter.name,
+                            carry=incoming,
+                            merged=len(carry),
+                            level=level,
+                        )
                     return tuple(new)
                 if bucket is not None:
                     carry = carry + bucket.objects
@@ -705,8 +746,11 @@ class DynamicKeywordsOnly(Dynamized):
 
     epoch_class = RectEpoch
 
-    def __init__(self, dim: int, metrics=None, policy=None):
-        super().__init__(KeywordsOnlyAdapter(), dim, metrics=metrics, policy=policy)
+    def __init__(self, dim: int, metrics=None, policy=None, events=None):
+        super().__init__(
+            KeywordsOnlyAdapter(), dim, metrics=metrics, policy=policy,
+            events=events,
+        )
 
     def query(
         self,
@@ -723,8 +767,10 @@ class DynamicLcKw(Dynamized):
 
     epoch_class = HalfspaceEpoch
 
-    def __init__(self, k: int, dim: int, metrics=None, policy=None):
-        super().__init__(LcKwAdapter(k), dim, metrics=metrics, policy=policy)
+    def __init__(self, k: int, dim: int, metrics=None, policy=None, events=None):
+        super().__init__(
+            LcKwAdapter(k), dim, metrics=metrics, policy=policy, events=events
+        )
         self.k = k
 
     def query(
@@ -742,8 +788,10 @@ class DynamicSrpKw(Dynamized):
 
     epoch_class = BallEpoch
 
-    def __init__(self, k: int, dim: int, metrics=None, policy=None):
-        super().__init__(SrpKwAdapter(k), dim, metrics=metrics, policy=policy)
+    def __init__(self, k: int, dim: int, metrics=None, policy=None, events=None):
+        super().__init__(
+            SrpKwAdapter(k), dim, metrics=metrics, policy=policy, events=events
+        )
         self.k = k
 
     def query(
@@ -762,8 +810,11 @@ class DynamicMultiKOrp(Dynamized):
 
     epoch_class = RectEpoch
 
-    def __init__(self, dim: int, max_k: int = 4, metrics=None, policy=None):
-        super().__init__(MultiKOrpAdapter(max_k), dim, metrics=metrics, policy=policy)
+    def __init__(self, dim: int, max_k: int = 4, metrics=None, policy=None, events=None):
+        super().__init__(
+            MultiKOrpAdapter(max_k), dim, metrics=metrics, policy=policy,
+            events=events,
+        )
         self.max_k = max_k
 
     def query(

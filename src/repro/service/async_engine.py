@@ -49,6 +49,9 @@ from ..costmodel import CostCounter, ensure_counter
 from ..dataset import KeywordObject
 from ..errors import BudgetExceeded, ValidationError
 from ..geometry.rectangles import Rect
+from ..telemetry.events import EventLog
+from ..telemetry.sampler import TailSampler
+from ..telemetry.slo import SLOMonitor, SloShed
 from ..trace import MetricsRegistry, Tracer
 from .engine import QueryEngine, QueryRecord
 from .sharding import ShardedQueryEngine, split_budget_exact
@@ -72,14 +75,27 @@ class AdmissionController:
 
     Thread-safe: admission happens on the event-loop thread, but releases
     may race in from executor callbacks, so a lock guards the counter.
+
+    With an :class:`~repro.telemetry.SLOMonitor` attached (``slo=``), its
+    graduated pressure signal shrinks the effective in-flight capacity
+    *before* the reservation is charged: pressure 1 halves the capacity,
+    pressure 2 quarters it.  A query refused that way raises
+    :class:`~repro.telemetry.SloShed` (a ``BudgetExceeded`` subclass, so
+    existing shed handling applies) whose ``reason`` names the objective
+    that tripped — the attribution lands in the refused query's record.
     """
 
-    def __init__(self, max_inflight_cost: Optional[int]):
+    def __init__(
+        self,
+        max_inflight_cost: Optional[int],
+        slo: Optional[SLOMonitor] = None,
+    ):
         if max_inflight_cost is not None and max_inflight_cost < 1:
             raise ValidationError(
                 f"max_inflight_cost must be >= 1, got {max_inflight_cost}"
             )
         self.max_inflight_cost = max_inflight_cost
+        self.slo = slo
         self._counter = CostCounter(budget=max_inflight_cost)
         self._lock = threading.Lock()
         self._inflight_queries = 0
@@ -91,6 +107,18 @@ class AdmissionController:
         the in-flight total exactly as it found it.
         """
         with self._lock:
+            if self.slo is not None and self.max_inflight_cost is not None:
+                pressure = self.slo.pressure()
+                if pressure:
+                    # Graduated shed: half capacity at pressure 1, a
+                    # quarter at pressure 2 (never below one unit).
+                    effective = max(self.max_inflight_cost >> pressure, 1)
+                    if self._counter.total + reservation > effective:
+                        raise SloShed(
+                            self.slo.shed_reason(),
+                            self._counter.total + reservation,
+                            effective,
+                        )
             try:
                 self._counter.charge("inflight_cost", reservation)
             except BudgetExceeded:
@@ -135,6 +163,19 @@ class AsyncQueryEngine:
         Registry for the serving gauges/counters (in-flight, admitted,
         shed); private by default.  The wrapped engine keeps feeding its
         own registry exactly as in synchronous serving.
+    events:
+        Shared :class:`~repro.telemetry.EventLog`; the front end emits
+        ``query_shed`` here and attaches the log to the wrapped engine
+        (when it has none) so the whole stack shares one event order.
+    sampler:
+        A :class:`~repro.telemetry.TailSampler`; every finished or shed
+        query's record is offered, and records whose traces are not
+        retained have ``record.trace`` dropped to keep unretained span
+        trees from piling up in the record deque.
+    slo:
+        An :class:`~repro.telemetry.SLOMonitor`; fed every query outcome
+        and handed to the :class:`AdmissionController` as the graduated
+        shed signal.
 
     All public methods are coroutines and must run on one event loop; the
     wrapped engine's bookkeeping (cache, records, metrics) is only ever
@@ -147,10 +188,18 @@ class AsyncQueryEngine:
         max_inflight_cost: Optional[int] = None,
         max_workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        events: Optional[EventLog] = None,
+        sampler: Optional[TailSampler] = None,
+        slo: Optional[SLOMonitor] = None,
     ):
         self.engine = engine
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.admission = AdmissionController(max_inflight_cost)
+        self.events = events
+        self.sampler = sampler
+        self.slo = slo
+        if events is not None and getattr(engine, "_events", None) is None:
+            engine.attach_events(events)
+        self.admission = AdmissionController(max_inflight_cost, slo=slo)
         self._sharded = isinstance(engine, ShardedQueryEngine)
         if max_workers is None:
             max_workers = engine.num_shards if self._sharded else 1
@@ -200,18 +249,31 @@ class AsyncQueryEngine:
         reservation = budget if budget is not None else DEFAULT_RESERVATION
         try:
             self.admission.admit(reservation)
-        except BudgetExceeded:
-            self._record_shed(rect, keywords, budget)
+        except BudgetExceeded as exc:
+            # SLO-driven sheds carry their objective as exc.reason; plain
+            # admission sheds fall back to the generic reason.
+            record = self._record_shed(
+                rect, keywords, budget,
+                reason=getattr(exc, "reason", "shed:admission"),
+            )
+            self._after_query(record, shed=True)
             raise
         self.metrics.counter("admitted_total").inc()
         self._meter_inflight()
         try:
             if self._sharded:
-                return await self._query_sharded(rect, keywords, budget, counter)
-            return await self._query_plain(rect, keywords, budget, counter)
+                results, record = await self._query_sharded(
+                    rect, keywords, budget, counter
+                )
+            else:
+                results, record = await self._query_plain(
+                    rect, keywords, budget, counter
+                )
         finally:
             self.admission.release(reservation)
             self._meter_inflight()
+        self._after_query(record)
+        return results
 
     async def batch(
         self,
@@ -247,10 +309,13 @@ class AsyncQueryEngine:
         rect: Union[Rect, Sequence[float]],
         keywords: Sequence[int],
         budget: Optional[int],
-    ) -> None:
+        reason: str = "shed:admission",
+    ) -> QueryRecord:
         """Append a refused query's record (strategy ``shed``) and meter it."""
         self._shed_count += 1
         self.metrics.counter("shed_total").inc()
+        if reason != "shed:admission":
+            self.metrics.counter("shed_slo_total").inc()
         try:
             rect = QueryEngine._coerce_rect(rect)
             lo, hi = rect.lo, rect.hi
@@ -264,9 +329,39 @@ class AsyncQueryEngine:
             strategy="shed",
             cache="bypass",
             budget=budget,
-            reason="shed:admission",
+            reason=reason,
         )
         self.engine._records.append(record)
+        if self.events is not None:
+            self.events.emit(
+                "query_shed",
+                reason=reason,
+                budget=budget,
+                keywords=len(record.keywords),
+            )
+        return record
+
+    def _after_query(self, record: Optional[QueryRecord], shed: bool = False) -> None:
+        """Feed one finished (or shed) query into the SLO monitor and sampler.
+
+        Runs on the event-loop thread only, after the admission release —
+        the monitor's verdict therefore applies from the *next* admission
+        decision onward.
+        """
+        if record is None:
+            return
+        if self.slo is not None:
+            if shed:
+                self.slo.observe_query(shed=True)
+            else:
+                self.slo.observe_query(
+                    cost=record.cost.get("total", 0),
+                    budget_exhausted=bool(record.fallbacks),
+                )
+        if self.sampler is not None and not self.sampler.offer(record):
+            # Not retained: drop the span tree so unretained traces do not
+            # accumulate in the record deque.
+            record.trace = None
 
     async def _query_plain(
         self,
@@ -274,15 +369,21 @@ class AsyncQueryEngine:
         keywords: Sequence[int],
         budget: Optional[int],
         counter: Optional[CostCounter],
-    ) -> Tuple[KeywordObject, ...]:
-        """One-at-a-time serve of an unsharded engine from the pool."""
+    ) -> Tuple[Tuple[KeywordObject, ...], QueryRecord]:
+        """One-at-a-time serve of an unsharded engine from the pool.
+
+        Returns the results *and* their record, read back while the engine
+        lock is still held — reading ``last_record`` after the await could
+        see a concurrent query's record instead.
+        """
         loop = asyncio.get_running_loop()
 
-        def run() -> Tuple[KeywordObject, ...]:
+        def run() -> Tuple[Tuple[KeywordObject, ...], QueryRecord]:
             with self._engine_lock:
-                return self.engine.query(
+                results = self.engine.query(
                     rect, keywords, budget=budget, counter=counter
                 )
+                return results, self.engine.last_record
 
         return await loop.run_in_executor(self._pool, run)
 
@@ -292,7 +393,7 @@ class AsyncQueryEngine:
         keywords: Sequence[int],
         budget: Optional[int],
         counter: Optional[CostCounter],
-    ) -> Tuple[KeywordObject, ...]:
+    ) -> Tuple[Tuple[KeywordObject, ...], QueryRecord]:
         """Concurrent fan-out with pruning and an exact upfront budget split.
 
         Validation, cache, merging, and recording all happen on the loop
@@ -323,9 +424,12 @@ class AsyncQueryEngine:
         key = (state.epoch_id, rect.lo, rect.hi, frozenset(words))
         cached, hit = engine._cache.lookup(key)
         if hit:
-            return engine._finish_cache_hit(
+            # No await between the finish call and the last_record read, so
+            # the record is this query's own.
+            results = engine._finish_cache_hit(
                 query_id, rect, words, budget, cached, tracer
             )
+            return results, engine.last_record
         engine.metrics.counter("cache_misses_total").inc()
 
         # Prune shards whose bounding box misses the rectangle (empty shards
@@ -414,7 +518,7 @@ class AsyncQueryEngine:
                     tracer.root.graft(child)
 
         results = engine._merge_results(merged)
-        return engine._finish_fanout(
+        results = engine._finish_fanout(
             query_id=query_id,
             rect=rect,
             words=words,
@@ -427,12 +531,14 @@ class AsyncQueryEngine:
             tracer=tracer,
             cache_key=key,
         )
+        # Synchronous finish on the loop thread: last_record is this query's.
+        return results, engine.last_record
 
     # -- observability -----------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
         """Serving-layer stats above the wrapped engine's own ``stats()``."""
-        return {
+        stats = {
             "engine": self.engine.stats(),
             "shed": self._shed_count,
             "max_inflight_cost": self.admission.max_inflight_cost,
@@ -440,6 +546,13 @@ class AsyncQueryEngine:
             "inflight_queries": self.admission.inflight_queries,
             "metrics": self.metrics.snapshot(),
         }
+        if self.slo is not None:
+            stats["slo"] = self.slo.report()
+        if self.sampler is not None:
+            stats["sampler"] = self.sampler.stats()
+        if self.events is not None:
+            stats["events"] = self.events.stats()
+        return stats
 
 
 class AsyncDynamicIndex:
@@ -459,10 +572,15 @@ class AsyncDynamicIndex:
         index,
         metrics: Optional[MetricsRegistry] = None,
         max_workers: int = 4,
+        events: Optional[EventLog] = None,
     ):
         self.index = index
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.snapshots = SnapshotManager(index, metrics=self.metrics)
+        self.snapshots = SnapshotManager(index, metrics=self.metrics, events=events)
+        if events is not None and getattr(index, "_events", None) is None:
+            attach = getattr(index, "attach_events", None)
+            if attach is not None:
+                attach(events)
         self._writer_lock = asyncio.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-dyn"
@@ -526,7 +644,7 @@ class AsyncDynamicIndex:
         result = await loop.run_in_executor(
             self._pool, snapshot.query, rect, keywords, counter
         )
-        self.snapshots.observe(snapshot)
+        self.snapshots.release(snapshot)
         return result
 
     def pin(self) -> Snapshot:

@@ -65,16 +65,25 @@ class LRUCache:
         self.hits += 1
         return value, True
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) ``key``; evict the LRU entry when full."""
+    def put(self, key: Hashable, value: Any) -> int:
+        """Insert (or refresh) ``key``; evict the LRU entry when full.
+
+        Returns how many entries were evicted by this insert (0 or 1 in
+        practice) so the engine can emit a ``cache_evict`` telemetry event
+        without the cache holding a callback — engines pickle their cache,
+        and a stored callable would break index snapshots.
+        """
         if self.capacity == 0:
-            return
+            return 0
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
+        evicted = 0
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            evicted += 1
+        return evicted
 
     def resize(self, capacity: int) -> None:
         """Change the capacity at runtime (engine reconfiguration).

@@ -36,6 +36,8 @@ from ..geometry.rectangles import Rect
 from ..core.baselines import KeywordsOnlyIndex, StructuredOnlyIndex
 from ..core.multi_k import MultiKOrpIndex
 from ..core.planner import HybridPlanner
+from ..telemetry.events import EventLog
+from ..telemetry.quantiles import StatsCollector
 from ..trace import MetricsRegistry, Tracer, span_for
 
 #: A query as the batch API accepts it: a (rect, keywords) pair, where the
@@ -128,6 +130,11 @@ class QueryEngine:
         engine owns a private registry (no cross-engine sharing).  Pass
         :data:`repro.trace.GLOBAL_REGISTRY` (or any shared registry) to
         aggregate across engines.
+    events:
+        A :class:`~repro.telemetry.EventLog` to emit structured serving
+        events into (``query_finish``, ``query_degraded``, ``cache_evict``);
+        ``None`` (the default) disables event emission.  Share one log
+        across the serving stack for a single total event order.
     """
 
     def __init__(
@@ -143,6 +150,7 @@ class QueryEngine:
         metrics: Optional[MetricsRegistry] = None,
         backend: str = "cost_model",
         dynamic_index=None,
+        events: Optional[EventLog] = None,
     ):
         from ..fast import VectorizedBackend, validate_backend
         from .cache import LRUCache
@@ -177,6 +185,9 @@ class QueryEngine:
         self.default_budget = default_budget
         self.tracing = tracing
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events = events
+        #: Per-(strategy, backend) running statistics — the planner feed.
+        self.stats_collector = StatsCollector()
         self.counter = CostCounter()  # engine-lifetime aggregate
         self._cache = LRUCache(cache_size)
         self._records: Deque[QueryRecord] = deque(maxlen=keep_records)
@@ -223,9 +234,12 @@ class QueryEngine:
 
     def __getstate__(self) -> Dict[str, Any]:
         # The array mirror is derived state: rebuild after unpickling
-        # instead of bloating index files with numpy blocks.
+        # instead of bloating index files with numpy blocks.  The event log
+        # is a live operational attachment (often shared across engines):
+        # persisting it would duplicate the shared log per saved engine.
         state = dict(self.__dict__)
         state["_fast"] = None
+        state["_events"] = None
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -239,6 +253,10 @@ class QueryEngine:
         self.__dict__.setdefault("backend", "cost_model")
         self.__dict__.setdefault("_dynamic", None)
         self.__dict__.setdefault("_fast", None)
+        # Engines pickled before the telemetry subsystem.
+        self.__dict__.setdefault("_events", None)
+        if self.__dict__.get("stats_collector") is None:
+            self.stats_collector = StatsCollector()
         if self.backend != "cost_model" and self.dataset.objects:
             from ..fast import VectorizedBackend
 
@@ -387,6 +405,16 @@ class QueryEngine:
             self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
             self.metrics.counter("cache_hits_total").inc()
             self.metrics.counter("strategy_cache_total").inc()
+            if self._events is not None:
+                self._events.emit(
+                    "query_finish",
+                    query_id=query_id,
+                    strategy="cache",
+                    cache="hit",
+                    cost_total=0,
+                    result_count=len(cached),
+                    degraded=False,
+                )
             return cached
         self.metrics.counter("cache_misses_total").inc()
 
@@ -450,7 +478,12 @@ class QueryEngine:
         # BudgetExceeded never escapes query() — the trace and the cache entry
         # must land even when the caller's budget is already blown.
         results = tuple(results)
-        self._cache.put(key, results)
+        evicted = self._cache.put(key, results)
+        if evicted and self._events is not None:
+            self._events.emit(
+                "cache_evict", query_id=query_id, evicted=evicted,
+                size=len(self._cache), capacity=self._cache.capacity,
+            )
         clean_estimates = {
             name: float(value)
             for name, value in estimates.items()
@@ -479,6 +512,32 @@ class QueryEngine:
         if degraded:
             self._degraded_count += 1
         self._observe_metrics(chosen, len(fallbacks), degraded, record.cost, len(results))
+        self.stats_collector.observe(
+            chosen,
+            backend,
+            record.cost.get("total", 0),
+            len(results),
+            corpus_size=len(self.dataset),
+        )
+        if self._events is not None:
+            if degraded:
+                self._events.emit(
+                    "query_degraded",
+                    query_id=query_id,
+                    strategy=chosen,
+                    fallbacks=len(fallbacks),
+                    budget=budget,
+                    cost_total=record.cost.get("total", 0),
+                )
+            self._events.emit(
+                "query_finish",
+                query_id=query_id,
+                strategy=chosen,
+                cache="miss",
+                cost_total=record.cost.get("total", 0),
+                result_count=len(results),
+                degraded=degraded,
+            )
         self.counter.absorb(spent)
         caller.absorb(spent)
         return results
@@ -556,6 +615,28 @@ class QueryEngine:
     @property
     def cache(self):
         return self._cache
+
+    @property
+    def events(self) -> Optional[EventLog]:
+        """The attached structured event log (``None`` when not wired)."""
+        return self._events
+
+    def attach_events(self, events: Optional[EventLog]) -> None:
+        """Attach (or detach with ``None``) a structured event log.
+
+        Lets a deployment wire one shared log through an engine that was
+        built — or unpickled — without one.
+        """
+        self._events = events
+
+    def planner_stats(self) -> Dict[str, Any]:
+        """The stable per-(strategy, backend) statistics feed.
+
+        Schema-versioned rendering of the engine's
+        :class:`~repro.telemetry.StatsCollector` — the collected-statistics
+        input a future adaptive planner (and any dashboard) reads.
+        """
+        return self.stats_collector.planner_stats()
 
     def stats(self) -> Dict[str, Any]:
         """Lifetime engine statistics (JSON-safe)."""

@@ -79,6 +79,8 @@ from ..costmodel import CATEGORIES, CostCounter, ensure_counter
 from ..dataset import Dataset, KeywordObject, validate_nonempty_keywords
 from ..errors import ValidationError
 from ..geometry.rectangles import Rect
+from ..telemetry.events import EventLog
+from ..telemetry.quantiles import StatsCollector
 from ..trace import MetricsRegistry, Tracer, span_for
 from .cache import LRUCache
 from .engine import QueryEngine, QueryRecord, QuerySpec
@@ -297,6 +299,7 @@ class ShardedQueryEngine:
         tracing: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         backend: str = "cost_model",
+        events: Optional[EventLog] = None,
     ):
         from ..fast import validate_backend
 
@@ -315,6 +318,11 @@ class ShardedQueryEngine:
         self.default_budget = default_budget
         self.tracing = tracing
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Set before the first _publish_state call below so the initial
+        # shard map's epoch_publish event is emitted too.
+        self._events = events
+        #: Per-(strategy, backend) running statistics for the fan-out level.
+        self.stats_collector = StatsCollector()
         #: Global vocabulary, shared across shards (each shard's inverted
         #: index only covers its slice; stats report the full W).
         self.vocabulary = dataset.vocabulary
@@ -382,6 +390,24 @@ class ShardedQueryEngine:
     def _publish_state(self, shard_map: ShardMap) -> None:
         """Atomically install the successor shard map (one assignment)."""
         self._state = shard_map
+        # getattr: the legacy __setstate__ migration publishes before the
+        # telemetry defaults are applied.
+        events = getattr(self, "_events", None)
+        if events is not None:
+            events.emit(
+                "epoch_publish",
+                epoch=shard_map.epoch_id,
+                shards=len(shard_map.datasets),
+                live=shard_map.live_count,
+                tombstones=len(shard_map.tombstones),
+            )
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The event log is a live operational attachment (often shared
+        # across the serving stack); never persisted with the engine.
+        state = dict(self.__dict__)
+        state["_events"] = None
+        return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         # Mirror QueryEngine.__setstate__: engines pickled before the trace
@@ -405,6 +431,10 @@ class ShardedQueryEngine:
         self.__dict__.setdefault("_keep_records", 1024)
         self.__dict__.setdefault("rebalance_threshold", 1.5)
         self.__dict__.setdefault("_rebalances", 0)
+        # Engines pickled before the telemetry subsystem.
+        self.__dict__.setdefault("_events", None)
+        if self.__dict__.get("stats_collector") is None:
+            self.stats_collector = StatsCollector()
         if "_state" not in self.__dict__ and legacy_datasets is not None:
             datasets = tuple(legacy_datasets)
             engines = (
@@ -653,6 +683,14 @@ class ShardedQueryEngine:
         }
         self._rebalances += 1
         self.metrics.counter("rebalances_total").inc()
+        if self._events is not None:
+            self._events.emit(
+                "shard_rebalance",
+                epoch=self._state.epoch_id + 1,
+                shards=self.num_shards,
+                live=len(live),
+                purged=len(tombstones),
+            )
         return ShardMap(
             self._state.epoch_id + 1,
             datasets,
@@ -814,6 +852,16 @@ class ShardedQueryEngine:
         self._strategy_counts["cache"] = self._strategy_counts.get("cache", 0) + 1
         self.metrics.counter("cache_hits_total").inc()
         self.metrics.counter("strategy_cache_total").inc()
+        if self._events is not None:
+            self._events.emit(
+                "query_finish",
+                query_id=query_id,
+                strategy="cache",
+                cache="hit",
+                cost_total=0,
+                result_count=len(cached),
+                degraded=False,
+            )
         return cached
 
     def _query_shard(
@@ -908,7 +956,12 @@ class ShardedQueryEngine:
         degraded_slices = sum(1 for s in slices if s["degraded"])
         degraded = degraded_slices > 0
         if cache_key is not None:
-            self._cache.put(cache_key, results)
+            evicted = self._cache.put(cache_key, results)
+            if evicted and self._events is not None:
+                self._events.emit(
+                    "cache_evict", query_id=query_id, evicted=evicted,
+                    size=len(self._cache), capacity=self._cache.capacity,
+                )
         record = QueryRecord(
             query_id=query_id,
             rect_lo=rect.lo,
@@ -935,6 +988,33 @@ class ShardedQueryEngine:
         self._observe_metrics(
             len(fallbacks), degraded, degraded_slices, spent.snapshot(), len(results)
         )
+        self.stats_collector.observe(
+            "sharded",
+            self.backend,
+            record.cost.get("total", 0),
+            len(results),
+            corpus_size=self._state.live_count,
+        )
+        if self._events is not None:
+            if degraded:
+                self._events.emit(
+                    "query_degraded",
+                    query_id=query_id,
+                    strategy="sharded",
+                    fallbacks=len(fallbacks),
+                    budget=budget,
+                    cost_total=record.cost.get("total", 0),
+                    degraded_slices=degraded_slices,
+                )
+            self._events.emit(
+                "query_finish",
+                query_id=query_id,
+                strategy="sharded",
+                cache="miss",
+                cost_total=record.cost.get("total", 0),
+                result_count=len(results),
+                degraded=degraded,
+            )
         # Caller accounting last and non-raising (absorb, not merge): same
         # invariant as QueryEngine._finish — a budgeted caller counter must
         # never lose the trace or the cache entry to BudgetExceeded.
@@ -991,6 +1071,28 @@ class ShardedQueryEngine:
     @property
     def cache(self) -> LRUCache:
         return self._cache
+
+    @property
+    def events(self) -> Optional[EventLog]:
+        """The attached structured event log (``None`` when not wired)."""
+        return self._events
+
+    def attach_events(self, events: Optional[EventLog]) -> None:
+        """Attach (or detach with ``None``) a structured event log."""
+        self._events = events
+
+    def planner_stats(self) -> Dict[str, Any]:
+        """The stable statistics feed: fan-out cells plus every shard's.
+
+        Rolls the per-shard engines' collectors into the fan-out's own via
+        the exact pooled merge, so the rendering covers both the merged
+        ``sharded`` strategy and the per-shard strategy choices.
+        """
+        merged = StatsCollector()
+        merged.merge(self.stats_collector)
+        for engine in self.shard_engines:
+            merged.merge(engine.stats_collector)
+        return merged.planner_stats()
 
     def stats(self) -> Dict[str, Any]:
         """Lifetime statistics with a per-shard breakdown (JSON-safe)."""

@@ -81,11 +81,15 @@ class SnapshotManager:
     metrics:
         Registry receiving the gauges (``snapshot_epoch``, ``snapshot_age``)
         and the ``snapshots_pinned_total`` counter; private by default.
+    events:
+        A :class:`~repro.telemetry.EventLog` receiving ``snapshot_pin`` /
+        ``snapshot_release`` events; ``None`` disables emission.
     """
 
-    def __init__(self, index, metrics: Optional[MetricsRegistry] = None):
+    def __init__(self, index, metrics: Optional[MetricsRegistry] = None, events=None):
         self.index = index
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events = events
 
     def pin(self) -> Snapshot:
         """Pin the currently published epoch for isolated reads.
@@ -97,12 +101,31 @@ class SnapshotManager:
         self.metrics.counter("snapshots_pinned_total").inc()
         self.metrics.gauge("snapshot_epoch").set(snapshot.epoch_id)
         self.metrics.gauge("snapshot_age").set(snapshot.age())
+        if self._events is not None:
+            self._events.emit(
+                "snapshot_pin", epoch=snapshot.epoch_id, live=len(snapshot)
+            )
         return snapshot
 
     def observe(self, snapshot: Snapshot) -> None:
         """Re-meter a held snapshot's age (serving layers call this after
         each read so the gauge tracks the *oldest still-working* pin)."""
         self.metrics.gauge("snapshot_age").set(snapshot.age())
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Mark a pinned snapshot as done (final age metering + event).
+
+        Pins are plain references — nothing needs freeing — but release
+        gives the telemetry stream a paired ``snapshot_release`` with the
+        pin's final staleness, so a leaked long-lived pin is visible as a
+        pin with no matching release.
+        """
+        self.metrics.counter("snapshots_released_total").inc()
+        self.metrics.gauge("snapshot_age").set(snapshot.age())
+        if self._events is not None:
+            self._events.emit(
+                "snapshot_release", epoch=snapshot.epoch_id, age=snapshot.age()
+            )
 
     def stats(self) -> Dict[str, Any]:
         """JSON-safe staleness summary."""

@@ -1,0 +1,69 @@
+"""Serving telemetry: quantiles, events, exporter, tail sampling, SLOs.
+
+The serving stack (``repro.service``) accounts every query in RAM-model
+cost units; this package turns those accounts into *operational* answers
+without ever re-introducing wall-clock time into the cost paths:
+
+* :mod:`~repro.telemetry.quantiles` — mergeable ``p50/p90/p99`` estimation
+  over :class:`~repro.trace.MetricHistogram` buckets, plus the
+  per-``(strategy, backend)`` :class:`StatsCollector` planner feed;
+* :mod:`~repro.telemetry.events` — the bounded, schema-versioned
+  :class:`EventLog` of typed serving events (epoch publishes, sheds,
+  cache evictions, rebalances, ...);
+* :mod:`~repro.telemetry.exporter` — byte-deterministic
+  OpenMetrics/Prometheus text exposition and multi-registry roll-up;
+* :mod:`~repro.telemetry.sampler` — tail-based :class:`TailSampler` trace
+  retention (mandatory shed/degraded, slowest-k, head samples) under a
+  hard memory bound;
+* :mod:`~repro.telemetry.slo` — sliding-window :class:`SLOMonitor` burn
+  rates whose graduated pressure signal feeds
+  :class:`~repro.service.async_engine.AdmissionController` shedding;
+* :mod:`~repro.telemetry.clock` — the single, injectable clock boundary
+  (deterministic :class:`CounterClock` by default; the opt-in
+  :class:`MonotonicClock` is the package's one reviewed wall-clock read).
+"""
+
+from .clock import Clock, CounterClock, MonotonicClock
+from .events import EVENT_KINDS, SCHEMA_VERSION, Event, EventLog
+from .exporter import merge_registries, quantile_rows, render_openmetrics
+from .quantiles import (
+    PLANNER_STATS_SCHEMA,
+    STANDARD_QUANTILES,
+    RunningStat,
+    StatsCollector,
+    estimate_quantile,
+    summarize_quantiles,
+)
+from .sampler import (
+    MANDATORY_CLASSES,
+    RETENTION_CLASSES,
+    RetainedTrace,
+    TailSampler,
+)
+from .slo import DEFAULT_WINDOW, SLOMonitor, SloShed
+
+__all__ = [
+    "Clock",
+    "CounterClock",
+    "MonotonicClock",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "Event",
+    "EventLog",
+    "merge_registries",
+    "quantile_rows",
+    "render_openmetrics",
+    "PLANNER_STATS_SCHEMA",
+    "STANDARD_QUANTILES",
+    "RunningStat",
+    "StatsCollector",
+    "estimate_quantile",
+    "summarize_quantiles",
+    "MANDATORY_CLASSES",
+    "RETENTION_CLASSES",
+    "RetainedTrace",
+    "TailSampler",
+    "DEFAULT_WINDOW",
+    "SLOMonitor",
+    "SloShed",
+]

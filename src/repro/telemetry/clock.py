@@ -1,0 +1,70 @@
+"""The telemetry layer's *only* clock access, injectable and audited.
+
+Every other telemetry module is keyed on **cost units and event counts** —
+sliding windows over the last ``W`` queries, burn rates over shed *counts*,
+quantiles over cost-unit histograms — so the whole subsystem is
+deterministic under a seeded workload and reprolint rule R5 (no wall clock
+in cost-accounted packages) audits the tree.  The one legitimate wall-clock
+need — an operator wanting human-time event stamps in an exported JSONL —
+is isolated here behind an explicit opt-in:
+
+* :class:`CounterClock` — the **default** everywhere: a monotone event
+  counter.  ``now()`` returns how many ticks have been recorded, so two
+  runs of the same seeded workload produce byte-identical exports.
+* :class:`MonotonicClock` — the opt-in wall clock for live deployments.
+  Its ``time.monotonic`` call is the telemetry package's single reviewed
+  R5 baseline entry; nothing else in ``repro/telemetry`` may touch
+  :mod:`time` (the lint gate enforces this).
+
+Anything in the telemetry package that needs a timestamp takes a
+``clock=`` parameter defaulting to a fresh :class:`CounterClock`; passing
+:class:`MonotonicClock` is a deployment decision, never a default.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal clock protocol: a monotone, float-valued ``now()``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def tick(self, ticks: int = 1) -> None:
+        """Advance event-count clocks; wall clocks ignore it."""
+
+
+class CounterClock(Clock):
+    """Deterministic event-count clock (the telemetry default).
+
+    ``now()`` reports the number of ticks recorded so far; callers tick it
+    once per emitted event, so "timestamps" are reproducible sequence
+    positions rather than wall-clock readings.
+    """
+
+    __slots__ = ("_ticks",)
+
+    def __init__(self, start: int = 0):
+        self._ticks = int(start)
+
+    def tick(self, ticks: int = 1) -> None:
+        self._ticks += ticks
+
+    def now(self) -> float:
+        return float(self._ticks)
+
+
+class MonotonicClock(Clock):
+    """Opt-in wall clock for live deployments (never a default).
+
+    The single place the telemetry package reads real time; reviewed and
+    baselined under reprolint R5 so any *new* wall-clock use elsewhere in
+    the package fails the lint gate.
+    """
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()

@@ -1,0 +1,146 @@
+"""OpenMetrics/Prometheus text exposition for any :class:`MetricsRegistry`.
+
+:func:`render_openmetrics` turns a registry (or its :meth:`snapshot` dict)
+into the standard text format — ``# TYPE`` headers, counters suffixed
+``_total``, histograms as cumulative ``_bucket{le="..."}`` series plus
+``_sum``/``_count``, a closing ``# EOF`` — with every instrument sorted by
+name and numbers rendered canonically, so the same registry state always
+produces byte-identical output (the CI golden check pins this on the
+seeded S1 workload).
+
+:func:`merge_registries` rolls several registries (for example one per
+shard) into a single fresh one: counters sum, histograms merge bucket-wise
+via :meth:`~repro.trace.MetricHistogram.merge` (identical bounds
+enforced), gauges sum (shard gauges in this codebase are sizes and
+epoch counts, for which addition is the meaningful roll-up).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+from ..errors import ValidationError
+from ..trace.metrics import MetricsRegistry
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(namespace: str, name: str) -> str:
+    """``<namespace>_<name>`` with invalid metric-name characters replaced."""
+    full = f"{namespace}_{name}" if namespace else name
+    return _NAME_SANITIZER.sub("_", full)
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """Canonical number rendering: integral values without a decimal point."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _le_label(bound: float) -> str:
+    """The ``le`` label value matching the snapshot's ``le_`` key style."""
+    return f"{int(bound)}" if float(bound).is_integer() else f"{bound:g}"
+
+
+def render_openmetrics(
+    registry: Union[MetricsRegistry, Mapping[str, Any]],
+    namespace: str = "repro",
+) -> str:
+    """Render a registry (or its snapshot) as OpenMetrics text.
+
+    The output is byte-deterministic: instruments sort by name, buckets
+    keep registration order (bounds are strictly increasing), and numbers
+    render canonically.  The returned string ends with ``# EOF`` and a
+    trailing newline.
+    """
+    snapshot = (
+        registry.snapshot() if isinstance(registry, MetricsRegistry) else registry
+    )
+    try:
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        histograms = snapshot["histograms"]
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(f"not a registry snapshot ({exc})") from exc
+
+    lines: List[str] = []
+    for name in sorted(counters):
+        base = _metric_name(namespace, name)
+        if base.endswith("_total"):
+            base = base[: -len("_total")]
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base}_total {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        base = _metric_name(namespace, name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format_value(gauges[name])}")
+    for name in sorted(histograms):
+        base = _metric_name(namespace, name)
+        data = histograms[name]
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        for key, count in data["buckets"].items():
+            cumulative += count
+            bound = float(key[len("le_"):])
+            lines.append(
+                f'{base}_bucket{{le="{_le_label(bound)}"}} {cumulative}'
+            )
+        cumulative += data["overflow"]
+        lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{base}_sum {_format_value(data['sum'])}")
+        lines.append(f"{base}_count {data['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Fold several registries into one fresh aggregate registry.
+
+    Counters and gauges sum; histograms with the same name must have been
+    registered with identical bucket bounds (``MetricHistogram.merge``
+    raises otherwise).  The inputs are left untouched.
+    """
+    merged = MetricsRegistry()
+    for registry in registries:
+        for name in registry.counter_names():
+            merged.counter(name).inc(registry.counter(name).value)
+        for name in registry.gauge_names():
+            gauge = merged.gauge(name)
+            gauge.set(gauge.value + registry.gauge(name).value)
+        for name in registry.histogram_names():
+            source = registry.histogram(name)
+            merged.histogram(name, source.bounds).merge(source)
+    return merged
+
+
+def quantile_rows(
+    registry: Union[MetricsRegistry, Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-histogram ``p50/p90/p99`` summary rows (sorted by name).
+
+    Convenience for the CLI ``top`` view: one JSON-safe row per histogram
+    with its count, sum, and the standard quantile estimates.
+    """
+    from .quantiles import summarize_quantiles
+
+    snapshot = (
+        registry.snapshot() if isinstance(registry, MetricsRegistry) else registry
+    )
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        row: Dict[str, Any] = {
+            "name": name,
+            "count": data["count"],
+            "sum": data["sum"],
+        }
+        row.update(summarize_quantiles(data))
+        rows.append(row)
+    return rows

@@ -1,0 +1,255 @@
+"""Mergeable quantile estimation + per-strategy planner statistics.
+
+Two feeds for production questions the raw counters cannot answer:
+
+* :func:`estimate_quantile` — ``p50/p90/p99`` (any ``q``) from a
+  :class:`~repro.trace.MetricHistogram` or its :meth:`snapshot` dict.  The
+  histogram's exponential buckets are *mergeable* (identical bounds sum
+  bucket-wise, see :meth:`~repro.trace.MetricHistogram.merge`), so the same
+  estimator answers per-shard, per-engine, or fleet-wide questions from
+  summed bucket counts.  Within a bucket the estimate interpolates linearly
+  and deterministically — two runs of the same workload report the same
+  ``p99`` to the last bit.
+* :class:`StatsCollector` — per-``(strategy, backend)`` running statistics
+  (Welford mean/variance, min/max) of query cost, result count, and
+  selectivity, exposed through the stable :meth:`~StatsCollector.
+  planner_stats` API.  This is the collected-statistics feed the ROADMAP's
+  adaptive planner item names: a future :class:`~repro.core.planner.
+  HybridPlanner` reads measured per-strategy selectivity and cost instead
+  of static heuristics.
+
+Everything here is cost-unit- and count-valued; no wall clock (reprolint
+R5 audits this package).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ValidationError
+from ..trace.metrics import MetricHistogram
+
+#: The standard reporting quantiles, in display order.
+STANDARD_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+#: Schema version of the :meth:`StatsCollector.planner_stats` rendering.
+PLANNER_STATS_SCHEMA = 1
+
+
+def _bounds_and_counts(
+    histogram: Union[MetricHistogram, Mapping[str, Any]],
+) -> Tuple[Tuple[float, ...], List[int], int, float, Optional[float], Optional[float]]:
+    """Normalize a histogram or its snapshot into raw bucket arrays."""
+    if isinstance(histogram, MetricHistogram):
+        return (
+            histogram.bounds,
+            list(histogram.bucket_counts),
+            histogram.overflow,
+            histogram.total,
+            histogram.low,
+            histogram.high,
+        )
+    try:
+        buckets = histogram["buckets"]
+        bounds = tuple(float(key[len("le_"):]) for key in buckets)
+        counts = [int(count) for count in buckets.values()]
+        return (
+            bounds,
+            counts,
+            int(histogram["overflow"]),
+            float(histogram["sum"]),
+            histogram["min"],
+            histogram["max"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"not a histogram snapshot ({exc})") from exc
+
+
+def estimate_quantile(
+    histogram: Union[MetricHistogram, Mapping[str, Any]], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile of a bucketed distribution.
+
+    Deterministic rule: the target rank is ``q * count``; the estimate is
+    the point where the cumulative bucket counts cross that rank, with
+    linear interpolation inside the crossing bucket (lower edge 0 for the
+    first bucket, the previous bound otherwise; the overflow bucket
+    interpolates up to the observed ``max``).  The result is clamped into
+    ``[min, max]`` so a wide first bucket cannot report an estimate below
+    the smallest observation.  Returns ``None`` on an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValidationError(f"quantile must be in [0, 1], got {q}")
+    bounds, counts, overflow, _total, low, high = _bounds_and_counts(histogram)
+    population = sum(counts) + overflow
+    if population == 0:
+        return None
+    rank = q * population
+    cumulative = 0
+    edges = [0.0] + list(bounds)
+    for index, count in enumerate(counts):
+        if count and cumulative + count >= rank:
+            lo, hi = edges[index], edges[index + 1]
+            fraction = (rank - cumulative) / count
+            estimate = lo + (hi - lo) * max(fraction, 0.0)
+            return _clamp(estimate, low, high)
+        cumulative += count
+    # Overflow bucket: everything above the last bound, capped at max.
+    lo = edges[-1]
+    hi = high if high is not None and high > lo else lo
+    fraction = (rank - cumulative) / overflow if overflow else 1.0
+    return _clamp(lo + (hi - lo) * max(min(fraction, 1.0), 0.0), low, high)
+
+
+def _clamp(value: float, low: Optional[float], high: Optional[float]) -> float:
+    if low is not None:
+        value = max(value, low)
+    if high is not None:
+        value = min(value, high)
+    return value
+
+
+def summarize_quantiles(
+    histogram: Union[MetricHistogram, Mapping[str, Any]],
+    quantiles: Sequence[float] = STANDARD_QUANTILES,
+) -> Dict[str, Optional[float]]:
+    """The standard ``{"p50": ..., "p90": ..., "p99": ...}`` summary."""
+    return {
+        f"p{int(q * 100)}": estimate_quantile(histogram, q) for q in quantiles
+    }
+
+
+class RunningStat:
+    """Welford running mean/variance with min/max (exact, single pass)."""
+
+    __slots__ = ("count", "mean", "_m2", "low", "high")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.low: Optional[float] = None
+        self.high: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.low = value if self.low is None else min(self.low, value)
+        self.high = value if self.high is None else max(self.high, value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 before the second observation)."""
+        return self._m2 / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "variance": self.variance,
+            "min": self.low,
+            "max": self.high,
+        }
+
+
+class StatsCollector:
+    """Per-``(strategy, backend)`` running statistics for the planner feed.
+
+    The serving engines call :meth:`observe` once per *executed* (non-cache-
+    hit) query with the chosen strategy, resolved backend, charged cost, and
+    result count; selectivity is derived as ``result_count / corpus_size``
+    when the corpus size is known.  :meth:`planner_stats` renders a stable,
+    JSON-safe, schema-versioned view — the contract the future adaptive
+    planner (and any dashboard) reads, insulated from internal layout.
+    """
+
+    __slots__ = ("_cells",)
+
+    #: The tracked per-cell series, in rendering order.
+    SERIES = ("cost", "result_count", "selectivity")
+
+    def __init__(self):
+        self._cells: Dict[Tuple[str, str], Dict[str, RunningStat]] = {}
+
+    def observe(
+        self,
+        strategy: str,
+        backend: str,
+        cost: int,
+        result_count: int,
+        corpus_size: Optional[int] = None,
+    ) -> None:
+        """Record one executed query's outcome into its (strategy, backend) cell."""
+        cell = self._cells.get((strategy, backend))
+        if cell is None:
+            cell = {name: RunningStat() for name in self.SERIES}
+            self._cells[(strategy, backend)] = cell
+        cell["cost"].observe(cost)
+        cell["result_count"].observe(result_count)
+        if corpus_size:
+            cell["selectivity"].observe(result_count / corpus_size)
+
+    def merge(self, other: "StatsCollector") -> None:
+        """Fold another collector's cells into this one (sharded roll-up).
+
+        Means/variances combine with the exact pooled (Chan) update, so a
+        merged collector reports the same statistics as one that observed
+        every query directly.
+        """
+        for key, cell in other._cells.items():
+            mine = self._cells.get(key)
+            if mine is None:
+                mine = {name: RunningStat() for name in self.SERIES}
+                self._cells[key] = mine
+            for name in self.SERIES:
+                _pool_into(mine[name], cell[name])
+
+    def cell(self, strategy: str, backend: str) -> Optional[Dict[str, RunningStat]]:
+        """The raw cell, or ``None`` when that pair was never observed."""
+        return self._cells.get((strategy, backend))
+
+    def planner_stats(self) -> Dict[str, Any]:
+        """The stable statistics feed (sorted, JSON-safe, schema-versioned)."""
+        return {
+            "schema": PLANNER_STATS_SCHEMA,
+            "strategies": [
+                {
+                    "strategy": strategy,
+                    "backend": backend,
+                    "queries": cell["cost"].count,
+                    **{name: cell[name].to_dict() for name in self.SERIES},
+                }
+                for (strategy, backend), cell in sorted(self._cells.items())
+            ],
+        }
+
+
+def _pool_into(target: RunningStat, source: RunningStat) -> None:
+    """Chan et al. pooled mean/M2 update: target += source, exactly."""
+    if source.count == 0:
+        return
+    if target.count == 0:
+        target.count = source.count
+        target.mean = source.mean
+        target._m2 = source._m2
+        target.low = source.low
+        target.high = source.high
+        return
+    combined = target.count + source.count
+    delta = source.mean - target.mean
+    target._m2 = (
+        target._m2
+        + source._m2
+        + delta * delta * target.count * source.count / combined
+    )
+    target.mean = target.mean + delta * source.count / combined
+    target.count = combined
+    if source.low is not None:
+        target.low = source.low if target.low is None else min(target.low, source.low)
+    if source.high is not None:
+        target.high = (
+            source.high if target.high is None else max(target.high, source.high)
+        )

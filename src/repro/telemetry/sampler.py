@@ -1,0 +1,220 @@
+"""Tail-based trace retention under a hard memory bound.
+
+Full :class:`~repro.trace.TraceSpan` trees are the most expensive telemetry
+artifact the serving stack produces, and almost all of them describe
+healthy, fast queries nobody will ever read.  Tail sampling keeps exactly
+the traces a production investigation wants:
+
+* **mandatory** — every shed, degraded, or reason-carrying (refused/
+  SLO-attributed) query is retained unconditionally;
+* **slowest-k** — the ``k`` highest-cost queries seen so far compete for
+  the remaining slots: a new query bumps the cheapest retained one once
+  the pool is full;
+* **head samples** — optionally every ``head_every``-th offered query is
+  kept regardless, giving a low-rate baseline of *normal* behaviour to
+  compare the tail against.
+
+Everything retained together must fit ``memory_bound`` estimated bytes
+(the JSON rendering's length — deterministic, allocator-independent).
+When the bound overflows, head samples are dropped first (oldest first),
+then the cheapest slow entries, then the oldest mandatory entries — the
+bound is hard and wins over every retention class.  Costs are RAM-model
+cost units; nothing here reads a clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import ValidationError
+
+#: Retention classes, in eviction order (first evicted first).
+RETENTION_CLASSES = ("head", "slow", "shed", "degraded", "reason")
+
+#: Classes that are always retained (never compete for slow-k slots).
+MANDATORY_CLASSES = frozenset({"shed", "degraded", "reason"})
+
+
+class RetainedTrace:
+    """One retained query record: why it was kept and what it weighs."""
+
+    __slots__ = ("seq", "query_id", "cost", "why", "size", "record")
+
+    def __init__(
+        self,
+        seq: int,
+        query_id: int,
+        cost: int,
+        why: str,
+        size: int,
+        record: Dict[str, Any],
+    ):
+        self.seq = seq
+        self.query_id = query_id
+        self.cost = cost
+        self.why = why
+        self.size = size
+        self.record = record
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (the record dict plus retention metadata)."""
+        return {
+            "seq": self.seq,
+            "query_id": self.query_id,
+            "cost": self.cost,
+            "why": self.why,
+            "size": self.size,
+            "record": self.record,
+        }
+
+
+class TailSampler:
+    """Decide which query records (with their trace trees) to retain.
+
+    Parameters
+    ----------
+    slowest_k:
+        How many highest-cost healthy queries to keep.
+    memory_bound:
+        Hard cap on the summed estimated sizes of everything retained
+        (bytes of the records' deterministic JSON rendering).
+    head_every:
+        Keep every ``head_every``-th offered record as a baseline head
+        sample; ``0`` (the default) disables head sampling.
+
+    :meth:`offer` is called once per finished (or shed) query with its
+    :class:`~repro.service.engine.QueryRecord`; the return value tells the
+    caller whether the record's trace was retained — when ``False`` the
+    caller should drop the trace tree (``record.trace = None``) so
+    unretained span trees do not pile up in the record deque.
+    """
+
+    def __init__(
+        self,
+        slowest_k: int = 8,
+        memory_bound: int = 1 << 20,
+        head_every: int = 0,
+    ):
+        if slowest_k < 1:
+            raise ValidationError(f"slowest_k must be >= 1, got {slowest_k}")
+        if memory_bound < 1:
+            raise ValidationError(
+                f"memory_bound must be >= 1, got {memory_bound}"
+            )
+        if head_every < 0:
+            raise ValidationError(
+                f"head_every must be >= 0, got {head_every}"
+            )
+        self.slowest_k = slowest_k
+        self.memory_bound = memory_bound
+        self.head_every = head_every
+        self._entries: List[RetainedTrace] = []
+        self._offered = 0
+        self.rejected = 0
+        #: Entries pushed out after retention (slow-k competition or the
+        #: memory bound) — visible truncation, never silent.
+        self.evicted = 0
+
+    # -- retention decision ------------------------------------------------------
+
+    def offer(self, record) -> bool:
+        """Consider one finished query's record; return whether it is kept."""
+        self._offered += 1
+        why = self._classify(record)
+        cost = int(record.cost.get("total", 0)) if record.cost else 0
+        if why is None and self.head_every and (
+            self._offered % self.head_every == 0
+        ):
+            why = "head"
+        if why is None:
+            why = self._admit_slow(cost)
+        if why is None:
+            self.rejected += 1
+            return False
+        entry = RetainedTrace(
+            seq=self._offered,
+            query_id=record.query_id,
+            cost=cost,
+            why=why,
+            size=len(record.to_json()),
+            record=record.to_dict(),
+        )
+        self._entries.append(entry)
+        self._enforce_bound()
+        return entry in self._entries
+
+    @staticmethod
+    def _classify(record) -> Optional[str]:
+        """The record's mandatory retention class, or ``None`` if healthy."""
+        if record.strategy == "shed":
+            return "shed"
+        if getattr(record, "reason", None):
+            return "reason"
+        if record.degraded:
+            return "degraded"
+        return None
+
+    def _admit_slow(self, cost: int) -> Optional[str]:
+        """Admit into the slowest-k pool, bumping the cheapest if full."""
+        slow = [e for e in self._entries if e.why == "slow"]
+        if len(slow) < self.slowest_k:
+            return "slow"
+        weakest = min(slow, key=lambda e: (e.cost, e.seq))
+        if cost <= weakest.cost:
+            return None
+        self._entries.remove(weakest)
+        self.evicted += 1
+        return "slow"
+
+    def _enforce_bound(self) -> None:
+        """Evict until everything retained fits the hard memory bound.
+
+        Eviction order: head samples (oldest first), then slow entries
+        (cheapest first), then mandatory entries (oldest first) — the bound
+        wins over every retention class.
+        """
+        while self.total_size > self.memory_bound and self._entries:
+            victim = min(
+                self._entries,
+                key=lambda e: (RETENTION_CLASSES.index(e.why), e.cost, e.seq)
+                if e.why == "slow"
+                else (RETENTION_CLASSES.index(e.why), 0, e.seq),
+            )
+            self._entries.remove(victim)
+            self.evicted += 1
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def total_size(self) -> int:
+        """Summed estimated sizes (bytes) of everything retained."""
+        return sum(entry.size for entry in self._entries)
+
+    def retained(self, why: Optional[str] = None) -> List[RetainedTrace]:
+        """Retained entries, oldest first (optionally one class only)."""
+        entries = (
+            self._entries
+            if why is None
+            else [entry for entry in self._entries if entry.why == why]
+        )
+        return sorted(entries, key=lambda e: e.seq)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe retention summary (offered/kept/evicted, per class)."""
+        by_class: Dict[str, int] = {}
+        for entry in self._entries:
+            by_class[entry.why] = by_class.get(entry.why, 0) + 1
+        return {
+            "offered": self._offered,
+            "retained": len(self._entries),
+            "rejected": self.rejected,
+            "evicted": self.evicted,
+            "total_size": self.total_size,
+            "memory_bound": self.memory_bound,
+            "slowest_k": self.slowest_k,
+            "head_every": self.head_every,
+            "classes": dict(sorted(by_class.items())),
+        }

@@ -1,0 +1,209 @@
+"""Sliding-window SLO monitors feeding graduated admission shedding.
+
+An SLO here is a target over the *last W queries* (a count window, not a
+time window — the serving stack owns no wall clock): the fraction that
+exhausted their budget, the fraction that were shed, and the window's p99
+cost against a cost-unit target.  Each objective reports a **burn rate**,
+``observed / target``: 1.0 means running exactly at target, 2.0 means
+burning the error budget twice as fast as allowed.
+
+The monitor folds its verdicts into a single graduated **pressure** level:
+
+====  ==========================  =======================================
+ 0    every burn < ``warn_burn``   admit normally
+ 1    any burn >= ``warn_burn``    :class:`~repro.service.async_engine.
+                                   AdmissionController` halves its
+                                   in-flight capacity
+ 2    any burn >= ``critical_burn``  capacity drops to a quarter
+====  ==========================  =======================================
+
+Shedding driven by pressure raises :class:`SloShed` — a
+:class:`~repro.errors.BudgetExceeded` subclass, so every existing
+``except BudgetExceeded`` path handles it unchanged — carrying a
+``reason`` like ``"shed:slo:p99_cost"`` that the async front end records
+in the refused query's :class:`~repro.service.engine.QueryRecord`, making
+each graduated-shed decision attributable to the objective that tripped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from ..errors import BudgetExceeded, ValidationError
+
+#: Default sliding-window length (queries).
+DEFAULT_WINDOW = 128
+
+
+class SloShed(BudgetExceeded):
+    """A query refused by SLO-driven graduated admission control.
+
+    Subclasses :class:`~repro.errors.BudgetExceeded` so admission-control
+    callers (which already treat shedding as a budget refusal) need no new
+    except clauses; :attr:`reason` names the objective that tripped, e.g.
+    ``"shed:slo:shed_rate"``.
+    """
+
+    def __init__(self, reason: str, spent: int, budget: int):
+        super().__init__(spent, budget)
+        self.reason = reason
+
+
+class SLOMonitor:
+    """Burn-rate monitor over a sliding window of query outcomes.
+
+    Parameters
+    ----------
+    window:
+        How many most-recent queries the objectives are computed over.
+    max_budget_exhausted_rate:
+        Target ceiling on the fraction of window queries that exhausted
+        their per-query budget (recorded fallbacks); ``None`` disables
+        the objective.
+    max_shed_rate:
+        Target ceiling on the fraction of window queries that were shed.
+    p99_cost_target:
+        Cost-unit target for the window's exact p99 of executed-query
+        cost.
+    warn_burn / critical_burn:
+        Pressure thresholds on the worst objective's burn rate.
+
+    The monitor is deterministic: observations are counts and cost units,
+    the p99 is an exact order statistic over the window, and identical
+    observation sequences always produce identical verdicts.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        max_budget_exhausted_rate: Optional[float] = None,
+        max_shed_rate: Optional[float] = None,
+        p99_cost_target: Optional[int] = None,
+        warn_burn: float = 1.0,
+        critical_burn: float = 2.0,
+    ):
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        for name, rate in (
+            ("max_budget_exhausted_rate", max_budget_exhausted_rate),
+            ("max_shed_rate", max_shed_rate),
+        ):
+            if rate is not None and not 0.0 < rate <= 1.0:
+                raise ValidationError(f"{name} must be in (0, 1], got {rate}")
+        if p99_cost_target is not None and p99_cost_target < 1:
+            raise ValidationError(
+                f"p99_cost_target must be >= 1, got {p99_cost_target}"
+            )
+        if not 0.0 < warn_burn <= critical_burn:
+            raise ValidationError(
+                "need 0 < warn_burn <= critical_burn, got "
+                f"{warn_burn} / {critical_burn}"
+            )
+        self.window = window
+        self.max_budget_exhausted_rate = max_budget_exhausted_rate
+        self.max_shed_rate = max_shed_rate
+        self.p99_cost_target = p99_cost_target
+        self.warn_burn = warn_burn
+        self.critical_burn = critical_burn
+        #: (cost_total, budget_exhausted, shed) per observed query.
+        self._observations: Deque[Tuple[int, bool, bool]] = deque(maxlen=window)
+        self._observed = 0
+
+    # -- feeding -----------------------------------------------------------------
+
+    def observe_query(
+        self,
+        cost: int = 0,
+        budget_exhausted: bool = False,
+        shed: bool = False,
+    ) -> None:
+        """Record one query outcome (served or shed) into the window."""
+        self._observations.append((int(cost), bool(budget_exhausted), bool(shed)))
+        self._observed += 1
+
+    # -- objectives --------------------------------------------------------------
+
+    def window_p99(self) -> Optional[float]:
+        """Exact p99 of executed (non-shed) query cost over the window."""
+        costs = sorted(
+            cost for cost, _exhausted, shed in self._observations if not shed
+        )
+        if not costs:
+            return None
+        # Ceil-rank order statistic: the smallest cost with at least 99% of
+        # the executed window at or below it.
+        rank = max(int(-(-0.99 * len(costs) // 1)), 1)  # ceil without math
+        return float(costs[rank - 1])
+
+    def burn_rates(self) -> Dict[str, float]:
+        """Per-objective burn rates (``observed / target``), targets only.
+
+        Empty until the first observation; objectives without a configured
+        target never appear.
+        """
+        total = len(self._observations)
+        if total == 0:
+            return {}
+        burns: Dict[str, float] = {}
+        if self.max_budget_exhausted_rate is not None:
+            exhausted = sum(1 for _c, e, _s in self._observations if e)
+            burns["budget_exhausted_rate"] = (
+                exhausted / total
+            ) / self.max_budget_exhausted_rate
+        if self.max_shed_rate is not None:
+            shed = sum(1 for _c, _e, s in self._observations if s)
+            burns["shed_rate"] = (shed / total) / self.max_shed_rate
+        if self.p99_cost_target is not None:
+            p99 = self.window_p99()
+            if p99 is not None:
+                burns["p99_cost"] = p99 / self.p99_cost_target
+        return burns
+
+    def worst(self) -> Optional[Tuple[str, float]]:
+        """The objective with the highest burn rate (``None`` when empty).
+
+        Ties break alphabetically so verdicts are deterministic.
+        """
+        burns = self.burn_rates()
+        if not burns:
+            return None
+        name = max(sorted(burns), key=lambda key: burns[key])
+        return name, burns[name]
+
+    def pressure(self) -> int:
+        """Graduated shed signal: 0 healthy, 1 warning, 2 critical."""
+        verdict = self.worst()
+        if verdict is None:
+            return 0
+        _name, burn = verdict
+        if burn >= self.critical_burn:
+            return 2
+        if burn >= self.warn_burn:
+            return 1
+        return 0
+
+    def shed_reason(self) -> str:
+        """The ``QueryRecord.reason`` string naming the tripped objective."""
+        verdict = self.worst()
+        objective = verdict[0] if verdict is not None else "unknown"
+        return f"shed:slo:{objective}"
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe verdict summary (window, burns, pressure)."""
+        return {
+            "window": self.window,
+            "observed": self._observed,
+            "in_window": len(self._observations),
+            "burn_rates": dict(sorted(self.burn_rates().items())),
+            "pressure": self.pressure(),
+            "targets": {
+                "max_budget_exhausted_rate": self.max_budget_exhausted_rate,
+                "max_shed_rate": self.max_shed_rate,
+                "p99_cost_target": self.p99_cost_target,
+                "warn_burn": self.warn_burn,
+                "critical_burn": self.critical_burn,
+            },
+        }

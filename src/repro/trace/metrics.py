@@ -99,6 +99,12 @@ class MetricHistogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        # Validate before any mutation: a rejected observation must leave
+        # count/sum/min/max untouched, not half-recorded.
+        if value < 0:
+            raise ValidationError(
+                f"histogram {self.name} observations must be >= 0, got {value}"
+            )
         self.count += 1
         self.total += value
         self.low = value if self.low is None else min(self.low, value)
@@ -108,6 +114,30 @@ class MetricHistogram:
                 self.bucket_counts[index] += 1
                 return
         self.overflow += 1
+
+    def merge(self, other: "MetricHistogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Both histograms must have been registered with identical bucket
+        bounds — merging differently-bucketed distributions silently
+        misattributes counts, so a mismatch raises instead.  The other
+        histogram is left untouched.  Used by the sharded exporter to roll
+        per-shard registries into one fleet view.
+        """
+        if self.bounds != other.bounds:
+            raise ValidationError(
+                f"cannot merge histogram {other.name} into {self.name}: "
+                f"bucket bounds differ ({len(other.bounds)} vs {len(self.bounds)})"
+            )
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.overflow += other.overflow
+        self.count += other.count
+        self.total += other.total
+        if other.low is not None:
+            self.low = other.low if self.low is None else min(self.low, other.low)
+        if other.high is not None:
+            self.high = other.high if self.high is None else max(self.high, other.high)
 
     def snapshot(self) -> Dict[str, Any]:
         return {

@@ -1,0 +1,173 @@
+"""Structured event log: ring-buffer semantics, emission wiring, golden export.
+
+The golden file pins the JSONL rendering byte-for-byte on a deterministic
+workload; intentional schema changes must regenerate it with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/telemetry/test_events.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.dataset import Dataset, make_objects
+from repro.errors import ValidationError
+from repro.geometry.rectangles import Rect
+from repro.service import QueryEngine, ShardedQueryEngine
+from repro.telemetry import EVENT_KINDS, SCHEMA_VERSION, EventLog
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+POINTS = [
+    (1.0, 1.0), (2.0, 4.0), (3.0, 2.0), (4.0, 8.0), (5.0, 5.0),
+    (6.0, 3.0), (7.0, 7.0), (8.0, 2.0), (9.0, 6.0), (2.5, 2.5),
+    (4.5, 4.5), (6.5, 1.5), (8.5, 8.5), (1.5, 7.5), (3.5, 6.5),
+]
+DOCS = [
+    [1, 2], [2, 3], [1, 3], [1, 2, 3], [2],
+    [1], [3], [1, 2], [2, 3], [1, 2, 3],
+    [1, 2], [3], [1, 3], [2], [1, 2, 3],
+]
+
+
+class TestRingBuffer:
+    def test_unknown_kind_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValidationError):
+            log.emit("not_a_kind")
+
+    def test_non_scalar_field_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValidationError):
+            log.emit("query_finish", shards=[1, 2])
+
+    def test_sequence_numbers_survive_drops(self):
+        log = EventLog(capacity=2)
+        for _ in range(5):
+            log.emit("query_finish", cost_total=1)
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert log.last_seq == 5
+        assert [event.seq for event in log.events()] == [4, 5]
+
+    def test_kind_filter(self):
+        log = EventLog()
+        log.emit("query_finish", cost_total=1)
+        log.emit("query_shed", reason="shed:admission")
+        log.emit("query_finish", cost_total=2)
+        assert [e.kind for e in log.events("query_shed")] == ["query_shed"]
+        assert len(log.events()) == 3
+
+    def test_counts_survive_drops(self):
+        log = EventLog(capacity=1)
+        log.emit("query_finish", cost_total=1)
+        log.emit("query_shed", reason="x")
+        assert log.counts() == {"query_finish": 1, "query_shed": 1}
+
+    def test_events_are_schema_stamped(self):
+        log = EventLog()
+        log.emit("epoch_publish", epoch=1)
+        payload = json.loads(log.export_jsonl())
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["kind"] in EVENT_KINDS
+
+    def test_stats_is_json_safe(self):
+        log = EventLog(capacity=2)
+        for _ in range(3):
+            log.emit("query_finish", cost_total=0)
+        stats = log.stats()
+        assert stats["retained"] == 2
+        assert stats["emitted"] == 3
+        assert stats["dropped"] == 1
+        json.dumps(stats)
+
+
+def drive_engine(events: EventLog) -> QueryEngine:
+    """A deterministic workload hitting finish/degraded/evict/hit paths."""
+    engine = QueryEngine(
+        Dataset(make_objects(POINTS, DOCS)),
+        max_k=2,
+        cache_size=1,
+        events=events,
+    )
+    engine.query(Rect((0.0, 0.0), (5.0, 5.0)), [1, 2])
+    engine.query(Rect((2.0, 2.0), (9.0, 9.0)), [2, 3], budget=4096)  # evicts
+    engine.query(Rect((2.0, 2.0), (9.0, 9.0)), [2, 3])  # cache hit
+    engine.query(Rect((0.0, 0.0), (9.5, 9.0)), [1, 2], budget=2)  # degraded
+    return engine
+
+
+class TestEngineEmission:
+    def test_sync_engine_emits_lifecycle_events(self):
+        events = EventLog()
+        drive_engine(events)
+        counts = events.counts()
+        assert counts["query_finish"] == 4
+        # cache_size=1: query 2 evicts query 1's entry, query 4 evicts
+        # query 2's (query 3 hit in between).
+        assert counts["cache_evict"] == 2
+        assert counts["query_degraded"] == 1
+
+    def test_sequence_numbers_are_monotone(self):
+        events = EventLog()
+        drive_engine(events)
+        seqs = [event.seq for event in events.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_cache_hit_emits_zero_cost_finish(self):
+        events = EventLog()
+        drive_engine(events)
+        hits = [
+            e for e in events.events("query_finish")
+            if e.fields["strategy"] == "cache"
+        ]
+        assert len(hits) == 1
+        assert hits[0].fields["cost_total"] == 0
+
+    def test_sharded_engine_emits_epoch_publishes(self):
+        events = EventLog()
+        engine = ShardedQueryEngine(
+            Dataset(make_objects(POINTS, DOCS)),
+            shards=2,
+            max_k=2,
+            cache_size=0,
+            events=events,
+        )
+        assert events.counts()["epoch_publish"] == 1  # the initial shard map
+        engine.insert((5.0, 5.0), [1, 2])
+        oid = engine.insert((6.0, 6.0), [1, 3])
+        engine.delete(oid)
+        assert events.counts()["epoch_publish"] == 4
+        epochs = [e.fields["epoch"] for e in events.events("epoch_publish")]
+        assert epochs == sorted(epochs)
+
+    def test_event_log_never_pickled_with_engine(self):
+        import pickle
+
+        events = EventLog()
+        engine = drive_engine(events)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.events is None
+        clone.query(Rect((0.0, 0.0), (5.0, 5.0)), [1, 2])  # emits nowhere
+
+
+class TestGoldenExport:
+    def test_jsonl_matches_golden(self):
+        events = EventLog()
+        drive_engine(events)
+        got = events.export_jsonl()
+        path = GOLDEN_DIR / "events.jsonl"
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(got + "\n")
+        assert path.exists(), f"golden file missing — regenerate: {path}"
+        assert got + "\n" == path.read_text()
+
+    def test_jsonl_deterministic_across_runs(self):
+        a, b = EventLog(), EventLog()
+        drive_engine(a)
+        drive_engine(b)
+        assert a.export_jsonl() == b.export_jsonl()

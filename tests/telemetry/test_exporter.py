@@ -1,0 +1,138 @@
+"""OpenMetrics exposition: format pins, registry merge, golden export.
+
+The golden ``metrics.prom`` pins the exposition byte-for-byte on the seeded
+serving workload (the CI golden check replays exactly this test); intentional
+format changes must regenerate with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/telemetry/test_exporter.py
+"""
+
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import QueryEngine
+from repro.telemetry import merge_registries, quantile_rows, render_openmetrics
+from repro.trace import MetricsRegistry
+from repro.workloads import WorkloadConfig, random_rect, zipf_dataset
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def seeded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests_total").inc(7)
+    registry.gauge("inflight").set(3)
+    hist = registry.histogram("latency", buckets=(1.0, 4.0, 16.0))
+    for value in (0.5, 2, 3, 9, 40):
+        hist.observe(value)
+    return registry
+
+
+class TestRenderFormat:
+    def test_counter_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(2)
+        text = render_openmetrics(registry)
+        assert "repro_requests_total 2" in text
+        assert "total_total" not in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics(seeded_registry())
+        assert 'repro_latency_bucket{le="1"} 1' in text
+        assert 'repro_latency_bucket{le="4"} 3' in text
+        assert 'repro_latency_bucket{le="16"} 4' in text
+        assert 'repro_latency_bucket{le="+Inf"} 5' in text
+        assert "repro_latency_sum 54.5" in text
+        assert "repro_latency_count 5" in text
+
+    def test_ends_with_eof_newline(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_instruments_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        text = render_openmetrics(registry)
+        assert text.index("repro_alpha") < text.index("repro_zeta")
+
+    def test_snapshot_and_registry_render_identically(self):
+        registry = seeded_registry()
+        assert render_openmetrics(registry) == render_openmetrics(
+            registry.snapshot()
+        )
+
+    def test_custom_namespace(self):
+        registry = seeded_registry()
+        assert "myapp_requests_total" in render_openmetrics(
+            registry, namespace="myapp"
+        )
+
+    def test_non_snapshot_rejected(self):
+        with pytest.raises(ValidationError):
+            render_openmetrics({"not": "a snapshot"})
+
+
+class TestMergeRegistries:
+    def test_counters_gauges_histograms_fold(self):
+        a, b = seeded_registry(), seeded_registry()
+        merged = merge_registries([a, b])
+        assert merged.counter("requests_total").value == 14
+        assert merged.gauge("inflight").value == 6
+        assert merged.histogram("latency").snapshot()["count"] == 10
+        # Inputs untouched.
+        assert a.counter("requests_total").value == 7
+
+    def test_mismatched_histogram_bounds_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(1)
+        b.histogram("h", buckets=(2.0,)).observe(1)
+        with pytest.raises(ValidationError):
+            merge_registries([a, b])
+
+    def test_merged_render_equals_sum_of_parts_counts(self):
+        a, b = seeded_registry(), seeded_registry()
+        text = render_openmetrics(merge_registries([a, b]))
+        assert 'repro_latency_bucket{le="+Inf"} 10' in text
+
+
+class TestQuantileRows:
+    def test_rows_sorted_with_standard_quantiles(self):
+        rows = quantile_rows(seeded_registry())
+        assert [row["name"] for row in rows] == ["latency"]
+        assert {"p50", "p90", "p99", "count", "sum"} <= set(rows[0])
+
+
+def serve_seeded_workload() -> QueryEngine:
+    """The seeded serving workload behind the golden exposition check."""
+    dataset = zipf_dataset(
+        WorkloadConfig(num_objects=80, vocabulary=16, doc_max=4, seed=1301)
+    )
+    engine = QueryEngine(dataset, max_k=2, cache_size=4)
+    rng = random.Random(1302)
+    for index in range(12):
+        rect = random_rect(rng, dataset.dim, side=0.4)
+        keywords = rng.sample(range(1, 17), 2)
+        budget = 4096 if index % 3 else 64
+        engine.query(rect, keywords, budget=budget)
+    return engine
+
+
+class TestGoldenExposition:
+    def test_exposition_matches_golden(self):
+        engine = serve_seeded_workload()
+        got = render_openmetrics(engine.metrics)
+        path = GOLDEN_DIR / "metrics.prom"
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(got)
+        assert path.exists(), f"golden file missing — regenerate: {path}"
+        assert got == path.read_text()
+
+    def test_exposition_deterministic_across_runs(self):
+        assert render_openmetrics(
+            serve_seeded_workload().metrics
+        ) == render_openmetrics(serve_seeded_workload().metrics)

@@ -1,0 +1,155 @@
+"""Quantile estimation + planner statistics (repro.telemetry.quantiles)."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry import (
+    RunningStat,
+    StatsCollector,
+    estimate_quantile,
+    summarize_quantiles,
+)
+from repro.trace import MetricHistogram
+
+
+class TestEstimateQuantile:
+    def test_empty_histogram_returns_none(self):
+        assert estimate_quantile(MetricHistogram("h"), 0.5) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        hist = MetricHistogram("h")
+        hist.observe(1)
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValidationError):
+                estimate_quantile(hist, bad)
+
+    def test_accepts_histogram_and_snapshot_equally(self):
+        hist = MetricHistogram("h", buckets=(2.0, 8.0, 32.0))
+        for value in (1, 3, 5, 9, 30):
+            hist.observe(value)
+        assert estimate_quantile(hist, 0.5) == estimate_quantile(
+            hist.snapshot(), 0.5
+        )
+
+    def test_single_observation_collapses_to_it(self):
+        hist = MetricHistogram("h", buckets=(4.0, 16.0))
+        hist.observe(7)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert estimate_quantile(hist, q) == 7.0
+
+    def test_estimates_are_clamped_into_observed_range(self):
+        hist = MetricHistogram("h", buckets=(100.0,))
+        hist.observe(40)
+        hist.observe(60)
+        for q in (0.01, 0.99):
+            value = estimate_quantile(hist, q)
+            assert 40.0 <= value <= 60.0
+
+    def test_overflow_bucket_interpolates_toward_max(self):
+        hist = MetricHistogram("h", buckets=(10.0,))
+        for value in (1, 2, 3, 50):  # 50 overflows; max pins the top edge
+            hist.observe(value)
+        p99 = estimate_quantile(hist, 0.99)
+        assert 10.0 <= p99 <= 50.0
+
+    def test_accuracy_within_bucket_resolution(self):
+        """Estimates land in the right bucket for a seeded uniform stream."""
+        rng = random.Random(11)
+        hist = MetricHistogram("h")  # powers-of-four default buckets
+        values = sorted(rng.randint(0, 4000) for _ in range(500))
+        for value in values:
+            hist.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = values[min(int(q * len(values)), len(values) - 1)]
+            estimate = estimate_quantile(hist, q)
+            # Same power-of-four bucket: within a factor of 4 of exact.
+            assert estimate <= max(4 * exact, 1)
+            assert estimate >= exact / 4
+
+    def test_deterministic(self):
+        a = MetricHistogram("h")
+        b = MetricHistogram("h")
+        for value in (3, 17, 99, 1024, 5):
+            a.observe(value)
+            b.observe(value)
+        assert summarize_quantiles(a) == summarize_quantiles(b)
+
+    def test_summary_shape(self):
+        hist = MetricHistogram("h")
+        hist.observe(9)
+        assert set(summarize_quantiles(hist)) == {"p50", "p90", "p99"}
+
+
+class TestRunningStat:
+    def test_welford_matches_direct_computation(self):
+        rng = random.Random(3)
+        values = [rng.uniform(-50, 50) for _ in range(200)]
+        stat = RunningStat()
+        for value in values:
+            stat.observe(value)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stat.count == 200
+        assert stat.mean == pytest.approx(mean)
+        assert stat.variance == pytest.approx(variance)
+        assert stat.low == min(values)
+        assert stat.high == max(values)
+
+    def test_empty_stat_is_json_safe(self):
+        payload = RunningStat().to_dict()
+        assert payload["count"] == 0
+        assert payload["variance"] == 0.0
+        json.dumps(payload)
+
+
+class TestStatsCollector:
+    def test_merge_equals_single_stream(self):
+        """Chan pooled merge is exact: split stream == merged stream."""
+        rng = random.Random(9)
+        observations = [
+            (rng.choice(["orp", "linear"]), rng.randint(1, 500), rng.randint(0, 9))
+            for _ in range(300)
+        ]
+        whole = StatsCollector()
+        left, right = StatsCollector(), StatsCollector()
+        for index, (strategy, cost, results) in enumerate(observations):
+            whole.observe(strategy, "cost_model", cost, results, corpus_size=100)
+            half = left if index % 2 == 0 else right
+            half.observe(strategy, "cost_model", cost, results, corpus_size=100)
+        left.merge(right)
+        a = whole.planner_stats()
+        b = left.planner_stats()
+        for cell_a, cell_b in zip(a["strategies"], b["strategies"]):
+            assert cell_a["strategy"] == cell_b["strategy"]
+            assert cell_a["queries"] == cell_b["queries"]
+            for series in StatsCollector.SERIES:
+                assert cell_a[series]["mean"] == pytest.approx(
+                    cell_b[series]["mean"]
+                )
+                assert cell_a[series]["variance"] == pytest.approx(
+                    cell_b[series]["variance"], abs=1e-9
+                )
+
+    def test_planner_stats_sorted_and_schema_stamped(self):
+        collector = StatsCollector()
+        collector.observe("zeta", "vectorized", 10, 1)
+        collector.observe("alpha", "cost_model", 5, 0)
+        payload = collector.planner_stats()
+        assert payload["schema"] == 1
+        keys = [
+            (cell["strategy"], cell["backend"]) for cell in payload["strategies"]
+        ]
+        assert keys == sorted(keys)
+        json.dumps(payload)  # JSON-safe end to end
+
+    def test_selectivity_tracked_only_with_corpus_size(self):
+        collector = StatsCollector()
+        collector.observe("orp", "cost_model", 10, 4)  # no corpus size
+        cell = collector.cell("orp", "cost_model")
+        assert cell["selectivity"].count == 0
+        collector.observe("orp", "cost_model", 10, 4, corpus_size=8)
+        assert cell["selectivity"].count == 1
+        assert cell["selectivity"].mean == pytest.approx(0.5)

@@ -1,0 +1,158 @@
+"""Tail-based trace retention (repro.telemetry.sampler)."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service.engine import QueryRecord
+from repro.telemetry import TailSampler
+
+
+def make_record(
+    query_id: int,
+    cost: int = 0,
+    strategy: str = "orp",
+    degraded: bool = False,
+    reason: str = None,
+    trace: dict = None,
+) -> QueryRecord:
+    return QueryRecord(
+        query_id=query_id,
+        rect_lo=(0.0, 0.0),
+        rect_hi=(1.0, 1.0),
+        keywords=(1,),
+        budget=None,
+        strategy=strategy,
+        fallbacks=[],
+        cost={"total": cost} if cost else {},
+        result_count=0,
+        cache="miss",
+        degraded=degraded,
+        backend="cost_model",
+        estimates={},
+        trace=trace,
+        reason=reason,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"slowest_k": 0}, {"memory_bound": 0}, {"head_every": -1}],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            TailSampler(**kwargs)
+
+
+class TestSlowestK:
+    def test_keeps_exactly_the_k_costliest(self):
+        sampler = TailSampler(slowest_k=3)
+        costs = [5, 50, 10, 90, 1, 70, 30]
+        for i, cost in enumerate(costs):
+            sampler.offer(make_record(i, cost=cost))
+        kept = sorted(e.cost for e in sampler.retained("slow"))
+        assert kept == [50, 70, 90]
+
+    def test_cheap_query_rejected_once_pool_full(self):
+        sampler = TailSampler(slowest_k=2)
+        for i, cost in enumerate((100, 200)):
+            assert sampler.offer(make_record(i, cost=cost))
+        assert not sampler.offer(make_record(2, cost=50))
+        assert sampler.rejected == 1
+
+    def test_tie_breaks_keep_newer_costlier_only(self):
+        """Equal cost does not bump an incumbent (strictly-costlier rule)."""
+        sampler = TailSampler(slowest_k=1)
+        assert sampler.offer(make_record(0, cost=10))
+        assert not sampler.offer(make_record(1, cost=10))
+        assert [e.query_id for e in sampler.retained("slow")] == [0]
+
+
+class TestMandatoryClasses:
+    def test_shed_degraded_and_reasoned_always_retained(self):
+        sampler = TailSampler(slowest_k=1)
+        sampler.offer(make_record(0, cost=1000))  # fills the slow pool
+        assert sampler.offer(make_record(1, strategy="shed"))
+        assert sampler.offer(make_record(2, degraded=True, cost=1))
+        assert sampler.offer(make_record(3, reason="shed:slo:p99_cost"))
+        classes = {e.why for e in sampler.retained()}
+        assert {"slow", "shed", "degraded", "reason"} <= classes
+
+    def test_mandatory_entries_do_not_consume_slow_slots(self):
+        sampler = TailSampler(slowest_k=1)
+        sampler.offer(make_record(0, strategy="shed"))
+        assert sampler.offer(make_record(1, cost=5))  # slow pool still open
+        assert len(sampler.retained("slow")) == 1
+
+
+class TestHeadSampling:
+    def test_every_nth_healthy_query_kept(self):
+        sampler = TailSampler(slowest_k=1, head_every=3)
+        sampler.offer(make_record(0, cost=1000))  # slow slot taken
+        for i in range(1, 7):
+            sampler.offer(make_record(i, cost=1))
+        heads = sampler.retained("head")
+        assert [e.seq for e in heads] == [3, 6]
+
+    def test_disabled_by_default(self):
+        sampler = TailSampler(slowest_k=1)
+        sampler.offer(make_record(0, cost=1000))
+        for i in range(1, 12):
+            sampler.offer(make_record(i, cost=1))
+        assert sampler.retained("head") == []
+
+
+class TestMemoryBound:
+    def test_hard_bound_is_enforced(self):
+        trace = {"component": "x", "children": [], "total": 1}
+        record_size = len(make_record(0, cost=1, trace=trace).to_json())
+        sampler = TailSampler(slowest_k=10, memory_bound=3 * record_size)
+        for i in range(8):
+            sampler.offer(make_record(i, cost=i + 1, trace=trace))
+        assert sampler.total_size <= sampler.memory_bound
+        assert len(sampler) == 3
+        assert sampler.evicted == 5
+
+    def test_bound_evicts_head_before_slow_before_mandatory(self):
+        trace = {"payload": "y" * 40}
+        record_size = len(
+            make_record(0, cost=1, strategy="shed", trace=trace).to_json()
+        )
+        sampler = TailSampler(
+            slowest_k=4, memory_bound=2 * record_size + 20, head_every=2
+        )
+        sampler.offer(make_record(0, cost=500, trace=trace))  # slow
+        sampler.offer(make_record(1, strategy="shed", trace=trace))  # mandatory
+        sampler.offer(make_record(2, cost=400, trace=trace))  # slow → overflow
+        whys = {e.why for e in sampler.retained()}
+        assert "shed" in whys  # mandatory class survives the squeeze
+        assert len(sampler) == 2
+
+    def test_retention_decision_returned_honestly(self):
+        """offer() returns False when the bound immediately evicts the entry."""
+        tiny = len(make_record(0, cost=1).to_json()) - 1
+        sampler = TailSampler(slowest_k=1, memory_bound=tiny)
+        assert not sampler.offer(make_record(0, cost=1))
+        assert len(sampler) == 0
+
+
+class TestStats:
+    def test_stats_json_safe_and_accurate(self):
+        sampler = TailSampler(slowest_k=2)
+        sampler.offer(make_record(0, cost=10))
+        sampler.offer(make_record(1, strategy="shed"))
+        sampler.offer(make_record(2, cost=20))
+        stats = sampler.stats()
+        assert stats["offered"] == 3
+        assert stats["retained"] == 3
+        assert stats["classes"] == {"shed": 1, "slow": 2}
+        json.dumps(stats)
+
+    def test_retained_record_is_a_json_safe_dict(self):
+        sampler = TailSampler()
+        sampler.offer(make_record(0, cost=99, trace={"total": 99}))
+        entry = sampler.retained()[0]
+        assert entry.record["cost"]["total"] == 99
+        json.dumps(entry.to_dict())

@@ -1,0 +1,200 @@
+"""End-to-end serving drill: the telemetry acceptance criteria in one test.
+
+A seeded mixed churn workload (queries interleaved with inserts/deletes)
+runs through :class:`AsyncQueryEngine` over a sharded engine with every
+telemetry surface wired and a deliberately tight SLO target, then asserts:
+
+(a) the OpenMetrics export's ``cost_total`` series — and its p99 estimate —
+    match a straight recomputation from the raw ``QueryRecord`` stream;
+(b) the event log holds every epoch publish and every shed, with strictly
+    monotone sequence numbers;
+(c) the tail sampler retains exactly the slowest-k healthy queries plus
+    every mandatory-class (shed/degraded) query, under the memory bound;
+(d) at least one graduated-shed admission decision is attributable to the
+    SLO monitor via ``QueryRecord.reason``.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import BudgetExceeded
+from repro.service import AsyncQueryEngine, ShardedQueryEngine
+from repro.telemetry import (
+    EventLog,
+    SLOMonitor,
+    TailSampler,
+    estimate_quantile,
+    render_openmetrics,
+)
+from repro.trace import MetricsRegistry
+from repro.workloads import WorkloadConfig, random_rect, zipf_dataset
+
+MAX_INFLIGHT = 200
+#: Alternating budgets: LOW stays under the quartered capacity (200 >> 2 =
+#: 50) so those queries always serve and keep feeding the SLO window; HIGH
+#: exceeds it, so those shed exactly while the monitor reports pressure.
+BUDGET_LOW = 40
+BUDGET_HIGH = 60
+SLOWEST_K = 3
+
+
+@pytest.fixture(scope="module")
+def drill():
+    """Run the churn workload once; every criterion reads the same run."""
+    dataset = zipf_dataset(
+        WorkloadConfig(num_objects=120, vocabulary=16, doc_max=4, seed=1401)
+    )
+    events = EventLog()
+    # events wired at construction so epoch 0 (the initial shard map) is
+    # in the log — "every epoch publish" includes the first.
+    engine = ShardedQueryEngine(
+        dataset, shards=3, max_k=2, cache_size=0, tracing=True, events=events
+    )
+    sampler = TailSampler(slowest_k=SLOWEST_K, memory_bound=1 << 20)
+    slo = SLOMonitor(window=16, p99_cost_target=1)  # any real cost burns
+    front = AsyncQueryEngine(
+        engine,
+        max_inflight_cost=MAX_INFLIGHT,
+        max_workers=2,
+        events=events,
+        sampler=sampler,
+        slo=slo,
+    )
+    rng = random.Random(1402)
+    shed_count = 0
+    inserted = []
+
+    async def drive():
+        nonlocal shed_count
+        for index in range(30):
+            # Mixed churn: mutations interleave with the query stream (the
+            # loop is idle between awaits, so direct mutation is safe).
+            if index % 5 == 0:
+                point = tuple(rng.uniform(0.0, 1.0) for _ in range(2))
+                doc = rng.sample(range(1, 17), 3)
+                inserted.append(engine.insert(point, doc))
+            if index % 7 == 6 and inserted:
+                engine.delete(inserted.pop(0))
+            rect = random_rect(rng, 2, side=0.5)
+            keywords = rng.sample(range(1, 17), 2)
+            budget = BUDGET_LOW if index % 2 == 0 else BUDGET_HIGH
+            try:
+                await front.query(rect, keywords, budget=budget)
+            except BudgetExceeded:
+                shed_count += 1
+
+    try:
+        asyncio.run(drive())
+    finally:
+        front.close()
+    return {
+        "engine": engine,
+        "front": front,
+        "events": events,
+        "sampler": sampler,
+        "slo": slo,
+        "shed_count": shed_count,
+    }
+
+
+def _served_records(engine):
+    return [r for r in engine.records if r.strategy != "shed"]
+
+
+def test_workload_exercises_both_outcomes(drill):
+    """The drill only means something if it served and shed and churned."""
+    assert drill["shed_count"] >= 1
+    assert len(_served_records(drill["engine"])) >= 5
+    assert drill["engine"].epoch.epoch_id > 0  # churn published epochs
+
+
+def test_a_openmetrics_p99_matches_raw_record_recomputation(drill):
+    engine = drill["engine"]
+    rebuilt = MetricsRegistry()
+    for record in _served_records(engine):
+        rebuilt.histogram("cost_total").observe(record.cost.get("total", 0))
+    # The exported text's cost_total series is exactly the raw stream's.
+    exported = render_openmetrics(engine.metrics)
+    expected = render_openmetrics(rebuilt)
+    exported_series = [
+        line for line in exported.splitlines() if line.startswith("repro_cost_total")
+    ]
+    expected_series = [
+        line for line in expected.splitlines() if line.startswith("repro_cost_total")
+    ]
+    assert exported_series == expected_series
+    # And the p99 estimate agrees between export-side and raw-side.
+    p99_exported = estimate_quantile(
+        engine.metrics.histogram("cost_total"), 0.99
+    )
+    p99_raw = estimate_quantile(rebuilt.histogram("cost_total"), 0.99)
+    assert p99_exported == p99_raw
+    assert p99_exported is not None
+
+
+def test_b_event_log_has_every_epoch_publish_and_shed(drill):
+    engine, events = drill["engine"], drill["events"]
+    published = [e.fields["epoch"] for e in events.events("epoch_publish")]
+    # Every epoch ever published (0 = the initial shard map) is in the log.
+    assert published == list(range(engine.epoch.epoch_id + 1))
+    sheds = events.events("query_shed")
+    assert len(sheds) == drill["shed_count"]
+    assert all(e.fields["reason"].startswith("shed:slo:") for e in sheds)
+    seqs = [e.seq for e in events.events()]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    assert events.dropped == 0
+
+
+def test_c_sampler_retains_slowest_k_plus_mandatory_under_bound(drill):
+    engine, sampler = drill["engine"], drill["sampler"]
+    records = list(engine.records)
+    healthy = [
+        r
+        for r in records
+        if r.strategy != "shed" and not r.degraded and r.reason is None
+    ]
+    healthy_ids = {id(r) for r in healthy}
+    mandatory = [r for r in records if id(r) not in healthy_ids]
+    # Exactly every mandatory-class query is retained.
+    assert len(sampler.retained("shed")) == drill["shed_count"]
+    assert len(sampler.retained("degraded")) == sum(
+        1 for r in mandatory if r.strategy != "shed" and r.degraded
+    )
+    # Exactly the slowest-k healthy queries (by total cost, multiset).
+    slow_costs = sorted(e.cost for e in sampler.retained("slow"))
+    expected = sorted(r.cost.get("total", 0) for r in healthy)[-SLOWEST_K:]
+    assert slow_costs == expected
+    # Span-tree hygiene: a healthy query either kept its trace (it was in
+    # the slow pool when offered — final members or later-bumped ones, whose
+    # cost can't exceed the final pool minimum) or had it dropped at offer
+    # time.  Retained entries always carry their tree (tracing was on).
+    retained_slow_ids = {e.query_id for e in sampler.retained("slow")}
+    min_slow_cost = min(e.cost for e in sampler.retained("slow"))
+    for record in healthy:
+        if record.query_id in retained_slow_ids:
+            assert record.trace is not None
+        elif record.trace is not None:  # admitted once, bumped later
+            assert record.cost.get("total", 0) <= min_slow_cost
+    for entry in sampler.retained("slow"):
+        assert entry.record["trace"] is not None
+    # The hard memory bound held throughout.
+    assert sampler.total_size <= sampler.memory_bound
+    assert sampler.stats()["offered"] == len(records)
+
+
+def test_d_graduated_shed_attributable_via_record_reason(drill):
+    engine, front = drill["engine"], drill["front"]
+    slo_sheds = [
+        r
+        for r in engine.records
+        if r.strategy == "shed" and (r.reason or "").startswith("shed:slo:")
+    ]
+    assert len(slo_sheds) >= 1
+    assert slo_sheds[0].reason == "shed:slo:p99_cost"
+    stats = front.stats()
+    assert stats["metrics"]["counters"]["shed_slo_total"] == len(slo_sheds)
+    assert stats["slo"]["targets"]["p99_cost_target"] == 1
+    assert stats["sampler"]["retained"] == len(drill["sampler"].retained())
+    assert stats["events"]["emitted"] == drill["events"].last_seq

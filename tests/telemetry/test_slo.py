@@ -1,0 +1,190 @@
+"""SLO burn-rate monitors + graduated admission shedding (repro.telemetry.slo)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import BudgetExceeded, ValidationError
+from repro.service.async_engine import AdmissionController
+from repro.telemetry import SLOMonitor, SloShed
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"max_shed_rate": 0.0},
+            {"max_shed_rate": 1.5},
+            {"max_budget_exhausted_rate": -0.1},
+            {"p99_cost_target": 0},
+            {"warn_burn": 0.0},
+            {"warn_burn": 3.0, "critical_burn": 2.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            SLOMonitor(**kwargs)
+
+
+class TestObjectives:
+    def test_empty_window_reports_no_burns_and_zero_pressure(self):
+        monitor = SLOMonitor(max_shed_rate=0.1)
+        assert monitor.burn_rates() == {}
+        assert monitor.worst() is None
+        assert monitor.pressure() == 0
+        assert monitor.shed_reason() == "shed:slo:unknown"
+
+    def test_window_p99_is_exact_order_statistic(self):
+        monitor = SLOMonitor(window=100, p99_cost_target=10)
+        for cost in range(1, 101):  # 1..100
+            monitor.observe_query(cost=cost)
+        assert monitor.window_p99() == 99.0
+
+    def test_window_p99_excludes_shed_queries(self):
+        monitor = SLOMonitor(window=10, p99_cost_target=10)
+        monitor.observe_query(cost=5)
+        monitor.observe_query(shed=True)
+        assert monitor.window_p99() == 5.0
+
+    def test_window_slides(self):
+        monitor = SLOMonitor(window=2, max_shed_rate=0.5)
+        monitor.observe_query(shed=True)
+        monitor.observe_query(cost=1)
+        monitor.observe_query(cost=1)  # the shed fell out of the window
+        assert monitor.burn_rates()["shed_rate"] == 0.0
+
+    def test_burn_rates_are_observed_over_target(self):
+        monitor = SLOMonitor(
+            window=4, max_shed_rate=0.25, max_budget_exhausted_rate=0.5
+        )
+        monitor.observe_query(cost=1)
+        monitor.observe_query(cost=9, budget_exhausted=True)
+        monitor.observe_query(shed=True)
+        monitor.observe_query(cost=3)
+        burns = monitor.burn_rates()
+        assert burns["shed_rate"] == pytest.approx((1 / 4) / 0.25)
+        assert burns["budget_exhausted_rate"] == pytest.approx((1 / 4) / 0.5)
+
+    def test_worst_breaks_ties_alphabetically(self):
+        monitor = SLOMonitor(
+            window=4, max_shed_rate=0.25, max_budget_exhausted_rate=0.25
+        )
+        monitor.observe_query(cost=1, budget_exhausted=True, shed=False)
+        monitor.observe_query(shed=True)
+        monitor.observe_query(cost=1)
+        monitor.observe_query(cost=1)
+        burns = monitor.burn_rates()
+        assert burns["shed_rate"] == burns["budget_exhausted_rate"]
+        assert monitor.worst()[0] == "budget_exhausted_rate"
+
+    def test_pressure_graduates_with_burn(self):
+        monitor = SLOMonitor(window=10, p99_cost_target=10)
+        monitor.observe_query(cost=5)
+        assert monitor.pressure() == 0  # burn 0.5
+        monitor = SLOMonitor(window=10, p99_cost_target=10)
+        monitor.observe_query(cost=10)
+        assert monitor.pressure() == 1  # burn 1.0 == warn
+        monitor = SLOMonitor(window=10, p99_cost_target=10)
+        monitor.observe_query(cost=20)
+        assert monitor.pressure() == 2  # burn 2.0 == critical
+
+    def test_report_is_json_safe_and_deterministic(self):
+        import json
+
+        monitor = SLOMonitor(window=8, max_shed_rate=0.5, p99_cost_target=4)
+        monitor.observe_query(cost=2)
+        monitor.observe_query(shed=True)
+        report = monitor.report()
+        assert report["pressure"] == monitor.pressure()
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            monitor.report(), sort_keys=True
+        )
+
+
+class TestSloShed:
+    def test_is_a_budget_exceeded(self):
+        exc = SloShed("shed:slo:p99_cost", spent=10, budget=4)
+        assert isinstance(exc, BudgetExceeded)
+        assert exc.reason == "shed:slo:p99_cost"
+
+
+class TestAdmissionIntegration:
+    """The monitor's verdict shrinks AdmissionController capacity."""
+
+    def _monitor_at_pressure(self, pressure: int) -> SLOMonitor:
+        monitor = SLOMonitor(window=4, p99_cost_target=10)
+        cost = {0: 5, 1: 10, 2: 20}[pressure]
+        monitor.observe_query(cost=cost)
+        assert monitor.pressure() == pressure
+        return monitor
+
+    def test_pressure_zero_admits_at_full_capacity(self):
+        controller = AdmissionController(100, slo=self._monitor_at_pressure(0))
+        controller.admit(100)  # full bound available
+
+    def test_pressure_one_halves_capacity(self):
+        controller = AdmissionController(100, slo=self._monitor_at_pressure(1))
+        with pytest.raises(SloShed) as info:
+            controller.admit(51)
+        assert info.value.reason == "shed:slo:p99_cost"
+        controller.admit(50)  # half the bound still admits
+
+    def test_pressure_two_quarters_capacity(self):
+        controller = AdmissionController(100, slo=self._monitor_at_pressure(2))
+        with pytest.raises(SloShed):
+            controller.admit(26)
+        controller.admit(25)
+
+    def test_slo_shed_rolls_back_inflight_charge(self):
+        controller = AdmissionController(100, slo=self._monitor_at_pressure(2))
+        with pytest.raises(SloShed):
+            controller.admit(80)
+        assert controller.inflight_cost == 0
+        assert controller.inflight_queries == 0
+
+    def test_unbounded_controller_never_slo_sheds(self):
+        controller = AdmissionController(None, slo=self._monitor_at_pressure(2))
+        controller.admit(10_000)
+
+    def test_recovery_restores_full_capacity(self):
+        monitor = SLOMonitor(window=1, p99_cost_target=10)
+        monitor.observe_query(cost=20)
+        controller = AdmissionController(100, slo=monitor)
+        with pytest.raises(SloShed):
+            controller.admit(30)
+        monitor.observe_query(cost=1)  # healthy query slides the spike out
+        controller.admit(30)
+
+
+def test_async_engine_records_slo_shed_reason():
+    """End-to-end through AsyncQueryEngine.query: reason lands in the record."""
+    import random
+
+    from repro.dataset import Dataset, make_objects
+    from repro.service import AsyncQueryEngine, QueryEngine
+
+    rng = random.Random(23)
+    points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(120)]
+    docs = [rng.sample(range(1, 8), 3) for _ in range(120)]
+    engine = QueryEngine(Dataset(make_objects(points, docs)), max_k=2, cache_size=0)
+    monitor = SLOMonitor(window=8, p99_cost_target=1)  # any real cost trips it
+    front = AsyncQueryEngine(
+        engine, max_inflight_cost=100, slo=monitor, max_workers=1
+    )
+
+    async def drive():
+        await front.query((0.0, 0.0, 10.0, 10.0), [1, 2], budget=100)
+        # The first query's cost is in the window now; burn is critical, so
+        # capacity is quartered (25) and a budget-30 query must shed.
+        with pytest.raises(SloShed):
+            await front.query((0.0, 0.0, 5.0, 5.0), [1], budget=30)
+
+    try:
+        asyncio.run(drive())
+    finally:
+        front.close()
+    record = engine.last_record
+    assert record.strategy == "shed"
+    assert record.reason == "shed:slo:p99_cost"
+    assert front.stats()["slo"]["pressure"] == 2

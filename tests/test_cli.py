@@ -382,3 +382,140 @@ class TestEngineCommands:
         assert any("oid" in record for record in lines) or all(
             record["result_count"] == 0 for record in lines if "result_count" in record
         )
+
+
+class TestTelemetryCommands:
+    """`metrics` / `events` / `top` + `serve --telemetry-dir`."""
+
+    @pytest.fixture
+    def queries_file(self, tmp_path, rng):
+        path = tmp_path / "queries.jsonl"
+        with open(path, "w") as handle:
+            for _ in range(10):
+                a, b = sorted([rng.uniform(0, 100), rng.uniform(0, 100)])
+                c, d = sorted([rng.uniform(0, 10), rng.uniform(0, 10)])
+                query = {"rect": [a, c, b, d], "keywords": rng.sample(range(1, 7), 2)}
+                handle.write(json.dumps(query) + "\n")
+        return path
+
+    @pytest.fixture
+    def engine_path(self, dataset_file, queries_file, tmp_path, capsys):
+        path = tmp_path / "engine.bin"
+        main(["build", str(dataset_file), str(path), "--kind", "engine", "--k", "3"])
+        main(
+            [
+                "batch", str(path),
+                "--queries", str(queries_file), "--budget", "256", "--save",
+            ]
+        )
+        capsys.readouterr()
+        return path
+
+    def test_metrics_renders_openmetrics(self, engine_path, capsys):
+        assert main(["metrics", str(engine_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "repro_queries_total 10" in out
+        assert 'repro_cost_total_bucket{le="+Inf"}' in out
+
+    def test_metrics_custom_namespace(self, engine_path, capsys):
+        assert main(["metrics", str(engine_path), "--namespace", "svc"]) == 0
+        assert "svc_queries_total" in capsys.readouterr().out
+
+    def test_metrics_rejects_non_engine_index(self, dataset_file, tmp_path, capsys):
+        path = tmp_path / "orp.bin"
+        main(["build", str(dataset_file), str(path), "--kind", "orp"])
+        capsys.readouterr()
+        assert main(["metrics", str(path)]) == 2
+
+    def test_events_replays_workload_as_jsonl(
+        self, engine_path, queries_file, capsys
+    ):
+        code = main(
+            ["events", str(engine_path), "--queries", str(queries_file)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(events) == 10
+        assert all(event["kind"] == "query_finish" for event in events)
+        seqs = [event["seq"] for event in events]
+        assert seqs == sorted(seqs)
+        assert "10 event(s) emitted" in captured.err
+
+    def test_events_kind_filter(self, engine_path, queries_file, capsys):
+        code = main(
+            [
+                "events", str(engine_path),
+                "--queries", str(queries_file),
+                "--kind", "query_degraded",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert all(
+            json.loads(line)["kind"] == "query_degraded"
+            for line in out.splitlines()
+        )
+
+    def test_top_renders_quantiles_and_planner_stats(self, engine_path, capsys):
+        assert main(["top", str(engine_path)]) == 0
+        out = capsys.readouterr().out
+        assert "histogram quantiles" in out
+        assert "cost_total" in out
+        assert "planner stats" in out
+
+    def test_top_json_format(self, engine_path, capsys):
+        assert main(["top", str(engine_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [row["name"] for row in payload["histograms"]]
+        assert "cost_total" in names
+        assert payload["planner"]["schema"] == 1
+        assert payload["planner"]["strategies"]  # at least one cell
+
+    def test_serve_telemetry_dir_writes_artifacts(
+        self, engine_path, queries_file, tmp_path, capsys
+    ):
+        telemetry_dir = tmp_path / "telemetry"
+        code = main(
+            [
+                "serve", str(engine_path),
+                "--queries", str(queries_file),
+                "--budget", "256",
+                "--telemetry-dir", str(telemetry_dir),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        metrics_text = (telemetry_dir / "metrics.prom").read_text()
+        assert metrics_text.endswith("# EOF\n")
+        event_lines = (
+            (telemetry_dir / "events.jsonl").read_text().strip().splitlines()
+        )
+        assert event_lines and all(json.loads(line)["kind"] for line in event_lines)
+        stats = json.loads((telemetry_dir / "stats.json").read_text())
+        assert "sampler" in stats and "events" in stats
+        traces = (telemetry_dir / "traces.jsonl").read_text().strip().splitlines()
+        assert traces  # the slowest queries were retained
+        assert all("why" in json.loads(line) for line in traces)
+
+    def test_serve_slo_flags_arm_the_monitor(
+        self, engine_path, queries_file, tmp_path, capsys
+    ):
+        telemetry_dir = tmp_path / "telemetry"
+        code = main(
+            [
+                "serve", str(engine_path),
+                "--queries", str(queries_file),
+                "--budget", "256",
+                "--max-inflight-cost", "10000",
+                "--slo-p99-cost", "1",
+                "--slo-window", "4",
+                "--telemetry-dir", str(telemetry_dir),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        stats = json.loads((telemetry_dir / "stats.json").read_text())
+        assert stats["slo"]["targets"]["p99_cost_target"] == 1
+        assert stats["slo"]["observed"] == 10

@@ -71,6 +71,71 @@ class TestHistogramBucketEdges:
             MetricHistogram("h", buckets=(4.0, 4.0))
 
 
+class TestHistogramValidation:
+    def test_negative_observe_rejected(self):
+        hist = MetricHistogram("h")
+        with pytest.raises(ValidationError):
+            hist.observe(-1)
+
+    def test_rejected_observe_leaves_no_partial_state(self):
+        hist = MetricHistogram("h", buckets=(1.0, 4.0))
+        hist.observe(2)
+        with pytest.raises(ValidationError):
+            hist.observe(-0.5)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == 2
+        assert snap["min"] == 2 and snap["max"] == 2
+
+
+class TestHistogramMerge:
+    def test_merge_sums_buckets_overflow_and_extrema(self):
+        a = MetricHistogram("h", buckets=(1.0, 4.0))
+        b = MetricHistogram("h", buckets=(1.0, 4.0))
+        a.observe(1)
+        a.observe(3)
+        b.observe(4)
+        b.observe(9)  # above the last bound: overflow
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 17
+        assert snap["buckets"] == {"le_1": 1, "le_4": 2}
+        assert snap["overflow"] == 1
+        assert snap["min"] == 1 and snap["max"] == 9
+
+    def test_merge_into_empty_adopts_extrema(self):
+        a = MetricHistogram("h", buckets=(1.0, 4.0))
+        b = MetricHistogram("h", buckets=(1.0, 4.0))
+        b.observe(3)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == 3 and snap["max"] == 3
+
+    def test_merge_empty_other_is_identity(self):
+        a = MetricHistogram("h", buckets=(1.0, 4.0))
+        a.observe(2)
+        before = a.snapshot()
+        a.merge(MetricHistogram("h", buckets=(1.0, 4.0)))
+        assert a.snapshot() == before
+
+    def test_merge_mismatched_bounds_rejected(self):
+        a = MetricHistogram("h", buckets=(1.0, 4.0))
+        b = MetricHistogram("h", buckets=(1.0, 8.0))
+        b.observe(5)
+        with pytest.raises(ValidationError):
+            a.merge(b)
+        assert a.snapshot()["count"] == 0  # refused merge mutates nothing
+
+    def test_merge_leaves_source_untouched(self):
+        a = MetricHistogram("h", buckets=(1.0,))
+        b = MetricHistogram("h", buckets=(1.0,))
+        b.observe(1)
+        a.merge(b)
+        assert b.snapshot()["count"] == 1
+
+
 class TestRegistryReset:
     def test_reset_zeroes_values_but_keeps_registrations(self):
         registry = MetricsRegistry()
@@ -115,6 +180,40 @@ class TestEngineIsolation:
         b.query(Rect((0.0, 0.0), (5.0, 5.0)), [1, 2])
         assert shared.counter("queries_total").value == 2
         assert GLOBAL_REGISTRY is not shared  # opting in never touches global
+
+    def test_shared_registry_aggregates_without_double_registration(self):
+        """Two engines on one registry share instruments, never re-register.
+
+        ``counter``/``histogram`` are get-or-create, so the second engine
+        must reuse the first's instruments (no ValidationError, no split
+        counts) and repeated snapshots must render identically.
+        """
+        dataset = build_dataset()
+        shared = MetricsRegistry()
+        a = QueryEngine(dataset, max_k=2, cache_size=0, metrics=shared)
+        b = QueryEngine(dataset, max_k=2, cache_size=0, metrics=shared)
+        for engine in (a, b):
+            engine.query(Rect((0.0, 0.0), (10.0, 10.0)), [1, 2])
+            engine.query(Rect((0.0, 0.0), (4.0, 4.0)), [1])
+        snap = shared.snapshot()
+        assert snap["counters"]["queries_total"] == 4
+        assert snap["histograms"]["cost_total"]["count"] == 4
+        # One instrument per name: each registered name appears exactly once.
+        assert len(shared.counter_names()) == len(set(shared.counter_names()))
+        assert len(shared.histogram_names()) == len(set(shared.histogram_names()))
+        # Snapshot determinism: rendering twice is byte-identical.
+        assert json.dumps(snap, sort_keys=True) == json.dumps(
+            shared.snapshot(), sort_keys=True
+        )
+
+    def test_global_registry_opt_in_aggregates_across_engines(self):
+        dataset = build_dataset()
+        baseline = GLOBAL_REGISTRY.counter("queries_total").value
+        a = QueryEngine(dataset, max_k=2, cache_size=0, metrics=GLOBAL_REGISTRY)
+        b = QueryEngine(dataset, max_k=2, cache_size=0, metrics=GLOBAL_REGISTRY)
+        a.query(Rect((0.0, 0.0), (10.0, 10.0)), [1, 2])
+        b.query(Rect((0.0, 0.0), (10.0, 10.0)), [1, 2])
+        assert GLOBAL_REGISTRY.counter("queries_total").value == baseline + 2
 
     def test_stats_exposes_metrics_snapshot(self):
         dataset = build_dataset()
